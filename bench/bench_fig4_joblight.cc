@@ -1,0 +1,10 @@
+// Reproduces the "job-light" panel of Figure 4: cost-estimation accuracy of
+// zero-shot vs workload-driven models on JOB-light-style star-join COUNT(*)
+// queries over the unseen IMDB-like database.
+
+#include "fig4_common.h"
+
+int main() {
+  return zerodb::bench::RunFigure4(
+      zerodb::workload::BenchmarkWorkload::kJobLight);
+}

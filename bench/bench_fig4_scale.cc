@@ -1,0 +1,9 @@
+// Reproduces the "scale" panel of Figure 4: cost-estimation accuracy of
+// zero-shot vs workload-driven models on the scale benchmark (join-count
+// sweep) over the unseen IMDB-like database.
+
+#include "fig4_common.h"
+
+int main() {
+  return zerodb::bench::RunFigure4(zerodb::workload::BenchmarkWorkload::kScale);
+}

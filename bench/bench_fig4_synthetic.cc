@@ -1,0 +1,10 @@
+// Reproduces the "synthetic" panel of Figure 4: cost-estimation accuracy of
+// zero-shot vs workload-driven models on the synthetic benchmark (random
+// SPJA queries) over the unseen IMDB-like database.
+
+#include "fig4_common.h"
+
+int main() {
+  return zerodb::bench::RunFigure4(
+      zerodb::workload::BenchmarkWorkload::kSynthetic);
+}

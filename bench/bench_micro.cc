@@ -1,0 +1,178 @@
+// Micro-benchmarks (google-benchmark) for the substrate components: data
+// generation, statistics, planning, execution, featurization, model
+// inference and one training step. These quantify the claim that zero-shot
+// inference is cheap enough to sit inside a DBMS ("central brain").
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "datagen/corpus.h"
+#include "nn/optimizer.h"
+#include "featurize/zeroshot_featurizer.h"
+#include "models/zeroshot_model.h"
+#include "nn/ops.h"
+#include "optimizer/optimizer.h"
+#include "stats/histogram.h"
+#include "train/dataset.h"
+#include "train/trainer.h"
+#include "workload/benchmarks.h"
+
+namespace zerodb {
+namespace {
+
+// Shared fixture state, built once.
+struct MicroState {
+  datagen::DatabaseEnv env = datagen::MakeImdbEnv(3, 0.1);
+  std::vector<train::QueryRecord> records;
+  std::unique_ptr<models::ZeroShotCostModel> model;
+
+  MicroState() {
+    SetLogLevel(LogLevel::kWarning);
+    records = train::CollectRandomWorkload(
+        env, workload::TrainingWorkloadConfig(), 128, 9,
+        train::CollectOptions());
+    models::ZeroShotCostModel::Options options;
+    options.hidden_dim = 64;
+    model = std::make_unique<models::ZeroShotCostModel>(options);
+    train::TrainerOptions trainer;
+    trainer.max_epochs = 3;
+    train::TrainModel(model.get(), train::MakeView(records), trainer);
+  }
+};
+
+MicroState& State() {
+  static MicroState* state = new MicroState();
+  return *state;
+}
+
+void BM_HistogramBuild(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (double& v : values) v = rng.UniformDouble(0, 1e6);
+  for (auto _ : state) {
+    auto histogram = stats::EquiDepthHistogram::Build(values, 64);
+    benchmark::DoNotOptimize(histogram);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramBuild)->Arg(10000)->Arg(100000);
+
+void BM_SeqScanExecution(benchmark::State& state) {
+  MicroState& micro = State();
+  exec::Executor executor(micro.env.db.get());
+  size_t year_col = *micro.env.db->FindTable("title")->schema().FindColumn(
+      "production_year");
+  for (auto _ : state) {
+    plan::PhysicalPlan plan(plan::MakeSeqScan(
+        "title",
+        plan::Predicate::Compare(year_col, plan::CompareOp::kGe, 1960)));
+    auto result = executor.Execute(&plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(micro.env.db->FindTable("title")->num_rows()));
+}
+BENCHMARK(BM_SeqScanExecution);
+
+void BM_HashJoinExecution(benchmark::State& state) {
+  MicroState& micro = State();
+  exec::Executor executor(micro.env.db.get());
+  for (auto _ : state) {
+    plan::PhysicalPlan plan(plan::MakeSimpleAggregate(
+        plan::MakeHashJoin(plan::MakeSeqScan("title", std::nullopt),
+                           plan::MakeSeqScan("cast_info", std::nullopt), 0, 1),
+        {plan::AggregateExpr{plan::AggFunc::kCount, std::nullopt}}));
+    auto result = executor.Execute(&plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HashJoinExecution);
+
+void BM_PlannerLatency(benchmark::State& state) {
+  MicroState& micro = State();
+  optimizer::Planner planner(micro.env.db.get(), &micro.env.stats);
+  size_t index = 0;
+  for (auto _ : state) {
+    const auto& record = micro.records[index++ % micro.records.size()];
+    auto plan = planner.Plan(record.query);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlannerLatency);
+
+void BM_ZeroShotFeaturization(benchmark::State& state) {
+  MicroState& micro = State();
+  featurize::ZeroShotFeaturizer featurizer(
+      featurize::CardinalityMode::kEstimated);
+  size_t index = 0;
+  for (auto _ : state) {
+    const auto& record = micro.records[index++ % micro.records.size()];
+    auto graph = featurizer.Featurize(*record.plan.root, micro.env);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_ZeroShotFeaturization);
+
+void BM_ZeroShotInferenceSingle(benchmark::State& state) {
+  MicroState& micro = State();
+  size_t index = 0;
+  for (auto _ : state) {
+    std::vector<const train::QueryRecord*> one = {
+        &micro.records[index++ % micro.records.size()]};
+    auto predictions = micro.model->PredictMs(one);
+    benchmark::DoNotOptimize(predictions);
+  }
+}
+BENCHMARK(BM_ZeroShotInferenceSingle);
+
+void BM_ZeroShotInferenceBatch(benchmark::State& state) {
+  MicroState& micro = State();
+  auto view = train::MakeView(micro.records);
+  for (auto _ : state) {
+    auto predictions = micro.model->PredictMs(view);
+    benchmark::DoNotOptimize(predictions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(micro.records.size()));
+}
+BENCHMARK(BM_ZeroShotInferenceBatch);
+
+void BM_ZeroShotTrainStep(benchmark::State& state) {
+  MicroState& micro = State();
+  auto view = train::MakeView(micro.records);
+  std::vector<const train::QueryRecord*> batch(view.begin(),
+                                               view.begin() + 32);
+  nn::Adam optimizer(micro.model->Parameters(), 1e-4f);
+  Rng rng(4);
+  for (auto _ : state) {
+    nn::Tensor loss = micro.model->LossOnBatch(batch, true, &rng);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ZeroShotTrainStep);
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<float> data(n * n);
+  for (float& v : data) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  nn::Tensor a = nn::Tensor::FromData(n, n, data);
+  nn::Tensor b = nn::Tensor::FromData(n, n, data);
+  for (auto _ : state) {
+    nn::Tensor c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace zerodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Bringing your own database: build a Database from CSV data, declare the
+// schema and foreign keys, and get zero-shot runtime predictions for SQL
+// queries against it — the model was trained before this database existed.
+//
+//   $ ./custom_database
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/corpus.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "runtime/simulator.h"
+#include "sql/parser.h"
+#include "storage/csv.h"
+#include "zeroshot/estimator.h"
+
+using namespace zerodb;
+
+namespace {
+
+// A little webshop: customers and their orders, as CSV a user might export
+// from anywhere. (Inline here; LoadCsv reads files identically.)
+constexpr const char* kCustomersCsv =
+    "id,age,segment\n"
+    "0,34,retail\n1,41,retail\n2,29,business\n3,55,retail\n4,38,business\n"
+    "5,45,retail\n6,23,retail\n7,61,business\n8,33,retail\n9,27,retail\n";
+
+std::string OrdersCsv() {
+  // 400 orders referencing the 10 customers, skewed toward low ids.
+  std::string csv = "id,customers_id,amount\n";
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    int64_t customer = rng.UniformInt(0, 9);
+    if (rng.Bernoulli(0.5)) customer = customer / 3;  // skew
+    csv += StrFormat("%d,%lld,%.2f\n", i, static_cast<long long>(customer),
+                     rng.UniformDouble(5.0, 500.0));
+  }
+  return csv;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  // 1. Train once (in production this model ships pre-trained).
+  std::printf("Training zero-shot model on 6 unrelated databases...\n");
+  auto corpus = datagen::MakeTrainingCorpus(42, 6, 0.1);
+  zeroshot::ZeroShotConfig config;
+  config.queries_per_database = 150;
+  config.trainer.max_epochs = 20;
+  auto estimator = zeroshot::ZeroShotEstimator::Train(corpus, config);
+
+  // 2. Assemble the custom database from CSV.
+  using catalog::ColumnSchema;
+  using catalog::DataType;
+  using catalog::TableSchema;
+  TableSchema customers_schema(
+      "customers", {ColumnSchema{"id", DataType::kInt64, 8},
+                    ColumnSchema{"age", DataType::kInt64, 8},
+                    ColumnSchema{"segment", DataType::kString, 8}});
+  TableSchema orders_schema(
+      "orders", {ColumnSchema{"id", DataType::kInt64, 8},
+                 ColumnSchema{"customers_id", DataType::kInt64, 8},
+                 ColumnSchema{"amount", DataType::kDouble, 8}});
+
+  storage::Database db("webshop");
+  auto customers = storage::LoadCsvFromString(kCustomersCsv, customers_schema);
+  auto orders = storage::LoadCsvFromString(OrdersCsv(), orders_schema);
+  ZDB_CHECK(customers.ok() && orders.ok());
+  ZDB_CHECK(db.AddTable(std::move(*customers)).ok());
+  ZDB_CHECK(db.AddTable(std::move(*orders)).ok());
+  ZDB_CHECK(db.mutable_catalog()
+                .AddForeignKey(catalog::ForeignKey{"orders", "customers_id",
+                                                   "customers", "id"})
+                .ok());
+  ZDB_CHECK(db.CreateIndex("customers", "id").ok());  // primary key
+  datagen::DatabaseEnv env = datagen::MakeEnv(std::move(db));
+  std::printf("Loaded 'webshop': %lld rows across %zu tables from CSV.\n",
+              static_cast<long long>(env.db->TotalRows()),
+              env.db->tables().size());
+
+  // 3. SQL against the new database, with predictions vs measurements.
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM orders WHERE amount >= 250;",
+      "SELECT COUNT(*), AVG(amount) FROM customers, orders "
+      "WHERE orders.customers_id = customers.id AND age >= 35;",
+      "SELECT segment, COUNT(*) FROM customers, orders "
+      "WHERE orders.customers_id = customers.id AND amount < 100 "
+      "GROUP BY segment;",
+  };
+  optimizer::Planner planner(env.db.get(), &env.stats);
+  exec::Executor executor(env.db.get());
+  runtime::RuntimeSimulator simulator;
+
+  std::printf("\n%9s %9s   query\n", "predicted", "measured");
+  for (const char* text : queries) {
+    auto query = sql::ParseQuery(text, *env.db);
+    ZDB_CHECK(query.ok()) << query.status().ToString();
+    auto predicted = estimator.EstimateQueryMs(env, *query);
+    auto plan = planner.Plan(*query);
+    ZDB_CHECK(plan.ok());
+    auto result = executor.Execute(&*plan);
+    ZDB_CHECK(result.ok());
+    double measured = simulator.PlanMs(*plan, *result);
+    std::printf("%7.2fms %7.2fms   %s\n",
+                predicted.ok() ? *predicted : -1.0, measured, text);
+  }
+  std::printf("\nThe model never saw 'webshop' (or anything like it) during "
+              "training.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: train a zero-shot cost model on a corpus of databases, then
+// predict query runtimes on a database it has never seen — without running
+// a single training query on it.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "datagen/corpus.h"
+#include "workload/generator.h"
+#include "zeroshot/estimator.h"
+
+using namespace zerodb;  // example code; library code never does this
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  // 1. A corpus of training databases. In a real deployment these are the
+  //    databases (and workload logs) a cloud provider already has.
+  std::printf("Generating 6 training databases...\n");
+  std::vector<datagen::DatabaseEnv> corpus =
+      datagen::MakeTrainingCorpus(/*seed=*/42, /*count=*/6, /*scale=*/0.1);
+
+  // 2. Train the zero-shot model: collect workloads on every training
+  //    database (one-time effort), then fit the plan-graph network.
+  std::printf("Training zero-shot cost model (one-time effort)...\n");
+  zeroshot::ZeroShotConfig config;
+  config.queries_per_database = 150;
+  config.trainer.max_epochs = 20;
+  zeroshot::ZeroShotEstimator estimator =
+      zeroshot::ZeroShotEstimator::Train(corpus, config);
+
+  // 3. A completely new database the model has never seen.
+  std::printf("Creating an unseen database (IMDB-like)...\n");
+  datagen::DatabaseEnv imdb = datagen::MakeImdbEnv(/*seed=*/7, /*scale=*/0.1);
+
+  // 4. Predict runtimes for new queries out of the box — the query is
+  //    planned and featurized, nothing is executed.
+  workload::QueryGenerator generator(&imdb,
+                                     workload::TrainingWorkloadConfig(), 5);
+  std::printf("\nPredicted runtimes on the unseen database:\n");
+  for (int i = 0; i < 5; ++i) {
+    plan::QuerySpec query = generator.Next();
+    auto ms = estimator.EstimateQueryMs(imdb, query);
+    if (!ms.ok()) continue;
+    std::printf("  %7.2f ms   %s\n", *ms, query.ToSql(*imdb.db).c_str());
+  }
+  std::printf("\nDone. No training query ever ran on the IMDB database.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// An interactive SQL shell over the IMDB-like database with a zero-shot
+// cost model in the loop: every query is parsed, planned, gets a runtime
+// prediction from a model that never saw this database, and is then
+// executed so you can compare prediction against measurement.
+//
+//   $ ./sql_shell                       # interactive
+//   $ echo "SELECT COUNT(*) FROM title;" | ./sql_shell
+//
+// Commands: \d (schema), \q (quit). Anything else is parsed as SQL.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "datagen/corpus.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "runtime/simulator.h"
+#include "sql/parser.h"
+#include "workload/generator.h"
+#include "zeroshot/estimator.h"
+
+using namespace zerodb;
+
+namespace {
+
+void PrintSchema(const storage::Database& db) {
+  for (const storage::Table& table : db.tables()) {
+    std::printf("  %s (%zu rows, %lld pages)\n", table.name().c_str(),
+                table.num_rows(),
+                static_cast<long long>(table.NumPages()));
+    for (const auto& column : table.schema().columns()) {
+      std::printf("    %-18s %s\n", column.name.c_str(),
+                  catalog::DataTypeName(column.type));
+    }
+  }
+}
+
+void PrintBatch(const exec::RowBatch& batch, size_t limit = 10) {
+  const size_t rows = std::min(batch.num_rows(), limit);
+  for (size_t r = 0; r < rows; ++r) {
+    std::printf("  ");
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      std::printf("%12.4g", batch.columns[c][r]);
+    }
+    std::printf("\n");
+  }
+  if (batch.num_rows() > limit) {
+    std::printf("  ... (%zu rows total)\n", batch.num_rows());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  std::printf("zerodb shell — training zero-shot cost model "
+              "(on 6 other databases)...\n");
+  auto corpus = datagen::MakeTrainingCorpus(42, 6, 0.1);
+  zeroshot::ZeroShotConfig config;
+  config.queries_per_database = 150;
+  config.trainer.max_epochs = 20;
+  auto estimator = zeroshot::ZeroShotEstimator::Train(corpus, config);
+
+  auto imdb = datagen::MakeImdbEnv(7, 0.1);
+  optimizer::Planner planner(imdb.db.get(), &imdb.stats);
+  exec::Executor executor(imdb.db.get());
+  runtime::RuntimeSimulator simulator;
+
+  std::printf("Connected to database 'imdb' (never seen in training).\n");
+  std::printf("Type SQL, \\d for schema, \\q to quit.\n\n");
+
+  std::string line;
+  while (std::printf("zerodb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\d") {
+      PrintSchema(*imdb.db);
+      continue;
+    }
+    auto query = sql::ParseQuery(line, *imdb.db);
+    if (!query.ok()) {
+      std::printf("parse error: %s\n", query.status().ToString().c_str());
+      continue;
+    }
+    auto plan = planner.Plan(*query);
+    if (!plan.ok()) {
+      std::printf("plan error: %s\n", plan.status().ToString().c_str());
+      continue;
+    }
+    auto predicted = estimator.EstimateQueryMs(imdb, *query);
+    auto result = executor.Execute(&*plan);
+    if (!result.ok()) {
+      std::printf("execution error: %s\n",
+                  result.status().ToString().c_str());
+      continue;
+    }
+    double measured = simulator.PlanMs(*plan, *result);
+
+    std::printf("\n%s\n\n", plan->root->ToString(*imdb.db).c_str());
+    PrintBatch(result->output);
+    if (predicted.ok()) {
+      std::printf("\n  zero-shot prediction: %8.2f ms   measured: %8.2f ms "
+                  "  (q-error %.2f)\n\n",
+                  *predicted, measured,
+                  QError(*predicted, measured));
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

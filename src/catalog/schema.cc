@@ -1,0 +1,65 @@
+#include "catalog/schema.h"
+
+#include "common/check.h"
+
+namespace zerodb::catalog {
+
+const ColumnSchema& TableSchema::column(size_t index) const {
+  ZDB_CHECK_LT(index, columns_.size());
+  return columns_[index];
+}
+
+std::optional<size_t> TableSchema::FindColumn(
+    const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return i;
+  }
+  return std::nullopt;
+}
+
+int64_t TableSchema::RowWidthBytes() const {
+  int64_t width = 0;
+  for (const ColumnSchema& column : columns_) width += column.avg_width_bytes;
+  return width;
+}
+
+Status Catalog::AddTable(TableSchema table) {
+  if (FindTable(table.name()) != nullptr) {
+    return Status::AlreadyExists("table exists: " + table.name());
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::AddForeignKey(ForeignKey fk) {
+  const TableSchema* source = FindTable(fk.table);
+  const TableSchema* target = FindTable(fk.ref_table);
+  if (source == nullptr) return Status::NotFound("fk table: " + fk.table);
+  if (target == nullptr) return Status::NotFound("fk ref table: " + fk.ref_table);
+  if (!source->FindColumn(fk.column).has_value()) {
+    return Status::NotFound("fk column: " + fk.table + "." + fk.column);
+  }
+  if (!target->FindColumn(fk.ref_column).has_value()) {
+    return Status::NotFound("fk ref column: " + fk.ref_table + "." +
+                            fk.ref_column);
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+const TableSchema* Catalog::FindTable(const std::string& name) const {
+  for (const TableSchema& table : tables_) {
+    if (table.name() == name) return &table;
+  }
+  return nullptr;
+}
+
+std::vector<ForeignKey> Catalog::JoinEdgesFor(const std::string& table) const {
+  std::vector<ForeignKey> edges;
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (fk.table == table || fk.ref_table == table) edges.push_back(fk);
+  }
+  return edges;
+}
+
+}  // namespace zerodb::catalog

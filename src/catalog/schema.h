@@ -1,0 +1,86 @@
+#ifndef ZERODB_CATALOG_SCHEMA_H_
+#define ZERODB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/status.h"
+
+namespace zerodb::catalog {
+
+/// Schema of one column.
+struct ColumnSchema {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Average payload width in bytes; for numerics this equals the fixed
+  /// width, for strings the average string length. A database-independent
+  /// feature the zero-shot featurizer consumes.
+  int64_t avg_width_bytes = 8;
+};
+
+/// A foreign-key edge: `table.column` references `ref_table.ref_column`.
+/// The workload generator only joins along these edges, like the paper's
+/// training workloads which join along schema join paths.
+struct ForeignKey {
+  std::string table;
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+/// Schema of one table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnSchema> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnSchema>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const ColumnSchema& column(size_t index) const;
+
+  /// Index of the named column, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& column_name) const;
+
+  /// Sum of column widths: the tuple width in bytes, another core
+  /// database-independent feature.
+  int64_t RowWidthBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnSchema> columns_;
+};
+
+/// The schema-level catalog of a database: tables plus foreign-key edges.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Adds a table; fails if a table of that name exists.
+  Status AddTable(TableSchema table);
+
+  /// Registers a foreign key; fails unless both endpoints exist.
+  Status AddForeignKey(ForeignKey fk);
+
+  const std::vector<TableSchema>& tables() const { return tables_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  const TableSchema* FindTable(const std::string& name) const;
+
+  /// All FK edges incident to `table` (either direction) — the join
+  /// neighborhood used by the workload generator.
+  std::vector<ForeignKey> JoinEdgesFor(const std::string& table) const;
+
+ private:
+  std::vector<TableSchema> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace zerodb::catalog
+
+#endif  // ZERODB_CATALOG_SCHEMA_H_

@@ -1,0 +1,33 @@
+#include "catalog/types.h"
+
+#include "common/check.h"
+
+namespace zerodb::catalog {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  ZDB_CHECK(false) << "unknown data type";
+  return "?";
+}
+
+int64_t FixedWidthBytes(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 4;
+  }
+  ZDB_CHECK(false) << "unknown data type";
+  return 0;
+}
+
+}  // namespace zerodb::catalog

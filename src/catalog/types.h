@@ -1,0 +1,30 @@
+#ifndef ZERODB_CATALOG_TYPES_H_
+#define ZERODB_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zerodb::catalog {
+
+/// Column data types. Strings are dictionary-encoded categoricals: the
+/// workloads the paper studies use them only in equality / IN predicates.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Human-readable type name ("int64", "double", "string").
+const char* DataTypeName(DataType type);
+
+/// Fixed storage width in bytes for numeric types; strings report the
+/// dictionary-code width (4) — their payload width is schema-dependent and
+/// tracked per column as avg_width_bytes.
+int64_t FixedWidthBytes(DataType type);
+
+/// Database page size used for page-count statistics (Postgres default).
+inline constexpr int64_t kPageSizeBytes = 8192;
+
+}  // namespace zerodb::catalog
+
+#endif  // ZERODB_CATALOG_TYPES_H_

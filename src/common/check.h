@@ -1,0 +1,62 @@
+#ifndef ZERODB_COMMON_CHECK_H_
+#define ZERODB_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace zerodb {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used by the ZDB_CHECK* macros for unrecoverable invariant violations;
+/// recoverable conditions should use Status instead.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace zerodb
+
+/// Aborts with a message if `condition` is false. Always on (also in release
+/// builds): in a database engine, continuing past a broken invariant corrupts
+/// results silently. Supports streaming details: ZDB_CHECK(x) << "context".
+/// The for-loop expansion ensures the streamed message is only evaluated on
+/// failure (the CheckFailureStream destructor aborts, so the loop body runs
+/// at most once).
+#define ZDB_CHECK(condition)                                              \
+  for (bool zdb_check_ok = static_cast<bool>(condition); !zdb_check_ok;  \
+       zdb_check_ok = true)                                               \
+  ::zerodb::internal_check::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define ZDB_CHECK_EQ(a, b) ZDB_CHECK((a) == (b))
+#define ZDB_CHECK_NE(a, b) ZDB_CHECK((a) != (b))
+#define ZDB_CHECK_LT(a, b) ZDB_CHECK((a) < (b))
+#define ZDB_CHECK_LE(a, b) ZDB_CHECK((a) <= (b))
+#define ZDB_CHECK_GT(a, b) ZDB_CHECK((a) > (b))
+#define ZDB_CHECK_GE(a, b) ZDB_CHECK((a) >= (b))
+
+/// Debug-only check; compiled out in NDEBUG builds for hot paths.
+#ifdef NDEBUG
+#define ZDB_DCHECK(condition) ZDB_CHECK(true || (condition))
+#else
+#define ZDB_DCHECK(condition) ZDB_CHECK(condition)
+#endif
+
+#endif  // ZERODB_COMMON_CHECK_H_

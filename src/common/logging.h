@@ -1,0 +1,44 @@
+#ifndef ZERODB_COMMON_LOGGING_H_
+#define ZERODB_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace zerodb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns / sets the global minimum level that is actually emitted.
+/// Benches raise this to kWarning to keep their table output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Buffers one log line and emits it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define ZDB_LOG(level)                                         \
+  ::zerodb::internal_logging::LogMessage(                      \
+      ::zerodb::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace zerodb
+
+#endif  // ZERODB_COMMON_LOGGING_H_

@@ -1,0 +1,69 @@
+#include "common/math_util.h"
+
+#include "common/check.h"
+
+namespace zerodb {
+
+double QError(double predicted, double truth, double epsilon) {
+  double p = std::max(predicted, epsilon);
+  double t = std::max(truth, epsilon);
+  return std::max(p / t, t / p);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  ZDB_CHECK(!sorted.empty());
+  ZDB_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  double position = q * static_cast<double>(sorted.size() - 1);
+  size_t lower = static_cast<size_t>(position);
+  size_t upper = std::min(lower + 1, sorted.size() - 1);
+  double fraction = position - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - fraction) + sorted[upper] * fraction;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sum_squares = 0.0;
+  for (double v : values) sum_squares += (v - mean) * (v - mean);
+  return std::sqrt(sum_squares / static_cast<double>(values.size()));
+}
+
+LinearFit FitLeastSquares(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  ZDB_CHECK_EQ(x.size(), y.size());
+  LinearFit fit;
+  if (x.size() < 2) {
+    fit.intercept = y.empty() ? 0.0 : Mean(y);
+    return fit;
+  }
+  double mean_x = Mean(x);
+  double mean_y = Mean(y);
+  double covariance = 0.0;
+  double variance_x = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    covariance += (x[i] - mean_x) * (y[i] - mean_y);
+    variance_x += (x[i] - mean_x) * (x[i] - mean_x);
+  }
+  if (variance_x <= 1e-12) {
+    fit.intercept = mean_y;
+    return fit;
+  }
+  fit.slope = covariance / variance_x;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  return fit;
+}
+
+}  // namespace zerodb

@@ -1,0 +1,49 @@
+#ifndef ZERODB_COMMON_MATH_UTIL_H_
+#define ZERODB_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace zerodb {
+
+/// log(1 + x) feature transform used throughout featurization; clamps
+/// negative inputs (which only arise from numerical noise) to zero.
+inline double Log1pSafe(double x) { return std::log1p(std::max(0.0, x)); }
+
+/// Q-error between a prediction and a true value: max(p/t, t/p), the standard
+/// multiplicative error metric for cost/cardinality estimation. Both inputs
+/// are floored at `epsilon` to stay finite.
+double QError(double predicted, double truth, double epsilon = 1e-9);
+
+/// Empirical quantile (linear interpolation, q in [0,1]) of the values.
+/// Sorts a copy; callers with sorted data should use QuantileSorted.
+double Quantile(std::vector<double> values, double q);
+
+/// Quantile over already-sorted ascending values.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& values);
+
+/// Ordinary least squares fit y ~= slope * x + intercept.
+/// Degenerate inputs (constant x, < 2 points) yield slope 0.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+LinearFit FitLeastSquares(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Integer ceil division for positive operands.
+inline int64_t CeilDiv(int64_t numerator, int64_t denominator) {
+  return (numerator + denominator - 1) / denominator;
+}
+
+}  // namespace zerodb
+
+#endif  // ZERODB_COMMON_MATH_UTIL_H_

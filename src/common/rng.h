@@ -1,0 +1,74 @@
+#ifndef ZERODB_COMMON_RNG_H_
+#define ZERODB_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace zerodb {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). Every
+/// stochastic component in the library (data generation, workload generation,
+/// model initialization, noise injection) draws from an explicitly seeded Rng
+/// so experiments are reproducible end to end.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Lognormal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Index drawn from the (unnormalized, non-negative) weights.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles the vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = NextUint64(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; useful to give each database /
+  /// workload / model its own deterministic stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace zerodb
+
+#endif  // ZERODB_COMMON_RNG_H_

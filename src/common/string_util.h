@@ -1,0 +1,29 @@
+#ifndef ZERODB_COMMON_STRING_UTIL_H_
+#define ZERODB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace zerodb {
+
+/// Joins the pieces with the separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& separator);
+
+/// Splits on the single-character delimiter; empty pieces are kept.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left-pads / right-pads with spaces to the given width (no truncation).
+std::string PadLeft(const std::string& text, size_t width);
+std::string PadRight(const std::string& text, size_t width);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace zerodb
+
+#endif  // ZERODB_COMMON_STRING_UTIL_H_

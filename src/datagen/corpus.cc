@@ -1,0 +1,97 @@
+#include "datagen/corpus.h"
+
+#include "common/check.h"
+
+namespace zerodb::datagen {
+
+void DatabaseEnv::RefreshStats() {
+  ZDB_CHECK(db != nullptr);
+  stats = stats::DatabaseStats::Build(*db);
+}
+
+void AddDefaultIndexes(storage::Database* db, Rng* rng,
+                       double secondary_index_prob) {
+  ZDB_CHECK(db != nullptr);
+  for (const storage::Table& table : db->tables()) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const catalog::ColumnSchema& column = table.schema().column(c);
+      bool create = column.name == "id"
+                        ? true  // primary key
+                        : rng->Bernoulli(secondary_index_prob);
+      if (create) {
+        // AlreadyExists cannot happen on a fresh database; ignore anyway.
+        (void)db->CreateIndex(table.name(), column.name);
+      }
+    }
+  }
+}
+
+DatabaseEnv MakeEnv(storage::Database db) {
+  DatabaseEnv env;
+  env.db = std::make_unique<storage::Database>(std::move(db));
+  env.RefreshStats();
+  return env;
+}
+
+const std::vector<std::string>& TrainingDatabaseNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "airline",     "ssb",        "tpc_h",     "walmart",  "financial",
+      "basketball",  "accidents",  "movielens", "baseball", "hepatitis",
+      "tournament",  "credit",     "employee",  "consumer", "geneea",
+      "genome",      "carcinogenesis", "seznam", "fhnk"};
+  return names;
+}
+
+std::vector<DatabaseEnv> MakeTrainingCorpus(uint64_t seed, size_t count,
+                                            double scale) {
+  const auto& names = TrainingDatabaseNames();
+  ZDB_CHECK_LE(count, names.size());
+  Rng rng(seed);
+  std::vector<DatabaseEnv> corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    GeneratorConfig config;
+    config.scale = scale;
+    // Vary the size band per database so the corpus covers small OLTP-ish
+    // and larger analytics-ish databases.
+    switch (i % 4) {
+      case 0:  // small
+        config.min_rows = 500;
+        config.max_rows = 8000;
+        config.min_tables = 2;
+        config.max_tables = 5;
+        break;
+      case 1:  // medium
+        config.min_rows = 2000;
+        config.max_rows = 25000;
+        break;
+      case 2:  // large
+        config.min_rows = 8000;
+        config.max_rows = 60000;
+        config.min_tables = 3;
+        config.max_tables = 6;
+        break;
+      case 3:  // wide (more columns)
+        config.min_attr_columns = 4;
+        config.max_attr_columns = 8;
+        break;
+    }
+    uint64_t db_seed = rng.NextUint64();
+    storage::Database db = GenerateRandomDatabase(names[i], db_seed, config);
+    Rng index_rng(rng.NextUint64());
+    AddDefaultIndexes(&db, &index_rng, /*secondary_index_prob=*/0.35);
+    corpus.push_back(MakeEnv(std::move(db)));
+  }
+  return corpus;
+}
+
+DatabaseEnv MakeImdbEnv(uint64_t seed, double scale) {
+  storage::Database db = MakeImdbDatabase(seed, scale);
+  // Like a freshly restored production database: primary-key indexes only.
+  // (Benches evaluating the What-If mode add attribute indexes themselves.)
+  Rng index_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  AddDefaultIndexes(&db, &index_rng, /*secondary_index_prob=*/0.0);
+  return MakeEnv(std::move(db));
+}
+
+}  // namespace zerodb::datagen

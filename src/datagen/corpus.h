@@ -1,0 +1,54 @@
+#ifndef ZERODB_DATAGEN_CORPUS_H_
+#define ZERODB_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "stats/database_stats.h"
+#include "storage/database.h"
+
+namespace zerodb::datagen {
+
+/// A database bundled with its ANALYZE statistics — what every consumer
+/// (optimizer, featurizer, workload generator) needs together.
+struct DatabaseEnv {
+  std::unique_ptr<storage::Database> db;
+  stats::DatabaseStats stats;
+
+  /// Rebuilds statistics (after index creation nothing changes, but data
+  /// mutation tests use this).
+  void RefreshStats();
+};
+
+/// Builds a DatabaseEnv around an existing database.
+DatabaseEnv MakeEnv(storage::Database db);
+
+/// Creates the index set a freshly loaded database would have: a primary-key
+/// index on every `id` column, plus (seeded) random secondary indexes on
+/// other columns with probability `secondary_index_prob` each — the paper's
+/// "random but fixed set of indexes per database" that teaches the zero-shot
+/// model how index operators behave.
+void AddDefaultIndexes(storage::Database* db, Rng* rng,
+                       double secondary_index_prob);
+
+/// Names of the 19 training databases — the public datasets the paper
+/// trained on (per the authors' follow-up work); contents here are
+/// synthetic, diversity comes from the generator configuration.
+const std::vector<std::string>& TrainingDatabaseNames();
+
+/// Generates the training corpus: one randomly-generated database per name,
+/// each with its own seed and size band so the corpus spans small and large,
+/// narrow and wide databases. `count` trims the corpus (for the
+/// #training-databases ablation); `scale` multiplies row counts.
+std::vector<DatabaseEnv> MakeTrainingCorpus(uint64_t seed, size_t count = 19,
+                                            double scale = 1.0);
+
+/// The held-out IMDB-like evaluation database.
+DatabaseEnv MakeImdbEnv(uint64_t seed, double scale = 1.0);
+
+}  // namespace zerodb::datagen
+
+#endif  // ZERODB_DATAGEN_CORPUS_H_

@@ -1,0 +1,53 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zerodb::datagen {
+
+ZipfDistribution::ZipfDistribution(int64_t n, double skew)
+    : n_(n), skew_(skew) {
+  ZDB_CHECK_GT(n, 0);
+  ZDB_CHECK_GE(skew, 0.0);
+  if (skew == 0.0) return;  // uniform fast path, no table
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), skew);
+    cdf_[static_cast<size_t>(rank)] = total;
+  }
+  for (double& value : cdf_) value /= total;
+}
+
+int64_t ZipfDistribution::Draw(Rng* rng) const {
+  if (cdf_.empty()) {
+    return static_cast<int64_t>(rng->NextUint64(static_cast<uint64_t>(n_)));
+  }
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+const char* ColumnDistributionName(ColumnDistribution distribution) {
+  switch (distribution) {
+    case ColumnDistribution::kUniformInt:
+      return "uniform_int";
+    case ColumnDistribution::kZipfInt:
+      return "zipf_int";
+    case ColumnDistribution::kNormalDouble:
+      return "normal_double";
+    case ColumnDistribution::kUniformDouble:
+      return "uniform_double";
+    case ColumnDistribution::kCategorical:
+      return "categorical";
+    case ColumnDistribution::kCorrelated:
+      return "correlated";
+  }
+  ZDB_CHECK(false);
+  return "?";
+}
+
+}  // namespace zerodb::datagen

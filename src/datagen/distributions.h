@@ -1,0 +1,42 @@
+#ifndef ZERODB_DATAGEN_DISTRIBUTIONS_H_
+#define ZERODB_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace zerodb::datagen {
+
+/// Zipf distribution over ranks [0, n) with skew s >= 0 (s = 0 is uniform).
+/// Precomputes the CDF once (O(n)) and draws by binary search (O(log n)).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double skew);
+
+  int64_t Draw(Rng* rng) const;
+  int64_t domain() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  int64_t n_;
+  double skew_;
+  std::vector<double> cdf_;  // empty when skew == 0 (uniform fast path)
+};
+
+/// Shapes for generated attribute columns. The mix across training
+/// databases is what gives the zero-shot model distributional diversity.
+enum class ColumnDistribution {
+  kUniformInt,     ///< uniform integers over a domain
+  kZipfInt,        ///< zipf-skewed integers over a domain
+  kNormalDouble,   ///< gaussian doubles
+  kUniformDouble,  ///< uniform doubles
+  kCategorical,    ///< dictionary strings, zipf-skewed codes
+  kCorrelated,     ///< linear function of another column + noise
+};
+
+const char* ColumnDistributionName(ColumnDistribution distribution);
+
+}  // namespace zerodb::datagen
+
+#endif  // ZERODB_DATAGEN_DISTRIBUTIONS_H_

@@ -1,0 +1,466 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "datagen/distributions.h"
+
+namespace zerodb::datagen {
+
+namespace {
+
+using catalog::ColumnSchema;
+using catalog::DataType;
+using catalog::ForeignKey;
+using catalog::TableSchema;
+using storage::Column;
+using storage::Database;
+using storage::Table;
+
+constexpr const char* kTableNamePool[] = {
+    "customers", "orders",   "items",   "events",  "products",
+    "reviews",   "sessions", "visits",  "accounts", "payments",
+    "shipments", "stores",   "regions", "devices",  "logs"};
+
+constexpr const char* kColumnNamePool[] = {
+    "age",    "price",  "year",  "score",  "amount", "status", "kind",
+    "size",   "weight", "length", "rating", "level",  "count",  "code"};
+
+int64_t LogUniformInt(Rng* rng, int64_t lo, int64_t hi) {
+  ZDB_CHECK_LE(lo, hi);
+  double log_lo = std::log(static_cast<double>(std::max<int64_t>(lo, 1)));
+  double log_hi = std::log(static_cast<double>(std::max<int64_t>(hi, 1)));
+  double draw = std::exp(rng->UniformDouble(log_lo, log_hi));
+  return std::clamp(static_cast<int64_t>(draw), lo, hi);
+}
+
+// Descriptor of one attribute column to generate.
+struct AttrPlan {
+  ColumnSchema schema;
+  ColumnDistribution distribution = ColumnDistribution::kUniformInt;
+  int64_t int_base = 0;       // offset for integer domains
+  int64_t domain = 100;       // distinct values for int/categorical
+  double zipf_skew = 0.0;
+  double mean = 0.0;          // gaussian
+  double stddev = 1.0;
+  size_t corr_source = 0;     // index into previously planned attrs
+  double corr_slope = 1.0;
+  double corr_intercept = 0.0;
+  double corr_noise = 1.0;
+};
+
+AttrPlan PlanAttribute(Rng* rng, const std::string& column_name,
+                       size_t num_prior_numeric_attrs,
+                       const GeneratorConfig& config) {
+  AttrPlan plan;
+  plan.schema.name = column_name;
+  std::vector<double> weights = {2.5, 2.0, 1.5, 1.0, 2.0,
+                                 num_prior_numeric_attrs > 0
+                                     ? 6.0 * config.correlated_column_prob
+                                     : 0.0};
+  switch (rng->Categorical(weights)) {
+    case 0:
+      plan.distribution = ColumnDistribution::kUniformInt;
+      break;
+    case 1:
+      plan.distribution = ColumnDistribution::kZipfInt;
+      break;
+    case 2:
+      plan.distribution = ColumnDistribution::kNormalDouble;
+      break;
+    case 3:
+      plan.distribution = ColumnDistribution::kUniformDouble;
+      break;
+    case 4:
+      plan.distribution = ColumnDistribution::kCategorical;
+      break;
+    case 5:
+      plan.distribution = ColumnDistribution::kCorrelated;
+      break;
+  }
+  switch (plan.distribution) {
+    case ColumnDistribution::kUniformInt:
+    case ColumnDistribution::kZipfInt:
+      plan.schema.type = DataType::kInt64;
+      plan.schema.avg_width_bytes = 8;
+      plan.int_base = rng->UniformInt(0, 2000);
+      plan.domain = LogUniformInt(rng, 10, 100000);
+      plan.zipf_skew = plan.distribution == ColumnDistribution::kZipfInt
+                           ? rng->UniformDouble(0.4, 1.4)
+                           : 0.0;
+      break;
+    case ColumnDistribution::kNormalDouble:
+    case ColumnDistribution::kUniformDouble:
+      plan.schema.type = DataType::kDouble;
+      plan.schema.avg_width_bytes = 8;
+      plan.mean = rng->UniformDouble(-100, 100);
+      plan.stddev = std::exp(rng->UniformDouble(0.0, 4.0));
+      break;
+    case ColumnDistribution::kCategorical:
+      plan.schema.type = DataType::kString;
+      plan.domain = LogUniformInt(rng, 2, 200);
+      plan.schema.avg_width_bytes = rng->UniformInt(4, 24);
+      plan.zipf_skew = rng->UniformDouble(0.0, 1.2);
+      break;
+    case ColumnDistribution::kCorrelated:
+      plan.schema.type = DataType::kDouble;
+      plan.schema.avg_width_bytes = 8;
+      plan.corr_source = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(num_prior_numeric_attrs) - 1));
+      plan.corr_slope = rng->UniformDouble(-3.0, 3.0);
+      plan.corr_intercept = rng->UniformDouble(-50.0, 50.0);
+      plan.corr_noise = std::exp(rng->UniformDouble(-1.0, 2.0));
+      break;
+  }
+  return plan;
+}
+
+}  // namespace
+
+Database GenerateRandomDatabase(const std::string& name, uint64_t seed,
+                                const GeneratorConfig& config) {
+  Rng rng(seed);
+  Database db(name);
+
+  const size_t num_tables = static_cast<size_t>(rng.UniformInt(
+      static_cast<int64_t>(config.min_tables),
+      static_cast<int64_t>(config.max_tables)));
+
+  // Pick distinct table names.
+  std::vector<std::string> table_names;
+  {
+    const size_t pool_size = std::size(kTableNamePool);
+    auto picks = rng.SampleWithoutReplacement(pool_size, std::min(num_tables, pool_size));
+    for (size_t i = 0; i < num_tables; ++i) {
+      if (i < picks.size()) {
+        table_names.push_back(kTableNamePool[picks[i]]);
+      } else {
+        table_names.push_back(StrFormat("extra_%zu", i));
+      }
+    }
+  }
+
+  std::vector<int64_t> table_rows(num_tables);
+  for (size_t t = 0; t < num_tables; ++t) {
+    int64_t rows = LogUniformInt(&rng, config.min_rows, config.max_rows);
+    rows = std::max<int64_t>(
+        10, static_cast<int64_t>(static_cast<double>(rows) * config.scale));
+    table_rows[t] = rows;
+  }
+
+  struct FkPlan {
+    std::string column_name;
+    size_t parent = 0;
+    double skew = 0.0;
+  };
+
+  for (size_t t = 0; t < num_tables; ++t) {
+    const int64_t rows = table_rows[t];
+    std::vector<ColumnSchema> columns;
+    columns.push_back(ColumnSchema{"id", DataType::kInt64, 8});
+
+    // Foreign keys to earlier tables (1-2, when available).
+    std::vector<FkPlan> fks;
+    if (t > 0) {
+      size_t num_fks = 1 + (t > 1 && rng.Bernoulli(0.35) ? 1 : 0);
+      auto parents = rng.SampleWithoutReplacement(t, std::min(num_fks, t));
+      for (size_t parent : parents) {
+        FkPlan fk;
+        fk.column_name = table_names[parent] + "_id";
+        fk.parent = parent;
+        fk.skew = rng.Bernoulli(0.5)
+                      ? rng.UniformDouble(0.3, config.max_fk_skew)
+                      : 0.0;
+        fks.push_back(fk);
+        columns.push_back(ColumnSchema{fk.column_name, DataType::kInt64, 8});
+      }
+    }
+
+    // Attribute columns.
+    const size_t num_attrs = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(config.min_attr_columns),
+        static_cast<int64_t>(config.max_attr_columns)));
+    std::vector<AttrPlan> attrs;
+    std::vector<size_t> numeric_attr_indexes;  // indexes into attrs
+    const size_t name_pool = std::size(kColumnNamePool);
+    auto name_picks = rng.SampleWithoutReplacement(
+        name_pool, std::min(num_attrs, name_pool));
+    for (size_t a = 0; a < num_attrs; ++a) {
+      std::string column_name = a < name_picks.size()
+                                    ? kColumnNamePool[name_picks[a]]
+                                    : StrFormat("attr_%zu", a);
+      AttrPlan plan = PlanAttribute(&rng, column_name,
+                                    numeric_attr_indexes.size(), config);
+      if (plan.distribution == ColumnDistribution::kCorrelated) {
+        plan.corr_source = numeric_attr_indexes[plan.corr_source];
+      }
+      if (plan.schema.type != DataType::kString) {
+        numeric_attr_indexes.push_back(attrs.size());
+      }
+      attrs.push_back(std::move(plan));
+      columns.push_back(attrs.back().schema);
+    }
+
+    Table table(TableSchema(table_names[t], columns));
+
+    // --- Generate data, column by column. ---
+    size_t column_index = 0;
+    // id: sequential primary key.
+    {
+      Column& id = table.column(column_index++);
+      id.Reserve(static_cast<size_t>(rows));
+      for (int64_t row = 0; row < rows; ++row) id.AppendInt64(row);
+    }
+    // Foreign keys.
+    for (const FkPlan& fk : fks) {
+      ZipfDistribution dist(table_rows[fk.parent], fk.skew);
+      Column& column = table.column(column_index++);
+      column.Reserve(static_cast<size_t>(rows));
+      for (int64_t row = 0; row < rows; ++row) {
+        column.AppendInt64(dist.Draw(&rng));
+      }
+    }
+    // Attributes. Generated values cached so correlated columns can read
+    // their source.
+    std::vector<std::vector<double>> attr_values(attrs.size());
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      const AttrPlan& plan = attrs[a];
+      Column& column = table.column(column_index++);
+      column.Reserve(static_cast<size_t>(rows));
+      attr_values[a].reserve(static_cast<size_t>(rows));
+      switch (plan.distribution) {
+        case ColumnDistribution::kUniformInt:
+        case ColumnDistribution::kZipfInt: {
+          ZipfDistribution dist(plan.domain, plan.zipf_skew);
+          for (int64_t row = 0; row < rows; ++row) {
+            int64_t v = plan.int_base + dist.Draw(&rng);
+            column.AppendInt64(v);
+            attr_values[a].push_back(static_cast<double>(v));
+          }
+          break;
+        }
+        case ColumnDistribution::kNormalDouble:
+          for (int64_t row = 0; row < rows; ++row) {
+            double v = rng.Normal(plan.mean, plan.stddev);
+            column.AppendDouble(v);
+            attr_values[a].push_back(v);
+          }
+          break;
+        case ColumnDistribution::kUniformDouble:
+          for (int64_t row = 0; row < rows; ++row) {
+            double v = rng.UniformDouble(plan.mean - 2 * plan.stddev,
+                                         plan.mean + 2 * plan.stddev);
+            column.AppendDouble(v);
+            attr_values[a].push_back(v);
+          }
+          break;
+        case ColumnDistribution::kCategorical: {
+          std::vector<std::string> dictionary;
+          dictionary.reserve(static_cast<size_t>(plan.domain));
+          for (int64_t v = 0; v < plan.domain; ++v) {
+            dictionary.push_back(
+                StrFormat("%s_%s_%lld", table_names[t].c_str(),
+                          plan.schema.name.c_str(),
+                          static_cast<long long>(v)));
+          }
+          column.SetDictionary(std::move(dictionary));
+          ZipfDistribution dist(plan.domain, plan.zipf_skew);
+          for (int64_t row = 0; row < rows; ++row) {
+            int64_t code = dist.Draw(&rng);
+            column.AppendStringCode(code);
+            attr_values[a].push_back(static_cast<double>(code));
+          }
+          break;
+        }
+        case ColumnDistribution::kCorrelated: {
+          const std::vector<double>& source = attr_values[plan.corr_source];
+          for (int64_t row = 0; row < rows; ++row) {
+            double v = plan.corr_slope * source[static_cast<size_t>(row)] +
+                       plan.corr_intercept +
+                       rng.Normal(0.0, plan.corr_noise);
+            column.AppendDouble(v);
+            attr_values[a].push_back(v);
+          }
+          break;
+        }
+      }
+    }
+
+    ZDB_CHECK(db.AddTable(std::move(table)).ok());
+    for (const FkPlan& fk : fks) {
+      ZDB_CHECK(db.mutable_catalog()
+                    .AddForeignKey(ForeignKey{table_names[t], fk.column_name,
+                                              table_names[fk.parent], "id"})
+                    .ok());
+    }
+  }
+
+  return db;
+}
+
+namespace {
+
+// Adds a satellite table referencing title.id with the given columns
+// already generated.
+struct ImdbColumnSpec {
+  ColumnSchema schema;
+  ColumnDistribution distribution;
+  int64_t domain = 10;
+  double skew = 0.0;
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+void GenerateImdbTable(Database* db, Rng* rng, const std::string& name,
+                       int64_t rows, int64_t title_rows, double fk_skew,
+                       const std::vector<ImdbColumnSpec>& specs) {
+  std::vector<ColumnSchema> columns;
+  columns.push_back(ColumnSchema{"id", DataType::kInt64, 8});
+  const bool has_fk = title_rows > 0;
+  if (has_fk) {
+    columns.push_back(ColumnSchema{"movie_id", DataType::kInt64, 8});
+  }
+  for (const ImdbColumnSpec& spec : specs) columns.push_back(spec.schema);
+
+  Table table(TableSchema(name, columns));
+  size_t column_index = 0;
+  {
+    Column& id = table.column(column_index++);
+    id.Reserve(static_cast<size_t>(rows));
+    for (int64_t row = 0; row < rows; ++row) id.AppendInt64(row);
+  }
+  if (has_fk) {
+    ZipfDistribution dist(title_rows, fk_skew);
+    Column& fk = table.column(column_index++);
+    fk.Reserve(static_cast<size_t>(rows));
+    for (int64_t row = 0; row < rows; ++row) fk.AppendInt64(dist.Draw(rng));
+  }
+  for (const ImdbColumnSpec& spec : specs) {
+    Column& column = table.column(column_index++);
+    column.Reserve(static_cast<size_t>(rows));
+    switch (spec.distribution) {
+      case ColumnDistribution::kUniformInt:
+      case ColumnDistribution::kZipfInt: {
+        ZipfDistribution dist(spec.domain, spec.skew);
+        for (int64_t row = 0; row < rows; ++row) {
+          column.AppendInt64(static_cast<int64_t>(spec.mean) + dist.Draw(rng));
+        }
+        break;
+      }
+      case ColumnDistribution::kNormalDouble:
+        for (int64_t row = 0; row < rows; ++row) {
+          column.AppendDouble(rng->Normal(spec.mean, spec.stddev));
+        }
+        break;
+      case ColumnDistribution::kUniformDouble:
+        for (int64_t row = 0; row < rows; ++row) {
+          column.AppendDouble(rng->UniformDouble(spec.mean - 2 * spec.stddev,
+                                                 spec.mean + 2 * spec.stddev));
+        }
+        break;
+      case ColumnDistribution::kCategorical: {
+        std::vector<std::string> dictionary;
+        for (int64_t v = 0; v < spec.domain; ++v) {
+          dictionary.push_back(StrFormat("%s_%s_%lld", name.c_str(),
+                                         spec.schema.name.c_str(),
+                                         static_cast<long long>(v)));
+        }
+        column.SetDictionary(std::move(dictionary));
+        ZipfDistribution dist(spec.domain, spec.skew);
+        for (int64_t row = 0; row < rows; ++row) {
+          column.AppendStringCode(dist.Draw(rng));
+        }
+        break;
+      }
+      case ColumnDistribution::kCorrelated:
+        ZDB_CHECK(false) << "not used for imdb tables";
+        break;
+    }
+  }
+  ZDB_CHECK(db->AddTable(std::move(table)).ok());
+  if (has_fk) {
+    ZDB_CHECK(db->mutable_catalog()
+                  .AddForeignKey(ForeignKey{name, "movie_id", "title", "id"})
+                  .ok());
+  }
+}
+
+}  // namespace
+
+Database MakeImdbDatabase(uint64_t seed, double scale) {
+  Rng rng(seed);
+  Database db("imdb");
+  const int64_t title_rows = std::max<int64_t>(100, static_cast<int64_t>(20000 * scale));
+
+  // title is generated without a foreign key (it is the hub).
+  GenerateImdbTable(
+      &db, &rng, "title", title_rows, /*title_rows=*/0, 0.0,
+      {
+          {ColumnSchema{"kind_id", DataType::kString, 10},
+           ColumnDistribution::kCategorical, 7, 0.9},
+          {ColumnSchema{"production_year", DataType::kInt64, 8},
+           ColumnDistribution::kZipfInt, 133, 0.8, 1890.0},
+          {ColumnSchema{"imdb_index", DataType::kString, 6},
+           ColumnDistribution::kCategorical, 30, 1.1},
+          {ColumnSchema{"votes", DataType::kInt64, 8},
+           ColumnDistribution::kZipfInt, 50000, 1.1},
+          {ColumnSchema{"rating", DataType::kDouble, 8},
+           ColumnDistribution::kNormalDouble, 0, 0.0, 6.2, 1.3},
+      });
+  GenerateImdbTable(
+      &db, &rng, "cast_info",
+      static_cast<int64_t>(3.0 * static_cast<double>(title_rows)), title_rows,
+      0.6,
+      {
+          {ColumnSchema{"person_id", DataType::kInt64, 8},
+           ColumnDistribution::kZipfInt, 100000, 0.8},
+          {ColumnSchema{"role_id", DataType::kString, 9},
+           ColumnDistribution::kCategorical, 11, 0.9},
+          {ColumnSchema{"nr_order", DataType::kInt64, 8},
+           ColumnDistribution::kZipfInt, 200, 1.0},
+      });
+  GenerateImdbTable(
+      &db, &rng, "movie_info",
+      static_cast<int64_t>(2.5 * static_cast<double>(title_rows)), title_rows,
+      0.55,
+      {
+          {ColumnSchema{"info_type_id", DataType::kString, 12},
+           ColumnDistribution::kCategorical, 110, 0.8},
+          {ColumnSchema{"length", DataType::kInt64, 8},
+           ColumnDistribution::kZipfInt, 300, 0.6},
+      });
+  GenerateImdbTable(
+      &db, &rng, "movie_info_idx",
+      static_cast<int64_t>(1.5 * static_cast<double>(title_rows)), title_rows,
+      0.5,
+      {
+          {ColumnSchema{"info_type_id", DataType::kString, 12},
+           ColumnDistribution::kCategorical, 110, 0.9},
+          {ColumnSchema{"info_votes", DataType::kInt64, 8},
+           ColumnDistribution::kZipfInt, 30000, 1.1},
+      });
+  GenerateImdbTable(
+      &db, &rng, "movie_companies",
+      static_cast<int64_t>(1.8 * static_cast<double>(title_rows)), title_rows,
+      0.55,
+      {
+          {ColumnSchema{"company_id", DataType::kInt64, 8},
+           ColumnDistribution::kZipfInt, 20000, 1.0},
+          {ColumnSchema{"company_type_id", DataType::kString, 8},
+           ColumnDistribution::kCategorical, 4, 0.5},
+      });
+  GenerateImdbTable(
+      &db, &rng, "movie_keyword",
+      static_cast<int64_t>(2.2 * static_cast<double>(title_rows)), title_rows,
+      0.65,
+      {
+          {ColumnSchema{"keyword_id", DataType::kInt64, 8},
+           ColumnDistribution::kZipfInt, 40000, 0.9},
+      });
+
+  return db;
+}
+
+}  // namespace zerodb::datagen

@@ -1,0 +1,44 @@
+#ifndef ZERODB_DATAGEN_GENERATOR_H_
+#define ZERODB_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace zerodb::datagen {
+
+/// Knobs for the random database generator. Defaults produce databases in
+/// the size band the experiments use; `scale` multiplies all row counts so
+/// benches can shrink or grow the corpus uniformly.
+struct GeneratorConfig {
+  size_t min_tables = 3;
+  size_t max_tables = 7;
+  int64_t min_rows = 1000;
+  int64_t max_rows = 40000;   ///< per-table rows drawn log-uniform in range
+  size_t min_attr_columns = 2;
+  size_t max_attr_columns = 5;
+  double max_fk_skew = 1.2;   ///< zipf skew of foreign-key references
+  double correlated_column_prob = 0.25;
+  double scale = 1.0;
+};
+
+/// Generates a complete random database: a random star/snowflake-ish schema
+/// (every non-root table has 1-2 foreign keys to earlier tables), random
+/// column types and distributions (uniform/zipf ints, gaussian doubles,
+/// zipf-skewed categoricals, correlated pairs), and the data itself.
+/// Deterministic in (name, seed, config).
+storage::Database GenerateRandomDatabase(const std::string& name,
+                                         uint64_t seed,
+                                         const GeneratorConfig& config);
+
+/// Builds the IMDB-like evaluation database: the six JOB-light tables
+/// (title, cast_info, movie_info, movie_info_idx, movie_companies,
+/// movie_keyword) with skewed foreign keys into title. `scale` multiplies
+/// row counts (1.0 => title has 20k rows, satellites 1.5-3x that).
+storage::Database MakeImdbDatabase(uint64_t seed, double scale = 1.0);
+
+}  // namespace zerodb::datagen
+
+#endif  // ZERODB_DATAGEN_GENERATOR_H_

@@ -1,0 +1,49 @@
+#ifndef ZERODB_EXEC_BATCH_H_
+#define ZERODB_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/physical.h"
+
+namespace zerodb::exec {
+
+/// A materialized intermediate result: column-major numeric data (int64 and
+/// dictionary codes widened to double; exact up to 2^53, far beyond any key
+/// domain used here) plus the provenance schema.
+struct RowBatch {
+  std::vector<plan::OutputColumn> schema;
+  std::vector<std::vector<double>> columns;  // one vector per schema entry
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Gathers one row as a slot-value vector (for predicate evaluation).
+  void GetRow(size_t row, std::vector<double>* out) const {
+    out->resize(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) (*out)[c] = columns[c][row];
+  }
+};
+
+/// Per-operator work counters collected during execution. These are the
+/// ground-truth "what the machine did" signals the runtime simulator turns
+/// into a runtime; the learned models never see them directly.
+struct OperatorStats {
+  int64_t input_rows_left = 0;   ///< rows from child 0 (or table rows scanned)
+  int64_t input_rows_right = 0;  ///< rows from child 1 / index matches
+  int64_t output_rows = 0;
+  int64_t rows_scanned = 0;      ///< base-table rows touched by a scan
+  int64_t pages_read = 0;        ///< pages touched (seq: all; index: few)
+  int64_t index_probes = 0;      ///< index lookups issued
+  int64_t index_entries = 0;     ///< index entries returned
+  int64_t predicate_evals = 0;   ///< leaf comparisons executed
+  int64_t hash_build_rows = 0;
+  int64_t hash_probe_rows = 0;
+  int64_t sort_rows = 0;
+  int64_t group_count = 0;       ///< distinct groups (hash aggregate)
+  int64_t output_bytes = 0;      ///< output_rows * tuple width
+};
+
+}  // namespace zerodb::exec
+
+#endif  // ZERODB_EXEC_BATCH_H_

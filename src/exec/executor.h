@@ -1,0 +1,68 @@
+#ifndef ZERODB_EXEC_EXECUTOR_H_
+#define ZERODB_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "exec/batch.h"
+#include "plan/physical.h"
+#include "storage/database.h"
+
+namespace zerodb::exec {
+
+/// Result of executing a plan: the final batch plus per-node work counters.
+struct ExecutionResult {
+  RowBatch output;
+  std::unordered_map<const plan::PhysicalNode*, OperatorStats> stats;
+
+  const OperatorStats& StatsFor(const plan::PhysicalNode& node) const;
+};
+
+/// Options guarding runaway queries (the random workload generator can in
+/// principle produce large join outputs; such queries are rejected and the
+/// collector draws a replacement).
+struct ExecutorOptions {
+  int64_t max_intermediate_rows = 2'000'000;
+};
+
+/// Executes physical plans against an in-memory database. Operators
+/// materialize their outputs column-at-a-time; every operator also records
+/// OperatorStats and writes its true output cardinality into the plan node
+/// (`true_cardinality`), which is how "exact cardinality" featurization gets
+/// its inputs.
+class Executor {
+ public:
+  explicit Executor(const storage::Database* db,
+                    ExecutorOptions options = ExecutorOptions());
+
+  /// Executes the plan. The plan is annotated in place.
+  StatusOr<ExecutionResult> Execute(plan::PhysicalPlan* plan);
+
+ private:
+  StatusOr<RowBatch> ExecuteNode(plan::PhysicalNode* node,
+                                 ExecutionResult* result);
+
+  StatusOr<RowBatch> ExecSeqScan(plan::PhysicalNode* node, OperatorStats* s);
+  StatusOr<RowBatch> ExecIndexScan(plan::PhysicalNode* node, OperatorStats* s);
+  StatusOr<RowBatch> ExecFilter(plan::PhysicalNode* node, RowBatch child,
+                                OperatorStats* s);
+  StatusOr<RowBatch> ExecHashJoin(plan::PhysicalNode* node, RowBatch left,
+                                  RowBatch right, OperatorStats* s);
+  StatusOr<RowBatch> ExecNestedLoopJoin(plan::PhysicalNode* node,
+                                        RowBatch left, RowBatch right,
+                                        OperatorStats* s);
+  StatusOr<RowBatch> ExecIndexNLJoin(plan::PhysicalNode* node, RowBatch outer,
+                                     OperatorStats* s);
+  StatusOr<RowBatch> ExecSort(plan::PhysicalNode* node, RowBatch child,
+                              OperatorStats* s);
+  StatusOr<RowBatch> ExecAggregate(plan::PhysicalNode* node, RowBatch child,
+                                   OperatorStats* s);
+
+  const storage::Database* db_;
+  ExecutorOptions options_;
+};
+
+}  // namespace zerodb::exec
+
+#endif  // ZERODB_EXEC_EXECUTOR_H_

@@ -1,0 +1,75 @@
+#include "featurize/normalization.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace zerodb::featurize {
+
+void FeatureNorm::Fit(const std::vector<const std::vector<float>*>& rows) {
+  ZDB_CHECK(!rows.empty());
+  const size_t dim = rows[0]->size();
+  std::vector<double> sum(dim, 0.0);
+  std::vector<double> sum_sq(dim, 0.0);
+  for (const std::vector<float>* row : rows) {
+    ZDB_CHECK_EQ(row->size(), dim);
+    for (size_t d = 0; d < dim; ++d) {
+      double v = (*row)[d];
+      sum[d] += v;
+      sum_sq[d] += v * v;
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  mean_.resize(dim);
+  std_.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    double mean = sum[d] / n;
+    double variance = std::max(0.0, sum_sq[d] / n - mean * mean);
+    double std = std::sqrt(variance);
+    mean_[d] = static_cast<float>(mean);
+    // Constant dimensions (flags that never fire, the bias) pass through
+    // unscaled around their mean.
+    std_[d] = std < 1e-6 ? 1.0f : static_cast<float>(std);
+  }
+}
+
+void FeatureNorm::Apply(std::vector<float>* row) const {
+  if (!fitted()) return;
+  ZDB_CHECK_EQ(row->size(), mean_.size());
+  for (size_t d = 0; d < row->size(); ++d) {
+    (*row)[d] = ((*row)[d] - mean_[d]) / std_[d];
+  }
+}
+
+void FeatureNorm::Set(std::vector<float> mean, std::vector<float> std) {
+  ZDB_CHECK_EQ(mean.size(), std.size());
+  mean_ = std::move(mean);
+  std_ = std::move(std);
+}
+
+void TargetNorm::Set(double mean, double std) {
+  mean_ = mean;
+  std_ = std < 1e-9 ? 1.0 : std;
+  fitted_ = true;
+}
+
+void TargetNorm::Fit(const std::vector<double>& values) {
+  ZDB_CHECK(!values.empty());
+  mean_ = Mean(values);
+  double std = StdDev(values);
+  std_ = std < 1e-9 ? 1.0 : std;
+  fitted_ = true;
+}
+
+double TargetNorm::Normalize(double value) const {
+  ZDB_CHECK(fitted_);
+  return (value - mean_) / std_;
+}
+
+double TargetNorm::Denormalize(double normalized) const {
+  ZDB_CHECK(fitted_);
+  return normalized * std_ + mean_;
+}
+
+}  // namespace zerodb::featurize

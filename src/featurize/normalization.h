@@ -1,0 +1,57 @@
+#ifndef ZERODB_FEATURIZE_NORMALIZATION_H_
+#define ZERODB_FEATURIZE_NORMALIZATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace zerodb::featurize {
+
+/// Per-dimension standardization (z-score) fitted on the training corpus
+/// and applied at train and inference time. For the zero-shot model the fit
+/// spans all 19 training databases — the statistics themselves are
+/// database-independent aggregates.
+class FeatureNorm {
+ public:
+  FeatureNorm() = default;
+
+  /// Fits mean/std per dimension. Rows must be equally sized and non-empty.
+  void Fit(const std::vector<const std::vector<float>*>& rows);
+
+  /// Applies (x - mean) / std in place. No-op when not fitted.
+  void Apply(std::vector<float>* row) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  size_t dim() const { return mean_.size(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& std() const { return std_; }
+
+  /// Installs externally persisted statistics (model deserialization).
+  void Set(std::vector<float> mean, std::vector<float> std);
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+/// Scalar standardization for the regression target (log runtime).
+class TargetNorm {
+ public:
+  void Fit(const std::vector<double>& values);
+  double Normalize(double value) const;
+  double Denormalize(double normalized) const;
+  bool fitted() const { return fitted_; }
+  double mean() const { return mean_; }
+  double std() const { return std_; }
+
+  /// Installs externally persisted statistics (model deserialization).
+  void Set(double mean, double std);
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double std_ = 1.0;
+};
+
+}  // namespace zerodb::featurize
+
+#endif  // ZERODB_FEATURIZE_NORMALIZATION_H_

@@ -1,0 +1,37 @@
+#include "featurize/plan_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace zerodb::featurize {
+
+const char* CardinalityModeName(CardinalityMode mode) {
+  switch (mode) {
+    case CardinalityMode::kEstimated:
+      return "estimated";
+    case CardinalityMode::kExact:
+      return "exact";
+  }
+  ZDB_CHECK(false);
+  return "?";
+}
+
+void PlanGraph::ComputeLevels() {
+  // Children are constructed after their parent, so a reverse pass settles
+  // every node in one sweep.
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    if (it->children.empty()) {
+      it->level = 0;
+      continue;
+    }
+    size_t max_child = 0;
+    for (size_t child : it->children) {
+      ZDB_CHECK_LT(child, nodes.size());
+      max_child = std::max(max_child, nodes[child].level);
+    }
+    it->level = max_child + 1;
+  }
+}
+
+}  // namespace zerodb::featurize

@@ -1,0 +1,45 @@
+#ifndef ZERODB_FEATURIZE_PLAN_GRAPH_H_
+#define ZERODB_FEATURIZE_PLAN_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace zerodb::featurize {
+
+/// Which cardinality annotations featurizers read off the plan:
+/// the optimizer's histogram estimates (deployable) or the true
+/// cardinalities from execution (the paper's upper-baseline variant).
+enum class CardinalityMode { kEstimated, kExact };
+
+const char* CardinalityModeName(CardinalityMode mode);
+
+/// One featurized plan operator.
+struct PlanGraphNode {
+  size_t op_type = 0;              ///< index into plan::PhysicalOpType
+  std::vector<float> features;
+  std::vector<size_t> children;    ///< indexes into PlanGraph::nodes
+  size_t level = 0;                ///< 0 = leaf; parent = max(child)+1
+};
+
+/// A featurized query plan: the tree the message-passing models consume.
+/// Node 0 is the root.
+struct PlanGraph {
+  std::vector<PlanGraphNode> nodes;
+
+  size_t root() const { return 0; }
+  size_t max_level() const {
+    size_t level = 0;
+    for (const PlanGraphNode& node : nodes) {
+      if (node.level > level) level = node.level;
+    }
+    return level;
+  }
+
+  /// Recomputes levels bottom-up (children appear after parents in the
+  /// construction order used by the featurizers).
+  void ComputeLevels();
+};
+
+}  // namespace zerodb::featurize
+
+#endif  // ZERODB_FEATURIZE_PLAN_GRAPH_H_

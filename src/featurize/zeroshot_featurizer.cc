@@ -1,0 +1,192 @@
+#include "featurize/zeroshot_featurizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace zerodb::featurize {
+
+namespace {
+
+using plan::PhysicalNode;
+using plan::PhysicalOpType;
+
+float Log1pF(double x) { return static_cast<float>(Log1pSafe(x)); }
+
+// Summarizes predicate structure into (leaves, eq leaves, range leaves,
+// depth, has_or).
+struct PredicateSummary {
+  size_t leaves = 0;
+  size_t eq_leaves = 0;
+  size_t range_leaves = 0;
+  size_t depth = 0;
+  bool has_or = false;
+};
+
+void Summarize(const plan::Predicate& predicate, PredicateSummary* out) {
+  out->leaves = predicate.NumComparisons();
+  out->depth = predicate.Depth();
+  std::vector<const plan::Predicate*> leaves;
+  predicate.CollectLeaves(&leaves);
+  for (const plan::Predicate* leaf : leaves) {
+    if (leaf->op() == plan::CompareOp::kEq ||
+        leaf->op() == plan::CompareOp::kNe) {
+      ++out->eq_leaves;
+    } else {
+      ++out->range_leaves;
+    }
+  }
+  // Detect OR anywhere in the tree.
+  std::function<bool(const plan::Predicate&)> has_or =
+      [&](const plan::Predicate& p) {
+        if (p.kind() == plan::Predicate::Kind::kOr) return true;
+        for (const plan::Predicate& child : p.children()) {
+          if (has_or(child)) return true;
+        }
+        return false;
+      };
+  out->has_or = has_or(predicate);
+}
+
+int64_t RealOrEstimatedIndexHeight(const datagen::DatabaseEnv& env,
+                                   const std::string& table,
+                                   size_t column_index) {
+  const storage::OrderedIndex* index = env.db->FindIndex(table, column_index);
+  if (index != nullptr) return index->EstimatedHeight();
+  // Hypothetical index: estimate from the table size (what-if mode).
+  double rows = std::max<double>(
+      2.0, static_cast<double>(env.stats.GetTable(table).num_rows));
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(std::log(rows) / std::log(256.0))));
+}
+
+}  // namespace
+
+double ZeroShotFeaturizer::NodeCardinality(const PhysicalNode& node) const {
+  if (mode_ == CardinalityMode::kEstimated) return node.est_cardinality;
+  ZDB_CHECK_GE(node.true_cardinality, 0.0)
+      << "exact-cardinality featurization requires an executed plan";
+  return node.true_cardinality;
+}
+
+size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
+                                   const datagen::DatabaseEnv& env,
+                                   PlanGraph* graph) const {
+  const size_t index = graph->nodes.size();
+  graph->nodes.emplace_back();
+  {
+    PlanGraphNode& graph_node = graph->nodes[index];
+    graph_node.op_type = static_cast<size_t>(node.type);
+    graph_node.features.assign(kFeatureDim, 0.0f);
+  }
+
+  const storage::Database& db = *env.db;
+  std::vector<float> f(kFeatureDim, 0.0f);
+
+  const double out_card = NodeCardinality(node);
+  f[0] = Log1pF(out_card);
+  f[4] = Log1pF(static_cast<double>(node.OutputWidthBytes(db)));
+  f[19] = 1.0f;
+
+  // Inputs.
+  double in_left = 0.0;
+  double in_right = 0.0;
+  switch (node.type) {
+    case PhysicalOpType::kSeqScan:
+    case PhysicalOpType::kIndexScan: {
+      const stats::TableStats& table_stats = env.stats.GetTable(node.table_name);
+      in_left = static_cast<double>(table_stats.num_rows);
+      f[3] = Log1pF(static_cast<double>(table_stats.num_pages));
+      f[5] = Log1pF(static_cast<double>(table_stats.row_width_bytes));
+      break;
+    }
+    case PhysicalOpType::kIndexNLJoin: {
+      in_left = NodeCardinality(*node.children[0]);
+      const stats::TableStats& inner_stats = env.stats.GetTable(node.table_name);
+      in_right = static_cast<double>(inner_stats.num_rows);
+      f[3] = Log1pF(static_cast<double>(inner_stats.num_pages));
+      f[5] = Log1pF(
+          static_cast<double>(node.children[0]->OutputWidthBytes(db)));
+      f[6] = Log1pF(static_cast<double>(inner_stats.row_width_bytes));
+      break;
+    }
+    case PhysicalOpType::kHashJoin:
+    case PhysicalOpType::kNestedLoopJoin:
+      in_left = NodeCardinality(*node.children[0]);
+      in_right = NodeCardinality(*node.children[1]);
+      f[5] = Log1pF(
+          static_cast<double>(node.children[0]->OutputWidthBytes(db)));
+      f[6] = Log1pF(
+          static_cast<double>(node.children[1]->OutputWidthBytes(db)));
+      break;
+    case PhysicalOpType::kFilter:
+    case PhysicalOpType::kSort:
+    case PhysicalOpType::kHashAggregate:
+    case PhysicalOpType::kSimpleAggregate:
+      in_left = NodeCardinality(*node.children[0]);
+      f[5] = Log1pF(
+          static_cast<double>(node.children[0]->OutputWidthBytes(db)));
+      break;
+  }
+  f[1] = Log1pF(in_left);
+  f[2] = Log1pF(in_right);
+  {
+    double denominator = std::max(1.0, in_left);
+    f[7] = static_cast<float>(
+        std::clamp(out_card / denominator, 0.0, 10.0));
+  }
+
+  // Predicate structure.
+  if (node.predicate.has_value()) {
+    PredicateSummary summary;
+    Summarize(*node.predicate, &summary);
+    f[8] = Log1pF(static_cast<double>(summary.leaves));
+    f[9] = Log1pF(static_cast<double>(summary.eq_leaves));
+    f[10] = Log1pF(static_cast<double>(summary.range_leaves));
+    f[11] = static_cast<float>(summary.depth);
+    f[12] = summary.has_or ? 1.0f : 0.0f;
+  }
+
+  // Index features.
+  if (node.type == PhysicalOpType::kIndexScan ||
+      node.type == PhysicalOpType::kIndexNLJoin) {
+    f[13] = Log1pF(static_cast<double>(
+        RealOrEstimatedIndexHeight(env, node.table_name, node.index_column)));
+    if (node.type == PhysicalOpType::kIndexScan) {
+      bool is_range = !(node.range_lo.has_value() && node.range_hi.has_value() &&
+                        *node.range_lo == *node.range_hi);
+      f[14] = is_range ? 1.0f : 0.0f;
+    }
+  }
+
+  // Aggregation / sort shape.
+  f[15] = Log1pF(static_cast<double>(node.aggregates.size()));
+  f[16] = Log1pF(static_cast<double>(node.group_by_slots.size()));
+  if (node.type == PhysicalOpType::kHashAggregate ||
+      node.type == PhysicalOpType::kSimpleAggregate) {
+    f[17] = Log1pF(out_card);
+  }
+  f[18] = Log1pF(static_cast<double>(node.sort_slots.size()));
+
+  graph->nodes[index].features = std::move(f);
+
+  // Children after the parent (ComputeLevels relies on this order).
+  std::vector<size_t> children;
+  for (const auto& child : node.children) {
+    children.push_back(AddNode(*child, env, graph));
+  }
+  graph->nodes[index].children = std::move(children);
+  return index;
+}
+
+PlanGraph ZeroShotFeaturizer::Featurize(const PhysicalNode& root,
+                                        const datagen::DatabaseEnv& env) const {
+  PlanGraph graph;
+  AddNode(root, env, &graph);
+  graph.ComputeLevels();
+  return graph;
+}
+
+}  // namespace zerodb::featurize

@@ -1,0 +1,46 @@
+#ifndef ZERODB_MODELS_COST_PREDICTOR_H_
+#define ZERODB_MODELS_COST_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+#include "train/dataset.h"
+
+namespace zerodb::models {
+
+/// Anything that can predict query runtimes. The experiment harness only
+/// needs this.
+class CostPredictor {
+ public:
+  virtual ~CostPredictor() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Predicted runtimes in milliseconds, one per record.
+  virtual std::vector<double> PredictMs(
+      const std::vector<const train::QueryRecord*>& records) = 0;
+};
+
+/// A gradient-trained cost model (the zero-shot model and the E2E / MSCN
+/// baselines). The Trainer drives this interface.
+class NeuralCostModel : public CostPredictor {
+ public:
+  /// Fits feature and target normalization on the training records. Must be
+  /// called exactly once before training.
+  virtual void Prepare(
+      const std::vector<const train::QueryRecord*>& records) = 0;
+
+  /// Forward + loss on a batch. `training` enables dropout (rng required).
+  virtual nn::Tensor LossOnBatch(
+      const std::vector<const train::QueryRecord*>& batch, bool training,
+      Rng* rng) = 0;
+
+  /// All trainable parameters.
+  virtual std::vector<nn::Tensor> Parameters() const = 0;
+};
+
+}  // namespace zerodb::models
+
+#endif  // ZERODB_MODELS_COST_PREDICTOR_H_

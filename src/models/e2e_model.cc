@@ -1,0 +1,27 @@
+#include "models/e2e_model.h"
+
+#include "common/check.h"
+
+namespace zerodb::models {
+
+TreeModelConfig E2ECostModel::MakeConfig(const Options& options) {
+  TreeModelConfig config;
+  config.feature_dim = featurize::E2EFeaturizer::kFeatureDim;
+  config.num_encoders = 1;
+  config.hidden_dim = options.hidden_dim;
+  config.dropout = options.dropout;
+  config.init_seed = options.init_seed;
+  return config;
+}
+
+E2ECostModel::E2ECostModel(const Options& options)
+    : TreeMessagePassingModel(MakeConfig(options)),
+      featurizer_(featurize::CardinalityMode::kEstimated) {}
+
+featurize::PlanGraph E2ECostModel::FeaturizeRecord(
+    const train::QueryRecord& record) const {
+  ZDB_CHECK(record.env != nullptr);
+  return featurizer_.Featurize(*record.plan.root, *record.env);
+}
+
+}  // namespace zerodb::models

@@ -1,0 +1,58 @@
+#ifndef ZERODB_MODELS_MSCN_MODEL_H_
+#define ZERODB_MODELS_MSCN_MODEL_H_
+
+#include <string>
+
+#include "featurize/mscn_featurizer.h"
+#include "featurize/normalization.h"
+#include "models/cost_predictor.h"
+#include "nn/layers.h"
+
+namespace zerodb::models {
+
+/// The MSCN baseline [Kipf et al. 2019] applied to cost estimation as in
+/// the paper: three per-element MLPs (tables / joins / predicates), mean
+/// pooling per set, concat, output MLP. One-hot (database-dependent)
+/// features and no plan structure — the paper reports it as markedly less
+/// accurate, with high variance.
+class MscnCostModel : public NeuralCostModel {
+ public:
+  struct Options {
+    size_t hidden_dim = 64;
+    float dropout = 0.0f;
+    uint64_t init_seed = 3;
+  };
+
+  explicit MscnCostModel(const Options& options);
+
+  std::string Name() const override { return "MSCN"; }
+
+  void Prepare(const std::vector<const train::QueryRecord*>& records) override;
+  nn::Tensor LossOnBatch(const std::vector<const train::QueryRecord*>& batch,
+                         bool training, Rng* rng) override;
+  std::vector<double> PredictMs(
+      const std::vector<const train::QueryRecord*>& records) override;
+  std::vector<nn::Tensor> Parameters() const override;
+
+ private:
+  nn::Tensor Forward(const std::vector<featurize::MscnSets>& batch,
+                     bool training, Rng* rng);
+
+  /// Encodes one set type across the batch and mean-pools per query.
+  nn::Tensor PoolSet(const std::vector<featurize::MscnSets>& batch,
+                     const std::vector<std::vector<float>> featurize::MscnSets::*member,
+                     size_t element_dim, const nn::Mlp& encoder, bool training,
+                     Rng* rng);
+
+  Options options_;
+  featurize::MscnFeaturizer featurizer_;
+  nn::Mlp table_encoder_;
+  nn::Mlp join_encoder_;
+  nn::Mlp predicate_encoder_;
+  nn::Mlp output_;
+  featurize::TargetNorm target_norm_;
+};
+
+}  // namespace zerodb::models
+
+#endif  // ZERODB_MODELS_MSCN_MODEL_H_

@@ -1,0 +1,37 @@
+#ifndef ZERODB_MODELS_SCALED_COST_MODEL_H_
+#define ZERODB_MODELS_SCALED_COST_MODEL_H_
+
+#include <string>
+
+#include "common/math_util.h"
+#include "models/cost_predictor.h"
+
+namespace zerodb::models {
+
+/// The paper's "Scaled Optimizer Cost" baseline: a linear model mapping the
+/// optimizer's internal cost metric to actual runtimes. Fit in log-log
+/// space (runtimes span orders of magnitude), which is the charitable
+/// variant of a linear rescaling.
+class ScaledOptCostModel : public CostPredictor {
+ public:
+  ScaledOptCostModel() = default;
+
+  std::string Name() const override { return "scaled optimizer cost"; }
+
+  /// Fits log(runtime) ~= slope * log(cost) + intercept on the records.
+  void Fit(const std::vector<const train::QueryRecord*>& records);
+
+  std::vector<double> PredictMs(
+      const std::vector<const train::QueryRecord*>& records) override;
+
+  bool fitted() const { return fitted_; }
+  const LinearFit& fit() const { return fit_; }
+
+ private:
+  bool fitted_ = false;
+  LinearFit fit_;
+};
+
+}  // namespace zerodb::models
+
+#endif  // ZERODB_MODELS_SCALED_COST_MODEL_H_

@@ -1,0 +1,260 @@
+#include "models/tree_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+
+namespace zerodb::models {
+
+namespace {
+
+nn::MlpConfig MakeMlpConfig(size_t in, size_t hidden, size_t out,
+                            size_t hidden_layers, float dropout) {
+  nn::MlpConfig config;
+  config.in_features = in;
+  config.hidden_sizes.assign(hidden_layers, hidden);
+  config.out_features = out;
+  config.hidden_activation = nn::Activation::kRelu;
+  config.dropout = dropout;
+  return config;
+}
+
+}  // namespace
+
+TreeMessagePassingModel::TreeMessagePassingModel(const TreeModelConfig& config)
+    : config_(config) {
+  ZDB_CHECK_GT(config.feature_dim, 0u);
+  ZDB_CHECK_GT(config.num_encoders, 0u);
+  Rng rng(config.init_seed);
+  encoders_.reserve(config.num_encoders);
+  for (size_t e = 0; e < config.num_encoders; ++e) {
+    encoders_.emplace_back(
+        MakeMlpConfig(config.feature_dim, config.hidden_dim, config.hidden_dim,
+                      config.encoder_layers, config.dropout),
+        &rng);
+  }
+  combine_ = nn::Mlp(
+      MakeMlpConfig(2 * config.hidden_dim, config.hidden_dim,
+                    config.hidden_dim, config.combine_layers, config.dropout),
+      &rng);
+  readout_ = nn::Mlp(MakeMlpConfig(config.hidden_dim, config.hidden_dim, 1,
+                                   config.readout_layers, config.dropout),
+                     &rng);
+}
+
+std::vector<nn::Tensor> TreeMessagePassingModel::Parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const nn::Mlp& encoder : encoders_) {
+    for (const nn::Tensor& p : encoder.Parameters()) params.push_back(p);
+  }
+  for (const nn::Tensor& p : combine_.Parameters()) params.push_back(p);
+  for (const nn::Tensor& p : readout_.Parameters()) params.push_back(p);
+  return params;
+}
+
+Status TreeMessagePassingModel::SaveWeights(const std::string& path) const {
+  if (!feature_norm_.fitted() || !target_norm_.fitted()) {
+    return Status::InvalidArgument("saving an untrained model");
+  }
+  std::vector<nn::Tensor> tensors = Parameters();
+  tensors.push_back(nn::Tensor::FromData(1, feature_norm_.dim(),
+                                         feature_norm_.mean()));
+  tensors.push_back(
+      nn::Tensor::FromData(1, feature_norm_.dim(), feature_norm_.std()));
+  tensors.push_back(nn::Tensor::FromData(
+      1, 2,
+      {static_cast<float>(target_norm_.mean()),
+       static_cast<float>(target_norm_.std())}));
+  return nn::SaveParameters(tensors, path);
+}
+
+Status TreeMessagePassingModel::LoadWeights(const std::string& path) {
+  std::vector<nn::Tensor> tensors = Parameters();
+  nn::Tensor feature_mean = nn::Tensor::Zeros(1, config_.feature_dim);
+  nn::Tensor feature_std = nn::Tensor::Zeros(1, config_.feature_dim);
+  nn::Tensor target = nn::Tensor::Zeros(1, 2);
+  tensors.push_back(feature_mean);
+  tensors.push_back(feature_std);
+  tensors.push_back(target);
+  ZDB_RETURN_NOT_OK(nn::LoadParameters(tensors, path));
+  feature_norm_.Set(feature_mean.data(), feature_std.data());
+  target_norm_.Set(target.data()[0], target.data()[1]);
+  return Status::OK();
+}
+
+void TreeMessagePassingModel::Prepare(
+    const std::vector<const train::QueryRecord*>& records) {
+  ZDB_CHECK(!records.empty());
+  // Fit feature normalization over every node of every training plan, and
+  // target normalization over log runtimes.
+  std::vector<featurize::PlanGraph> graphs;
+  graphs.reserve(records.size());
+  for (const train::QueryRecord* record : records) {
+    graphs.push_back(FeaturizeRecord(*record));
+  }
+  std::vector<const std::vector<float>*> rows;
+  for (const featurize::PlanGraph& graph : graphs) {
+    for (const featurize::PlanGraphNode& node : graph.nodes) {
+      rows.push_back(&node.features);
+    }
+  }
+  feature_norm_.Fit(rows);
+
+  std::vector<double> log_runtimes;
+  log_runtimes.reserve(records.size());
+  for (const train::QueryRecord* record : records) {
+    log_runtimes.push_back(std::log(std::max(record->runtime_ms, 1e-6)));
+  }
+  target_norm_.Fit(log_runtimes);
+}
+
+featurize::PlanGraph TreeMessagePassingModel::FeaturizeNormalized(
+    const train::QueryRecord& record) const {
+  featurize::PlanGraph graph = FeaturizeRecord(record);
+  for (featurize::PlanGraphNode& node : graph.nodes) {
+    feature_norm_.Apply(&node.features);
+  }
+  return graph;
+}
+
+nn::Tensor TreeMessagePassingModel::Forward(
+    const std::vector<featurize::PlanGraph>& graphs, bool training, Rng* rng) {
+  ZDB_CHECK(!graphs.empty());
+  const size_t hidden = config_.hidden_dim;
+
+  // Flatten all nodes into one global table.
+  struct GlobalNode {
+    size_t encoder = 0;
+    size_t level = 0;
+    const std::vector<float>* features = nullptr;
+    std::vector<uint32_t> children;  // global ids
+  };
+  std::vector<GlobalNode> nodes;
+  std::vector<uint32_t> root_ids;
+  size_t max_level = 0;
+  for (const featurize::PlanGraph& graph : graphs) {
+    const uint32_t base = static_cast<uint32_t>(nodes.size());
+    root_ids.push_back(base + static_cast<uint32_t>(graph.root()));
+    for (const featurize::PlanGraphNode& node : graph.nodes) {
+      GlobalNode global;
+      global.encoder = EncoderIdFor(node.op_type);
+      global.level = node.level;
+      global.features = &node.features;
+      for (size_t child : node.children) {
+        global.children.push_back(base + static_cast<uint32_t>(child));
+      }
+      max_level = std::max(max_level, node.level);
+      nodes.push_back(std::move(global));
+    }
+  }
+  const size_t total_nodes = nodes.size();
+
+  // Encode all nodes, grouped by encoder type, scattered back into a
+  // (total_nodes, hidden) matrix.
+  nn::Tensor encodings = nn::Tensor::Zeros(total_nodes, hidden);
+  for (size_t e = 0; e < config_.num_encoders; ++e) {
+    std::vector<float> features;
+    std::vector<uint32_t> positions;
+    for (size_t n = 0; n < total_nodes; ++n) {
+      if (nodes[n].encoder != e) continue;
+      positions.push_back(static_cast<uint32_t>(n));
+      features.insert(features.end(), nodes[n].features->begin(),
+                      nodes[n].features->end());
+    }
+    if (positions.empty()) continue;
+    nn::Tensor input = nn::Tensor::FromData(
+        positions.size(), config_.feature_dim, std::move(features));
+    nn::Tensor encoded = encoders_[e].Forward(input, training, rng);
+    encodings = nn::Add(
+        encodings, nn::RowScatterAdd(encoded, positions, total_nodes));
+  }
+
+  // Bottom-up message passing by level. `hidden_states` accumulates each
+  // level's rows at their global positions.
+  nn::Tensor hidden_states = nn::Tensor::Zeros(total_nodes, hidden);
+  for (size_t level = 0; level <= max_level; ++level) {
+    std::vector<uint32_t> level_ids;
+    std::vector<uint32_t> child_ids;
+    std::vector<uint32_t> child_parents;  // local index within level
+    for (size_t n = 0; n < total_nodes; ++n) {
+      if (nodes[n].level != level) continue;
+      const uint32_t local = static_cast<uint32_t>(level_ids.size());
+      level_ids.push_back(static_cast<uint32_t>(n));
+      for (uint32_t child : nodes[n].children) {
+        child_ids.push_back(child);
+        child_parents.push_back(local);
+      }
+    }
+    if (level_ids.empty()) continue;
+
+    nn::Tensor level_encodings = nn::RowGather(encodings, level_ids);
+    nn::Tensor level_hidden;
+    if (level == 0) {
+      // Leaves: the initial hidden state is the node encoding.
+      level_hidden = level_encodings;
+    } else {
+      // DeepSets: sum the children's hidden states, then combine with the
+      // parent encoding through the combine MLP.
+      nn::Tensor child_sum;
+      if (child_ids.empty()) {
+        child_sum = nn::Tensor::Zeros(level_ids.size(), hidden);
+      } else {
+        child_sum = nn::RowScatterAdd(nn::RowGather(hidden_states, child_ids),
+                                      child_parents, level_ids.size());
+      }
+      level_hidden = combine_.Forward(
+          nn::ConcatCols({level_encodings, child_sum}), training, rng);
+    }
+    hidden_states = nn::Add(
+        hidden_states, nn::RowScatterAdd(level_hidden, level_ids, total_nodes));
+  }
+
+  // Root readout.
+  nn::Tensor roots = nn::RowGather(hidden_states, root_ids);
+  return readout_.Forward(roots, training, rng);
+}
+
+nn::Tensor TreeMessagePassingModel::LossOnBatch(
+    const std::vector<const train::QueryRecord*>& batch, bool training,
+    Rng* rng) {
+  ZDB_CHECK(!batch.empty());
+  std::vector<featurize::PlanGraph> graphs;
+  graphs.reserve(batch.size());
+  std::vector<float> targets;
+  targets.reserve(batch.size());
+  for (const train::QueryRecord* record : batch) {
+    graphs.push_back(FeaturizeNormalized(*record));
+    targets.push_back(static_cast<float>(target_norm_.Normalize(
+        std::log(std::max(record->runtime_ms, 1e-6)))));
+  }
+  nn::Tensor predictions = Forward(graphs, training, rng);
+  const size_t batch_size = targets.size();
+  nn::Tensor target_tensor =
+      nn::Tensor::FromData(batch_size, 1, std::move(targets));
+  return nn::HuberLoss(predictions, target_tensor, 1.0f);
+}
+
+std::vector<double> TreeMessagePassingModel::PredictMs(
+    const std::vector<const train::QueryRecord*>& records) {
+  ZDB_CHECK(target_norm_.fitted()) << "PredictMs before Prepare/training";
+  if (records.empty()) return {};
+  std::vector<featurize::PlanGraph> graphs;
+  graphs.reserve(records.size());
+  for (const train::QueryRecord* record : records) {
+    graphs.push_back(FeaturizeNormalized(*record));
+  }
+  nn::Tensor predictions = Forward(graphs, /*training=*/false, nullptr);
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    double log_ms = target_norm_.Denormalize(predictions.data()[i]);
+    out.push_back(std::exp(log_ms));
+  }
+  return out;
+}
+
+}  // namespace zerodb::models

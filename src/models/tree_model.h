@@ -1,0 +1,82 @@
+#ifndef ZERODB_MODELS_TREE_MODEL_H_
+#define ZERODB_MODELS_TREE_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "featurize/normalization.h"
+#include "featurize/plan_graph.h"
+#include "models/cost_predictor.h"
+#include "nn/layers.h"
+
+namespace zerodb::models {
+
+/// Configuration shared by the tree-structured cost models.
+struct TreeModelConfig {
+  size_t feature_dim = 0;    ///< per-node feature width
+  size_t num_encoders = 1;   ///< 1 = shared encoder (E2E), 9 = per-op (zero-shot)
+  size_t hidden_dim = 64;
+  size_t encoder_layers = 2;   ///< hidden layers in each node encoder MLP
+  size_t combine_layers = 2;   ///< hidden layers in the combine MLP
+  size_t readout_layers = 2;   ///< hidden layers in the readout MLP
+  float dropout = 0.0f;
+  uint64_t init_seed = 1;
+};
+
+/// The paper's model architecture (Section 3.1): encode each plan node with
+/// a (node-type-specific) MLP into a hidden state, then combine bottom-up —
+/// children's hidden states are summed (DeepSets) and merged with the
+/// parent's encoding through an MLP — until the root's hidden state is fed
+/// into a readout MLP that predicts (normalized log) runtime.
+///
+/// Subclasses provide the featurizer; this class owns parameters, the
+/// batched forward pass (nodes grouped by encoder type, levels processed
+/// with gather/scatter), normalization, and prediction.
+class TreeMessagePassingModel : public NeuralCostModel {
+ public:
+  explicit TreeMessagePassingModel(const TreeModelConfig& config);
+
+  void Prepare(const std::vector<const train::QueryRecord*>& records) override;
+  nn::Tensor LossOnBatch(const std::vector<const train::QueryRecord*>& batch,
+                         bool training, Rng* rng) override;
+  std::vector<double> PredictMs(
+      const std::vector<const train::QueryRecord*>& records) override;
+  std::vector<nn::Tensor> Parameters() const override;
+
+  /// Persists weights + normalization statistics to a binary file. Load
+  /// must be called on a model constructed with the same config.
+  Status SaveWeights(const std::string& path) const;
+  Status LoadWeights(const std::string& path);
+
+  const TreeModelConfig& config() const { return config_; }
+
+ protected:
+  /// Featurizes one record's plan (implemented by subclasses).
+  virtual featurize::PlanGraph FeaturizeRecord(
+      const train::QueryRecord& record) const = 0;
+
+  /// Maps a graph node's op_type to the encoder id in [0, num_encoders).
+  virtual size_t EncoderIdFor(size_t op_type) const = 0;
+
+ private:
+  /// Batched forward pass over the graphs; returns (B, 1) normalized
+  /// log-runtime predictions.
+  nn::Tensor Forward(const std::vector<featurize::PlanGraph>& graphs,
+                     bool training, Rng* rng);
+
+  featurize::PlanGraph FeaturizeNormalized(
+      const train::QueryRecord& record) const;
+
+  TreeModelConfig config_;
+  std::vector<nn::Mlp> encoders_;
+  nn::Mlp combine_;
+  nn::Mlp readout_;
+  featurize::FeatureNorm feature_norm_;
+  featurize::TargetNorm target_norm_;
+};
+
+}  // namespace zerodb::models
+
+#endif  // ZERODB_MODELS_TREE_MODEL_H_

@@ -1,0 +1,33 @@
+#include "models/zeroshot_model.h"
+
+#include "common/check.h"
+#include "plan/physical.h"
+
+namespace zerodb::models {
+
+TreeModelConfig ZeroShotCostModel::MakeConfig(const Options& options) {
+  TreeModelConfig config;
+  config.feature_dim = featurize::ZeroShotFeaturizer::kFeatureDim;
+  config.num_encoders = plan::kNumPhysicalOpTypes;
+  config.hidden_dim = options.hidden_dim;
+  config.dropout = options.dropout;
+  config.init_seed = options.init_seed;
+  return config;
+}
+
+ZeroShotCostModel::ZeroShotCostModel(const Options& options)
+    : TreeMessagePassingModel(MakeConfig(options)),
+      featurizer_(options.cardinality_mode) {}
+
+std::string ZeroShotCostModel::Name() const {
+  return std::string("zero-shot (") +
+         featurize::CardinalityModeName(featurizer_.mode()) + " card.)";
+}
+
+featurize::PlanGraph ZeroShotCostModel::FeaturizeRecord(
+    const train::QueryRecord& record) const {
+  ZDB_CHECK(record.env != nullptr);
+  return featurizer_.Featurize(*record.plan.root, *record.env);
+}
+
+}  // namespace zerodb::models

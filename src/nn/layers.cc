@@ -1,0 +1,88 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zerodb::nn {
+
+Tensor ApplyActivation(const Tensor& x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kLeakyRelu:
+      return LeakyRelu(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kTanh:
+      return Tanh(x);
+  }
+  ZDB_CHECK(false) << "unknown activation";
+  return x;
+}
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  ZDB_CHECK_GT(in_features, 0u);
+  ZDB_CHECK_GT(out_features, 0u);
+  ZDB_CHECK(rng != nullptr);
+  // Kaiming-uniform fan-in initialization, matching torch's Linear default.
+  const double bound = std::sqrt(1.0 / static_cast<double>(in_features));
+  std::vector<float> weight_data(in_features * out_features);
+  for (float& w : weight_data) {
+    w = static_cast<float>(rng->UniformDouble(-bound, bound));
+  }
+  std::vector<float> bias_data(out_features);
+  for (float& b : bias_data) {
+    b = static_cast<float>(rng->UniformDouble(-bound, bound));
+  }
+  weight_ = Tensor::Parameter(in_features, out_features, std::move(weight_data));
+  bias_ = Tensor::Parameter(1, out_features, std::move(bias_data));
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  ZDB_CHECK_EQ(x.cols(), in_features_);
+  return AddBias(MatMul(x, weight_), bias_);
+}
+
+Mlp::Mlp(const MlpConfig& config, Rng* rng) : config_(config) {
+  ZDB_CHECK_GT(config.in_features, 0u);
+  ZDB_CHECK_GT(config.out_features, 0u);
+  size_t in = config.in_features;
+  for (size_t hidden : config.hidden_sizes) {
+    layers_.emplace_back(in, hidden, rng);
+    in = hidden;
+  }
+  layers_.emplace_back(in, config.out_features, rng);
+}
+
+Tensor Mlp::Forward(const Tensor& x, bool training, Rng* rng) const {
+  ZDB_CHECK(!layers_.empty()) << "Mlp used before initialization";
+  Tensor current = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    current = layers_[i].Forward(current);
+    const bool is_output = (i + 1 == layers_.size());
+    if (is_output) {
+      current = ApplyActivation(current, config_.output_activation);
+    } else {
+      current = ApplyActivation(current, config_.hidden_activation);
+      if (config_.dropout > 0.0f && training) {
+        ZDB_CHECK(rng != nullptr) << "dropout requires an rng";
+        current = Dropout(current, config_.dropout, rng, training);
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<Tensor> Mlp::Parameters() const {
+  std::vector<Tensor> params;
+  for (const Linear& layer : layers_) {
+    for (const Tensor& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace zerodb::nn

@@ -1,0 +1,75 @@
+#ifndef ZERODB_NN_LAYERS_H_
+#define ZERODB_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace zerodb::nn {
+
+enum class Activation { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// Applies the named activation to a tensor.
+Tensor ApplyActivation(const Tensor& x, Activation activation);
+
+/// Fully-connected layer y = x W + b with Kaiming-uniform initialization.
+class Linear {
+ public:
+  /// Creates an uninitialized layer; call Init or deserialize before use.
+  Linear() = default;
+  Linear(size_t in_features, size_t out_features, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+
+  /// Trainable parameters: {weight (in,out), bias (1,out)}.
+  std::vector<Tensor> Parameters() const { return {weight_, bias_}; }
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  size_t in_features_ = 0;
+  size_t out_features_ = 0;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// Configuration for a multilayer perceptron.
+struct MlpConfig {
+  size_t in_features = 0;
+  std::vector<size_t> hidden_sizes;  // one entry per hidden layer
+  size_t out_features = 0;
+  Activation hidden_activation = Activation::kRelu;
+  Activation output_activation = Activation::kNone;
+  float dropout = 0.0f;  // applied after each hidden activation
+};
+
+/// Multilayer perceptron built from Linear layers.
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(const MlpConfig& config, Rng* rng);
+
+  /// Forward pass. `training` enables dropout; rng may be null when
+  /// dropout == 0 or training == false.
+  Tensor Forward(const Tensor& x, bool training = false,
+                 Rng* rng = nullptr) const;
+
+  std::vector<Tensor> Parameters() const;
+
+  const MlpConfig& config() const { return config_; }
+
+ private:
+  MlpConfig config_;
+  std::vector<Linear> layers_;
+};
+
+}  // namespace zerodb::nn
+
+#endif  // ZERODB_NN_LAYERS_H_

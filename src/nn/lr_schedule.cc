@@ -1,0 +1,21 @@
+#include "nn/lr_schedule.h"
+
+#include <cmath>
+
+namespace zerodb::nn {
+
+float StepDecayLr::RateForEpoch(size_t epoch) const {
+  if (step_epochs_ == 0) return initial_;
+  return initial_ *
+         std::pow(factor_, static_cast<float>(epoch / step_epochs_));
+}
+
+float CosineLr::RateForEpoch(size_t epoch) const {
+  if (total_epochs_ <= 1) return floor_;
+  double progress = std::min(1.0, static_cast<double>(epoch) /
+                                      static_cast<double>(total_epochs_ - 1));
+  double cosine = 0.5 * (1.0 + std::cos(progress * M_PI));
+  return static_cast<float>(floor_ + (initial_ - floor_) * cosine);
+}
+
+}  // namespace zerodb::nn

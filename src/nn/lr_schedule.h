@@ -1,0 +1,54 @@
+#ifndef ZERODB_NN_LR_SCHEDULE_H_
+#define ZERODB_NN_LR_SCHEDULE_H_
+
+#include <cstddef>
+
+namespace zerodb::nn {
+
+/// Learning-rate schedules for the trainer. All return the rate to use for
+/// the given zero-based epoch.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float RateForEpoch(size_t epoch) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float rate) : rate_(rate) {}
+  float RateForEpoch(size_t) const override { return rate_; }
+
+ private:
+  float rate_;
+};
+
+/// Step decay: rate * factor^(epoch / step_epochs).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float initial, float factor, size_t step_epochs)
+      : initial_(initial), factor_(factor), step_epochs_(step_epochs) {}
+  float RateForEpoch(size_t epoch) const override;
+
+ private:
+  float initial_;
+  float factor_;
+  size_t step_epochs_;
+};
+
+/// Cosine annealing from `initial` to `floor` over `total_epochs`.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float initial, float floor, size_t total_epochs)
+      : initial_(initial), floor_(floor), total_epochs_(total_epochs) {}
+  float RateForEpoch(size_t epoch) const override;
+
+ private:
+  float initial_;
+  float floor_;
+  size_t total_epochs_;
+};
+
+}  // namespace zerodb::nn
+
+#endif  // ZERODB_NN_LR_SCHEDULE_H_

@@ -1,0 +1,567 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zerodb::nn {
+
+namespace {
+
+// Accumulates gradient flowing to `parent` if it participates in autodiff.
+// The Backward() pre-pass guarantees sized grad buffers for such nodes.
+inline bool WantsGrad(const Node& parent) { return parent.requires_grad; }
+
+// C += A * B for row-major matrices, using the cache-friendly i-k-j order.
+void MatMulAccumulate(const float* a, size_t a_rows, size_t a_cols,
+                      const float* b, size_t b_cols, float* c) {
+  for (size_t i = 0; i < a_rows; ++i) {
+    const float* a_row = a + i * a_cols;
+    float* c_row = c + i * b_cols;
+    for (size_t k = 0; k < a_cols; ++k) {
+      const float a_ik = a_row[k];
+      if (a_ik == 0.0f) continue;
+      const float* b_row = b + k * b_cols;
+      for (size_t j = 0; j < b_cols; ++j) {
+        c_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+}
+
+// C += A^T * B where A is (k, m) so A^T is (m, k); B is (k, n).
+void MatMulTransAAccumulate(const float* a, size_t a_rows, size_t a_cols,
+                            const float* b, size_t b_cols, float* c) {
+  // c is (a_cols, b_cols). Iterate over k (= a_rows) outermost: sequential
+  // access to both a and b rows.
+  for (size_t k = 0; k < a_rows; ++k) {
+    const float* a_row = a + k * a_cols;
+    const float* b_row = b + k * b_cols;
+    for (size_t i = 0; i < a_cols; ++i) {
+      const float a_ki = a_row[i];
+      if (a_ki == 0.0f) continue;
+      float* c_row = c + i * b_cols;
+      for (size_t j = 0; j < b_cols; ++j) {
+        c_row[j] += a_ki * b_row[j];
+      }
+    }
+  }
+}
+
+// C += A * B^T where A is (m, k), B is (n, k); result (m, n).
+void MatMulTransBAccumulate(const float* a, size_t a_rows, size_t a_cols,
+                            const float* b, size_t b_rows, float* c) {
+  for (size_t i = 0; i < a_rows; ++i) {
+    const float* a_row = a + i * a_cols;
+    float* c_row = c + i * b_rows;
+    for (size_t j = 0; j < b_rows; ++j) {
+      const float* b_row = b + j * a_cols;
+      float dot = 0.0f;
+      for (size_t k = 0; k < a_cols; ++k) {
+        dot += a_row[k] * b_row[k];
+      }
+      c_row[j] += dot;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ZDB_CHECK_EQ(a.cols(), b.rows())
+      << "MatMul shape mismatch " << a.ShapeString() << " x "
+      << b.ShapeString();
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  Tensor out = MakeOpResult(
+      m, n, "matmul", {a.node(), b.node()}, [m, k, n](Node* node) {
+        Node* a_node = node->parents[0].get();
+        Node* b_node = node->parents[1].get();
+        if (WantsGrad(*a_node)) {
+          // dA += dC * B^T : (m,n) x (n,k)^T-of-(k,n)
+          MatMulTransBAccumulate(node->grad.data(), m, n,
+                                 b_node->values.data(), k,
+                                 a_node->grad.data());
+        }
+        if (WantsGrad(*b_node)) {
+          // dB += A^T * dC : (m,k)^T x (m,n)
+          MatMulTransAAccumulate(a_node->values.data(), m, k,
+                                 node->grad.data(), n, b_node->grad.data());
+        }
+      });
+  MatMulAccumulate(a.data().data(), m, k, b.data().data(), n,
+                   out.mutable_data().data());
+  return out;
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  ZDB_CHECK_EQ(bias.rows(), 1u);
+  ZDB_CHECK_EQ(bias.cols(), x.cols());
+  const size_t m = x.rows();
+  const size_t n = x.cols();
+  Tensor out = MakeOpResult(
+      m, n, "add_bias", {x.node(), bias.node()}, [m, n](Node* node) {
+        Node* x_node = node->parents[0].get();
+        Node* b_node = node->parents[1].get();
+        if (WantsGrad(*x_node)) {
+          for (size_t i = 0; i < m * n; ++i) x_node->grad[i] += node->grad[i];
+        }
+        if (WantsGrad(*b_node)) {
+          for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+              b_node->grad[j] += node->grad[i * n + j];
+            }
+          }
+        }
+      });
+  auto& out_data = out.mutable_data();
+  const auto& x_data = x.data();
+  const auto& b_data = bias.data();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      out_data[i * n + j] = x_data[i * n + j] + b_data[j];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name,
+                         float (*fwd)(float, float),
+                         void (*bwd)(float a, float b, float dout, float* da,
+                                     float* db)) {
+  ZDB_CHECK_EQ(a.rows(), b.rows());
+  ZDB_CHECK_EQ(a.cols(), b.cols());
+  const size_t count = a.size();
+  Tensor out = MakeOpResult(
+      a.rows(), a.cols(), name, {a.node(), b.node()}, [count, bwd](Node* node) {
+        Node* a_node = node->parents[0].get();
+        Node* b_node = node->parents[1].get();
+        const bool want_a = WantsGrad(*a_node);
+        const bool want_b = WantsGrad(*b_node);
+        for (size_t i = 0; i < count; ++i) {
+          float da = 0.0f;
+          float db = 0.0f;
+          bwd(a_node->values[i], b_node->values[i], node->grad[i], &da, &db);
+          if (want_a) a_node->grad[i] += da;
+          if (want_b) b_node->grad[i] += db;
+        }
+      });
+  auto& out_data = out.mutable_data();
+  for (size_t i = 0; i < count; ++i) {
+    out_data[i] = fwd(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, "add", [](float x, float y) { return x + y; },
+      [](float, float, float dout, float* da, float* db) {
+        *da = dout;
+        *db = dout;
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, "sub", [](float x, float y) { return x - y; },
+      [](float, float, float dout, float* da, float* db) {
+        *da = dout;
+        *db = -dout;
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, "mul", [](float x, float y) { return x * y; },
+      [](float x, float y, float dout, float* da, float* db) {
+        *da = dout * y;
+        *db = dout * x;
+      });
+}
+
+Tensor Scale(const Tensor& x, float factor) {
+  const size_t count = x.size();
+  Tensor out = MakeOpResult(
+      x.rows(), x.cols(), "scale", {x.node()}, [count, factor](Node* node) {
+        Node* x_node = node->parents[0].get();
+        if (!WantsGrad(*x_node)) return;
+        for (size_t i = 0; i < count; ++i) {
+          x_node->grad[i] += node->grad[i] * factor;
+        }
+      });
+  auto& out_data = out.mutable_data();
+  for (size_t i = 0; i < count; ++i) out_data[i] = x.data()[i] * factor;
+  return out;
+}
+
+namespace {
+
+Tensor ElementwiseUnary(const Tensor& x, const char* name,
+                        float (*fwd)(float),
+                        float (*grad_from_out)(float out, float in)) {
+  const size_t count = x.size();
+  Tensor out = MakeOpResult(
+      x.rows(), x.cols(), name, {x.node()},
+      [count, grad_from_out](Node* node) {
+        Node* x_node = node->parents[0].get();
+        if (!WantsGrad(*x_node)) return;
+        for (size_t i = 0; i < count; ++i) {
+          x_node->grad[i] +=
+              node->grad[i] * grad_from_out(node->values[i], x_node->values[i]);
+        }
+      });
+  auto& out_data = out.mutable_data();
+  for (size_t i = 0; i < count; ++i) out_data[i] = fwd(x.data()[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& x) {
+  return ElementwiseUnary(
+      x, "relu", [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float, float in) { return in > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float negative_slope) {
+  const size_t count = x.size();
+  Tensor out = MakeOpResult(
+      x.rows(), x.cols(), "leaky_relu", {x.node()},
+      [count, negative_slope](Node* node) {
+        Node* x_node = node->parents[0].get();
+        if (!WantsGrad(*x_node)) return;
+        for (size_t i = 0; i < count; ++i) {
+          float slope = x_node->values[i] > 0.0f ? 1.0f : negative_slope;
+          x_node->grad[i] += node->grad[i] * slope;
+        }
+      });
+  auto& out_data = out.mutable_data();
+  for (size_t i = 0; i < count; ++i) {
+    float v = x.data()[i];
+    out_data[i] = v > 0.0f ? v : negative_slope * v;
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return ElementwiseUnary(
+      x, "sigmoid", [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float out, float) { return out * (1.0f - out); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return ElementwiseUnary(
+      x, "tanh", [](float v) { return std::tanh(v); },
+      [](float out, float) { return 1.0f - out * out; });
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
+  ZDB_CHECK(p >= 0.0f && p < 1.0f);
+  if (!training || p == 0.0f) return x;
+  const size_t count = x.size();
+  // Build the mask up front so forward and backward agree.
+  auto mask = std::make_shared<std::vector<float>>(count);
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < count; ++i) {
+    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  Tensor out = MakeOpResult(
+      x.rows(), x.cols(), "dropout", {x.node()}, [count, mask](Node* node) {
+        Node* x_node = node->parents[0].get();
+        if (!WantsGrad(*x_node)) return;
+        for (size_t i = 0; i < count; ++i) {
+          x_node->grad[i] += node->grad[i] * (*mask)[i];
+        }
+      });
+  auto& out_data = out.mutable_data();
+  for (size_t i = 0; i < count; ++i) out_data[i] = x.data()[i] * (*mask)[i];
+  return out;
+}
+
+Tensor RowGather(const Tensor& x, std::vector<uint32_t> indices) {
+  const size_t n = x.cols();
+  const size_t out_rows = indices.size();
+  for (uint32_t index : indices) ZDB_CHECK_LT(index, x.rows());
+  auto shared_indices =
+      std::make_shared<std::vector<uint32_t>>(std::move(indices));
+  Tensor out = MakeOpResult(
+      out_rows, n, "row_gather", {x.node()},
+      [n, shared_indices](Node* node) {
+        Node* x_node = node->parents[0].get();
+        if (!WantsGrad(*x_node)) return;
+        for (size_t i = 0; i < shared_indices->size(); ++i) {
+          const size_t src = (*shared_indices)[i];
+          for (size_t j = 0; j < n; ++j) {
+            x_node->grad[src * n + j] += node->grad[i * n + j];
+          }
+        }
+      });
+  auto& out_data = out.mutable_data();
+  const auto& x_data = x.data();
+  for (size_t i = 0; i < out_rows; ++i) {
+    const size_t src = (*shared_indices)[i];
+    for (size_t j = 0; j < n; ++j) {
+      out_data[i * n + j] = x_data[src * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor RowScatterAdd(const Tensor& x, std::vector<uint32_t> indices,
+                     size_t out_rows) {
+  ZDB_CHECK_EQ(indices.size(), x.rows());
+  const size_t n = x.cols();
+  for (uint32_t index : indices) ZDB_CHECK_LT(index, out_rows);
+  auto shared_indices =
+      std::make_shared<std::vector<uint32_t>>(std::move(indices));
+  Tensor out = MakeOpResult(
+      out_rows, n, "row_scatter_add", {x.node()},
+      [n, shared_indices](Node* node) {
+        Node* x_node = node->parents[0].get();
+        if (!WantsGrad(*x_node)) return;
+        for (size_t i = 0; i < shared_indices->size(); ++i) {
+          const size_t dst = (*shared_indices)[i];
+          for (size_t j = 0; j < n; ++j) {
+            x_node->grad[i * n + j] += node->grad[dst * n + j];
+          }
+        }
+      });
+  auto& out_data = out.mutable_data();
+  const auto& x_data = x.data();
+  for (size_t i = 0; i < shared_indices->size(); ++i) {
+    const size_t dst = (*shared_indices)[i];
+    for (size_t j = 0; j < n; ++j) {
+      out_data[dst * n + j] += x_data[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor ScaleRows(const Tensor& x, std::vector<float> factors) {
+  ZDB_CHECK_EQ(factors.size(), x.rows());
+  const size_t n = x.cols();
+  auto shared_factors = std::make_shared<std::vector<float>>(std::move(factors));
+  Tensor out = MakeOpResult(
+      x.rows(), n, "scale_rows", {x.node()}, [n, shared_factors](Node* node) {
+        Node* x_node = node->parents[0].get();
+        if (!WantsGrad(*x_node)) return;
+        for (size_t i = 0; i < shared_factors->size(); ++i) {
+          const float factor = (*shared_factors)[i];
+          for (size_t j = 0; j < n; ++j) {
+            x_node->grad[i * n + j] += node->grad[i * n + j] * factor;
+          }
+        }
+      });
+  auto& out_data = out.mutable_data();
+  const auto& x_data = x.data();
+  for (size_t i = 0; i < shared_factors->size(); ++i) {
+    const float factor = (*shared_factors)[i];
+    for (size_t j = 0; j < n; ++j) {
+      out_data[i * n + j] = x_data[i * n + j] * factor;
+    }
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  ZDB_CHECK(!parts.empty());
+  const size_t m = parts[0].rows();
+  size_t total_cols = 0;
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(parts.size());
+  for (const Tensor& part : parts) {
+    ZDB_CHECK_EQ(part.rows(), m);
+    total_cols += part.cols();
+    parents.push_back(part.node());
+  }
+  Tensor out = MakeOpResult(
+      m, total_cols, "concat_cols", parents, [m, total_cols](Node* node) {
+        size_t col_offset = 0;
+        for (const auto& parent : node->parents) {
+          const size_t part_cols = parent->cols;
+          if (WantsGrad(*parent)) {
+            for (size_t i = 0; i < m; ++i) {
+              for (size_t j = 0; j < part_cols; ++j) {
+                parent->grad[i * part_cols + j] +=
+                    node->grad[i * total_cols + col_offset + j];
+              }
+            }
+          }
+          col_offset += part_cols;
+        }
+      });
+  auto& out_data = out.mutable_data();
+  size_t col_offset = 0;
+  for (const Tensor& part : parts) {
+    const size_t part_cols = part.cols();
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < part_cols; ++j) {
+        out_data[i * total_cols + col_offset + j] = part.data()[i * part_cols + j];
+      }
+    }
+    col_offset += part_cols;
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  ZDB_CHECK(!parts.empty());
+  const size_t n = parts[0].cols();
+  size_t total_rows = 0;
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(parts.size());
+  for (const Tensor& part : parts) {
+    ZDB_CHECK_EQ(part.cols(), n);
+    total_rows += part.rows();
+    parents.push_back(part.node());
+  }
+  Tensor out = MakeOpResult(
+      total_rows, n, "concat_rows", parents, [n](Node* node) {
+        size_t row_offset = 0;
+        for (const auto& parent : node->parents) {
+          const size_t count = parent->rows * n;
+          if (WantsGrad(*parent)) {
+            for (size_t i = 0; i < count; ++i) {
+              parent->grad[i] += node->grad[row_offset * n + i];
+            }
+          }
+          row_offset += parent->rows;
+        }
+      });
+  auto& out_data = out.mutable_data();
+  size_t row_offset = 0;
+  for (const Tensor& part : parts) {
+    const size_t count = part.size();
+    for (size_t i = 0; i < count; ++i) {
+      out_data[row_offset * n + i] = part.data()[i];
+    }
+    row_offset += part.rows();
+  }
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& x, float epsilon) {
+  const size_t m = x.rows();
+  const size_t n = x.cols();
+  ZDB_CHECK_GT(n, 0u);
+  // Precompute per-row mean and inverse stddev; backward reuses them.
+  auto mean = std::make_shared<std::vector<float>>(m);
+  auto inv_std = std::make_shared<std::vector<float>>(m);
+  const auto& x_data = x.data();
+  for (size_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) sum += x_data[i * n + j];
+    double mu = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      double d = x_data[i * n + j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    (*mean)[i] = static_cast<float>(mu);
+    (*inv_std)[i] = static_cast<float>(1.0 / std::sqrt(var + epsilon));
+  }
+  Tensor out = MakeOpResult(
+      m, n, "layer_norm", {x.node()}, [m, n, mean, inv_std](Node* node) {
+        Node* x_node = node->parents[0].get();
+        if (!WantsGrad(*x_node)) return;
+        // dL/dx_j = s * (dy_j - mean(dy) - y_j * mean(dy * y)), with
+        // y the normalized output and s the inverse stddev.
+        for (size_t i = 0; i < m; ++i) {
+          const float s = (*inv_std)[i];
+          double mean_dy = 0.0;
+          double mean_dy_y = 0.0;
+          for (size_t j = 0; j < n; ++j) {
+            const float dy = node->grad[i * n + j];
+            const float y = node->values[i * n + j];
+            mean_dy += dy;
+            mean_dy_y += static_cast<double>(dy) * y;
+          }
+          mean_dy /= static_cast<double>(n);
+          mean_dy_y /= static_cast<double>(n);
+          for (size_t j = 0; j < n; ++j) {
+            const float dy = node->grad[i * n + j];
+            const float y = node->values[i * n + j];
+            x_node->grad[i * n + j] += static_cast<float>(
+                s * (dy - mean_dy - y * mean_dy_y));
+          }
+        }
+      });
+  auto& out_data = out.mutable_data();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      out_data[i * n + j] = (x_data[i * n + j] - (*mean)[i]) * (*inv_std)[i];
+    }
+  }
+  return out;
+}
+
+Tensor MseLoss(const Tensor& predictions, const Tensor& targets) {
+  ZDB_CHECK_EQ(predictions.rows(), targets.rows());
+  ZDB_CHECK_EQ(predictions.cols(), 1u);
+  ZDB_CHECK_EQ(targets.cols(), 1u);
+  const size_t count = predictions.rows();
+  ZDB_CHECK_GT(count, 0u);
+  Tensor out = MakeOpResult(
+      1, 1, "mse_loss", {predictions.node(), targets.node()},
+      [count](Node* node) {
+        Node* pred = node->parents[0].get();
+        Node* target = node->parents[1].get();
+        const float scale = node->grad[0] * 2.0f / static_cast<float>(count);
+        if (!WantsGrad(*pred)) return;
+        for (size_t i = 0; i < count; ++i) {
+          pred->grad[i] += scale * (pred->values[i] - target->values[i]);
+        }
+      });
+  double total = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    double diff = predictions.data()[i] - targets.data()[i];
+    total += diff * diff;
+  }
+  out.mutable_data()[0] = static_cast<float>(total / static_cast<double>(count));
+  return out;
+}
+
+Tensor HuberLoss(const Tensor& predictions, const Tensor& targets,
+                 float delta) {
+  ZDB_CHECK_EQ(predictions.rows(), targets.rows());
+  ZDB_CHECK_EQ(predictions.cols(), 1u);
+  ZDB_CHECK_EQ(targets.cols(), 1u);
+  ZDB_CHECK_GT(delta, 0.0f);
+  const size_t count = predictions.rows();
+  ZDB_CHECK_GT(count, 0u);
+  Tensor out = MakeOpResult(
+      1, 1, "huber_loss", {predictions.node(), targets.node()},
+      [count, delta](Node* node) {
+        Node* pred = node->parents[0].get();
+        Node* target = node->parents[1].get();
+        if (!WantsGrad(*pred)) return;
+        const float scale = node->grad[0] / static_cast<float>(count);
+        for (size_t i = 0; i < count; ++i) {
+          float diff = pred->values[i] - target->values[i];
+          float grad = std::fabs(diff) <= delta
+                           ? diff
+                           : (diff > 0.0f ? delta : -delta);
+          pred->grad[i] += scale * grad;
+        }
+      });
+  double total = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    double diff = std::fabs(predictions.data()[i] - targets.data()[i]);
+    if (diff <= delta) {
+      total += 0.5 * diff * diff;
+    } else {
+      total += delta * (diff - 0.5 * delta);
+    }
+  }
+  out.mutable_data()[0] = static_cast<float>(total / static_cast<double>(count));
+  return out;
+}
+
+}  // namespace zerodb::nn

@@ -1,0 +1,69 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace zerodb::nn {
+
+namespace {
+constexpr uint64_t kMagic = 0x5a44424e4e303031ULL;  // "ZDBNN001"
+}  // namespace
+
+Status SaveParameters(const std::vector<Tensor>& parameters,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  auto write_u64 = [&out](uint64_t value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  write_u64(kMagic);
+  write_u64(parameters.size());
+  for (const Tensor& parameter : parameters) {
+    write_u64(parameter.rows());
+    write_u64(parameter.cols());
+    out.write(reinterpret_cast<const char*>(parameter.data().data()),
+              static_cast<std::streamsize>(parameter.size() * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(std::vector<Tensor> parameters,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  auto read_u64 = [&in]() {
+    uint64_t value = 0;
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return value;
+  };
+  if (read_u64() != kMagic) {
+    return Status::InvalidArgument("not a zerodb parameter file: " + path);
+  }
+  uint64_t count = read_u64();
+  if (count != parameters.size()) {
+    return Status::InvalidArgument(
+        StrFormat("parameter count mismatch: file has %llu, model has %zu",
+                  static_cast<unsigned long long>(count), parameters.size()));
+  }
+  for (Tensor& parameter : parameters) {
+    uint64_t rows = read_u64();
+    uint64_t cols = read_u64();
+    if (rows != parameter.rows() || cols != parameter.cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter shape mismatch: file (%llu, %llu) vs model %s",
+          static_cast<unsigned long long>(rows),
+          static_cast<unsigned long long>(cols),
+          parameter.ShapeString().c_str()));
+    }
+    in.read(reinterpret_cast<char*>(parameter.mutable_data().data()),
+            static_cast<std::streamsize>(parameter.size() * sizeof(float)));
+    if (!in) return Status::IOError("truncated parameter file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace zerodb::nn

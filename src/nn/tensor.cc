@@ -1,0 +1,118 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace zerodb::nn {
+
+Tensor Tensor::Full(size_t rows, size_t cols, float value) {
+  auto node = std::make_shared<Node>();
+  node->rows = rows;
+  node->cols = cols;
+  node->values.assign(rows * cols, value);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::FromData(size_t rows, size_t cols, std::vector<float> data) {
+  ZDB_CHECK_EQ(rows * cols, data.size())
+      << "FromData shape (" << rows << ", " << cols << ") vs "
+      << data.size() << " values";
+  auto node = std::make_shared<Node>();
+  node->rows = rows;
+  node->cols = cols;
+  node->values = std::move(data);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Parameter(size_t rows, size_t cols, std::vector<float> data) {
+  Tensor t = FromData(rows, cols, std::move(data));
+  t.node()->requires_grad = true;
+  t.node()->grad.assign(rows * cols, 0.0f);
+  return t;
+}
+
+float Tensor::item() const {
+  ZDB_CHECK(defined());
+  ZDB_CHECK_EQ(size(), 1u);
+  return node_->values[0];
+}
+
+namespace {
+
+// Depth-first post-order over the graph, visiting each node once.
+void TopoSort(Node* node, std::unordered_set<Node*>* visited,
+              std::vector<Node*>* order) {
+  if (visited->count(node) > 0) return;
+  visited->insert(node);
+  for (const auto& parent : node->parents) {
+    TopoSort(parent.get(), visited, order);
+  }
+  order->push_back(node);
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  ZDB_CHECK(defined());
+  ZDB_CHECK_EQ(size(), 1u) << "Backward requires a scalar loss";
+  ZDB_CHECK(node_->requires_grad)
+      << "Backward on a graph with no trainable parameters";
+
+  std::unordered_set<Node*> visited;
+  std::vector<Node*> order;
+  TopoSort(node_.get(), &visited, &order);
+
+  // Ensure every grad-tracking intermediate has a zeroed grad buffer; leaves
+  // keep their accumulated gradient.
+  for (Node* node : order) {
+    if (node->requires_grad && node->grad.size() != node->size()) {
+      node->grad.assign(node->size(), 0.0f);
+    }
+    if (node->requires_grad && node->backward_fn != nullptr &&
+        node != node_.get()) {
+      // Non-leaf intermediates start each backward pass from zero.
+      std::fill(node->grad.begin(), node->grad.end(), 0.0f);
+    }
+  }
+
+  node_->grad.assign(1, 1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn != nullptr && node->requires_grad) {
+      node->backward_fn(node);
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  ZDB_CHECK(defined());
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+}
+
+std::string Tensor::ShapeString() const {
+  if (!defined()) return "(null)";
+  return StrFormat("(%zu, %zu)", rows(), cols());
+}
+
+Tensor MakeOpResult(size_t rows, size_t cols, const char* op,
+                    std::vector<std::shared_ptr<Node>> parents,
+                    std::function<void(Node*)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->rows = rows;
+  node->cols = cols;
+  node->values.assign(rows * cols, 0.0f);
+  node->op = op;
+  bool requires_grad = false;
+  for (const auto& parent : parents) {
+    if (parent->requires_grad) requires_grad = true;
+  }
+  node->requires_grad = requires_grad;
+  node->parents = std::move(parents);
+  if (requires_grad) node->backward_fn = std::move(backward_fn);
+  return Tensor(std::move(node));
+}
+
+}  // namespace zerodb::nn

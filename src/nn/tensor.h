@@ -1,0 +1,97 @@
+#ifndef ZERODB_NN_TENSOR_H_
+#define ZERODB_NN_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace zerodb::nn {
+
+/// A node in the autograd graph: a 2-D float matrix plus (optionally) a
+/// gradient buffer, the backward function of the op that produced it, and
+/// its parents. Users interact through the `Tensor` handle below.
+struct Node {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<float> values;
+  std::vector<float> grad;  // same size as values when requires_grad
+  bool requires_grad = false;
+
+  /// Parents in the compute graph (inputs of the producing op); empty for
+  /// leaves (parameters and constants).
+  std::vector<std::shared_ptr<Node>> parents;
+
+  /// Propagates this node's grad into the parents' grads. Null for leaves.
+  std::function<void(Node*)> backward_fn;
+
+  /// Op name for debugging ("matmul", "relu", ..., "leaf").
+  const char* op = "leaf";
+
+  size_t size() const { return rows * cols; }
+  float& at(size_t r, size_t c) { return values[r * cols + c]; }
+  float at(size_t r, size_t c) const { return values[r * cols + c]; }
+};
+
+/// Value-semantics handle to a Node. Copies share the underlying node, like
+/// torch tensors. All shapes are (rows, cols); vectors are (1, n) or (n, 1).
+class Tensor {
+ public:
+  /// Null handle; most code should use the factories below.
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  /// A constant (no-grad) tensor filled with `value`.
+  static Tensor Full(size_t rows, size_t cols, float value);
+  static Tensor Zeros(size_t rows, size_t cols) {
+    return Full(rows, cols, 0.0f);
+  }
+
+  /// A constant tensor wrapping the given row-major data.
+  static Tensor FromData(size_t rows, size_t cols, std::vector<float> data);
+
+  /// A trainable leaf (requires_grad = true) initialized with `data`.
+  static Tensor Parameter(size_t rows, size_t cols, std::vector<float> data);
+
+  bool defined() const { return node_ != nullptr; }
+  size_t rows() const { return node_->rows; }
+  size_t cols() const { return node_->cols; }
+  size_t size() const { return node_->size(); }
+  bool requires_grad() const { return node_->requires_grad; }
+
+  const std::vector<float>& data() const { return node_->values; }
+  std::vector<float>& mutable_data() { return node_->values; }
+  const std::vector<float>& grad() const { return node_->grad; }
+  std::vector<float>& mutable_grad() { return node_->grad; }
+
+  float at(size_t r, size_t c) const { return node_->at(r, c); }
+  /// Scalar access; requires a 1x1 tensor.
+  float item() const;
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  /// Runs reverse-mode autodiff from this (scalar) tensor: seeds d(this)=1
+  /// and accumulates gradients into every requires_grad node reachable from
+  /// it. Gradients accumulate across calls until ZeroGrad.
+  void Backward();
+
+  /// Clears this node's gradient buffer (leaves only; optimizers clear
+  /// their parameters each step).
+  void ZeroGrad();
+
+  std::string ShapeString() const;
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Creates a non-leaf node for an op result. Gradient tracking is enabled iff
+/// any parent requires grad.
+Tensor MakeOpResult(size_t rows, size_t cols, const char* op,
+                    std::vector<std::shared_ptr<Node>> parents,
+                    std::function<void(Node*)> backward_fn);
+
+}  // namespace zerodb::nn
+
+#endif  // ZERODB_NN_TENSOR_H_

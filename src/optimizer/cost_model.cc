@@ -1,0 +1,76 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zerodb::optimizer {
+
+namespace {
+double Log2Safe(double x) { return std::log2(std::max(x, 2.0)); }
+}  // namespace
+
+double CostModel::SeqScanCost(int64_t pages, double rows,
+                              int64_t predicate_leaves,
+                              double out_rows) const {
+  return static_cast<double>(pages) * params_.seq_page_cost +
+         rows * params_.cpu_tuple_cost +
+         rows * static_cast<double>(predicate_leaves) *
+             params_.cpu_operator_cost +
+         out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::IndexScanCost(int64_t index_height, double matched_rows,
+                                int64_t residual_leaves,
+                                double out_rows) const {
+  return static_cast<double>(index_height) * params_.random_page_cost +
+         matched_rows *
+             (params_.random_page_cost + params_.cpu_index_tuple_cost) +
+         matched_rows * static_cast<double>(residual_leaves) *
+             params_.cpu_operator_cost +
+         out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::FilterCost(double in_rows, int64_t predicate_leaves,
+                             double out_rows) const {
+  return in_rows * static_cast<double>(predicate_leaves) *
+             params_.cpu_operator_cost +
+         out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::HashJoinCost(double build_rows, double probe_rows,
+                               double out_rows) const {
+  return build_rows * params_.hash_build_cost_per_row +
+         probe_rows * params_.hash_probe_cost_per_row +
+         out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::NestedLoopJoinCost(double left_rows, double right_rows,
+                                     double out_rows) const {
+  return left_rows * right_rows * params_.cpu_operator_cost +
+         out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::IndexNLJoinCost(double outer_rows, int64_t index_height,
+                                  double matched_rows, int64_t residual_leaves,
+                                  double out_rows) const {
+  return outer_rows * static_cast<double>(index_height) *
+             params_.random_page_cost * 0.25 +  // upper levels mostly cached
+         matched_rows *
+             (params_.random_page_cost + params_.cpu_index_tuple_cost) +
+         matched_rows * static_cast<double>(residual_leaves) *
+             params_.cpu_operator_cost +
+         out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::SortCost(double rows) const {
+  return rows * Log2Safe(rows) * params_.sort_cost_per_compare;
+}
+
+double CostModel::AggregateCost(double in_rows, size_t num_aggs,
+                                double groups) const {
+  return in_rows * params_.agg_cost_per_row *
+             std::max<double>(1.0, static_cast<double>(num_aggs)) +
+         groups * params_.cpu_tuple_cost;
+}
+
+}  // namespace zerodb::optimizer

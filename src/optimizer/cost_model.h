@@ -1,0 +1,57 @@
+#ifndef ZERODB_OPTIMIZER_COST_MODEL_H_
+#define ZERODB_OPTIMIZER_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zerodb::optimizer {
+
+/// Cost-model parameters in the Postgres tradition (arbitrary units where
+/// one sequential page read costs 1.0). These drive plan *choice* and the
+/// Scaled-Optimizer-Cost baseline; the learned models never see them.
+struct CostParams {
+  double seq_page_cost = 1.0;
+  /// SSD-era setting (Postgres' 4.0 assumes spinning disks); also keeps the
+  /// optimizer's index/seq break-even near the simulated machine's.
+  double random_page_cost = 1.5;
+  double cpu_tuple_cost = 0.01;
+  double cpu_operator_cost = 0.0025;
+  double cpu_index_tuple_cost = 0.005;
+  double hash_build_cost_per_row = 0.02;
+  double hash_probe_cost_per_row = 0.012;
+  double sort_cost_per_compare = 0.004;
+  double agg_cost_per_row = 0.015;
+};
+
+/// Analytical per-operator costs; all take estimated cardinalities.
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostParams params) : params_(params) {}
+
+  double SeqScanCost(int64_t pages, double rows, int64_t predicate_leaves,
+                     double out_rows) const;
+  double IndexScanCost(int64_t index_height, double matched_rows,
+                       int64_t residual_leaves, double out_rows) const;
+  double FilterCost(double in_rows, int64_t predicate_leaves,
+                    double out_rows) const;
+  double HashJoinCost(double build_rows, double probe_rows,
+                      double out_rows) const;
+  double NestedLoopJoinCost(double left_rows, double right_rows,
+                            double out_rows) const;
+  double IndexNLJoinCost(double outer_rows, int64_t index_height,
+                         double matched_rows, int64_t residual_leaves,
+                         double out_rows) const;
+  double SortCost(double rows) const;
+  double AggregateCost(double in_rows, size_t num_aggs,
+                       double groups) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace zerodb::optimizer
+
+#endif  // ZERODB_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,179 @@
+#include "plan/expr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace zerodb::plan {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  ZDB_CHECK(false);
+  return "?";
+}
+
+bool EvaluateCompare(double value, CompareOp op, double literal) {
+  switch (op) {
+    case CompareOp::kEq:
+      return value == literal;
+    case CompareOp::kNe:
+      return value != literal;
+    case CompareOp::kLt:
+      return value < literal;
+    case CompareOp::kLe:
+      return value <= literal;
+    case CompareOp::kGt:
+      return value > literal;
+    case CompareOp::kGe:
+      return value >= literal;
+  }
+  ZDB_CHECK(false);
+  return false;
+}
+
+Predicate Predicate::Compare(size_t slot, CompareOp op, double literal) {
+  Predicate p;
+  p.kind_ = Kind::kCompare;
+  p.slot_ = slot;
+  p.op_ = op;
+  p.literal_ = literal;
+  return p;
+}
+
+Predicate Predicate::And(std::vector<Predicate> children) {
+  ZDB_CHECK(!children.empty());
+  if (children.size() == 1) return std::move(children[0]);
+  Predicate p;
+  p.kind_ = Kind::kAnd;
+  p.children_ = std::move(children);
+  return p;
+}
+
+Predicate Predicate::Or(std::vector<Predicate> children) {
+  ZDB_CHECK(!children.empty());
+  if (children.size() == 1) return std::move(children[0]);
+  Predicate p;
+  p.kind_ = Kind::kOr;
+  p.children_ = std::move(children);
+  return p;
+}
+
+bool Predicate::Evaluate(const std::vector<double>& row) const {
+  switch (kind_) {
+    case Kind::kCompare:
+      ZDB_DCHECK(slot_ < row.size());
+      return EvaluateCompare(row[slot_], op_, literal_);
+    case Kind::kAnd:
+      for (const Predicate& child : children_) {
+        if (!child.Evaluate(row)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const Predicate& child : children_) {
+        if (child.Evaluate(row)) return true;
+      }
+      return false;
+  }
+  ZDB_CHECK(false);
+  return false;
+}
+
+size_t Predicate::NumComparisons() const {
+  if (kind_ == Kind::kCompare) return 1;
+  size_t total = 0;
+  for (const Predicate& child : children_) total += child.NumComparisons();
+  return total;
+}
+
+size_t Predicate::Depth() const {
+  if (kind_ == Kind::kCompare) return 1;
+  size_t max_child = 0;
+  for (const Predicate& child : children_) {
+    max_child = std::max(max_child, child.Depth());
+  }
+  return max_child + 1;
+}
+
+void Predicate::CollectLeaves(std::vector<const Predicate*>* leaves) const {
+  if (kind_ == Kind::kCompare) {
+    leaves->push_back(this);
+    return;
+  }
+  for (const Predicate& child : children_) child.CollectLeaves(leaves);
+}
+
+std::vector<size_t> Predicate::ReferencedSlots() const {
+  std::vector<const Predicate*> leaves;
+  CollectLeaves(&leaves);
+  std::vector<size_t> slots;
+  for (const Predicate* leaf : leaves) {
+    if (std::find(slots.begin(), slots.end(), leaf->slot()) == slots.end()) {
+      slots.push_back(leaf->slot());
+    }
+  }
+  return slots;
+}
+
+Predicate Predicate::RemapSlots(const std::vector<size_t>& slot_map) const {
+  if (kind_ == Kind::kCompare) {
+    ZDB_CHECK_LT(slot_, slot_map.size());
+    return Compare(slot_map[slot_], op_, literal_);
+  }
+  std::vector<Predicate> remapped;
+  remapped.reserve(children_.size());
+  for (const Predicate& child : children_) {
+    remapped.push_back(child.RemapSlots(slot_map));
+  }
+  Predicate p;
+  p.kind_ = kind_;
+  p.children_ = std::move(remapped);
+  return p;
+}
+
+std::string Predicate::ToString(
+    const std::vector<std::string>& slot_names) const {
+  return ToStringWithRenderer(
+      [&slot_names](size_t slot, CompareOp op, double literal) {
+        std::string name = slot < slot_names.size()
+                               ? slot_names[slot]
+                               : StrFormat("$%zu", slot);
+        return StrFormat("%s %s %g", name.c_str(), CompareOpName(op),
+                         literal);
+      });
+}
+
+std::string Predicate::ToStringWithRenderer(
+    const LeafRenderer& renderer) const {
+  switch (kind_) {
+    case Kind::kCompare:
+      return renderer(slot_, op_, literal_);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const Predicate& child : children_) {
+        parts.push_back(child.ToStringWithRenderer(renderer));
+      }
+      const char* glue = kind_ == Kind::kAnd ? " AND " : " OR ";
+      return "(" + Join(parts, glue) + ")";
+    }
+  }
+  ZDB_CHECK(false);
+  return "";
+}
+
+}  // namespace zerodb::plan

@@ -1,0 +1,311 @@
+#include "plan/physical.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace zerodb::plan {
+
+const char* PhysicalOpName(PhysicalOpType type) {
+  switch (type) {
+    case PhysicalOpType::kSeqScan:
+      return "SeqScan";
+    case PhysicalOpType::kIndexScan:
+      return "IndexScan";
+    case PhysicalOpType::kFilter:
+      return "Filter";
+    case PhysicalOpType::kHashJoin:
+      return "HashJoin";
+    case PhysicalOpType::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case PhysicalOpType::kIndexNLJoin:
+      return "IndexNLJoin";
+    case PhysicalOpType::kSort:
+      return "Sort";
+    case PhysicalOpType::kHashAggregate:
+      return "HashAggregate";
+    case PhysicalOpType::kSimpleAggregate:
+      return "SimpleAggregate";
+  }
+  ZDB_CHECK(false);
+  return "?";
+}
+
+namespace {
+
+std::vector<OutputColumn> TableColumns(const storage::Database& db,
+                                       const std::string& table_name) {
+  const storage::Table* table = db.FindTable(table_name);
+  ZDB_CHECK(table != nullptr) << "unknown table " << table_name;
+  std::vector<OutputColumn> columns;
+  columns.reserve(table->num_columns());
+  for (size_t i = 0; i < table->num_columns(); ++i) {
+    columns.push_back(OutputColumn{table_name, i, false});
+  }
+  return columns;
+}
+
+}  // namespace
+
+std::vector<OutputColumn> PhysicalNode::OutputSchema(
+    const storage::Database& db) const {
+  switch (type) {
+    case PhysicalOpType::kSeqScan:
+    case PhysicalOpType::kIndexScan:
+      return TableColumns(db, table_name);
+    case PhysicalOpType::kFilter:
+    case PhysicalOpType::kSort:
+      ZDB_CHECK_EQ(children.size(), 1u);
+      return children[0]->OutputSchema(db);
+    case PhysicalOpType::kHashJoin:
+    case PhysicalOpType::kNestedLoopJoin: {
+      ZDB_CHECK_EQ(children.size(), 2u);
+      std::vector<OutputColumn> schema = children[0]->OutputSchema(db);
+      std::vector<OutputColumn> right = children[1]->OutputSchema(db);
+      schema.insert(schema.end(), right.begin(), right.end());
+      return schema;
+    }
+    case PhysicalOpType::kIndexNLJoin: {
+      ZDB_CHECK_EQ(children.size(), 1u);
+      std::vector<OutputColumn> schema = children[0]->OutputSchema(db);
+      std::vector<OutputColumn> inner = TableColumns(db, table_name);
+      schema.insert(schema.end(), inner.begin(), inner.end());
+      return schema;
+    }
+    case PhysicalOpType::kHashAggregate:
+    case PhysicalOpType::kSimpleAggregate: {
+      ZDB_CHECK_EQ(children.size(), 1u);
+      std::vector<OutputColumn> child_schema = children[0]->OutputSchema(db);
+      std::vector<OutputColumn> schema;
+      for (size_t slot : group_by_slots) {
+        ZDB_CHECK_LT(slot, child_schema.size());
+        schema.push_back(child_schema[slot]);
+      }
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        schema.push_back(OutputColumn{"", i, true});
+      }
+      return schema;
+    }
+  }
+  ZDB_CHECK(false);
+  return {};
+}
+
+int64_t PhysicalNode::OutputWidthBytes(const storage::Database& db) const {
+  int64_t width = 0;
+  for (const OutputColumn& column : OutputSchema(db)) {
+    if (column.synthetic) {
+      width += 8;
+      continue;
+    }
+    const storage::Table* table = db.FindTable(column.table);
+    ZDB_CHECK(table != nullptr);
+    width += table->column(column.column_index).AvgWidthBytes();
+  }
+  return std::max<int64_t>(width, 1);
+}
+
+size_t PhysicalNode::SubtreeSize() const {
+  size_t count = 1;
+  for (const auto& child : children) count += child->SubtreeSize();
+  return count;
+}
+
+size_t PhysicalNode::Height() const {
+  size_t max_child = 0;
+  for (const auto& child : children) {
+    max_child = std::max(max_child, child->Height());
+  }
+  return max_child + 1;
+}
+
+void PhysicalNode::Visit(
+    const std::function<void(const PhysicalNode&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children) child->Visit(fn);
+}
+
+void PhysicalNode::VisitMutable(const std::function<void(PhysicalNode&)>& fn) {
+  fn(*this);
+  for (auto& child : children) child->VisitMutable(fn);
+}
+
+std::unique_ptr<PhysicalNode> PhysicalNode::Clone() const {
+  auto copy = std::make_unique<PhysicalNode>();
+  copy->type = type;
+  copy->table_name = table_name;
+  copy->predicate = predicate;
+  copy->index_column = index_column;
+  copy->range_lo = range_lo;
+  copy->range_hi = range_hi;
+  copy->left_key_slot = left_key_slot;
+  copy->right_key_slot = right_key_slot;
+  copy->group_by_slots = group_by_slots;
+  copy->aggregates = aggregates;
+  copy->sort_slots = sort_slots;
+  copy->est_cardinality = est_cardinality;
+  copy->est_cost = est_cost;
+  copy->true_cardinality = true_cardinality;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+std::string PhysicalNode::ToString(const storage::Database& db,
+                                   int indent) const {
+  std::string line(static_cast<size_t>(indent) * 2, ' ');
+  line += PhysicalOpName(type);
+  switch (type) {
+    case PhysicalOpType::kSeqScan:
+      line += "(" + table_name + ")";
+      break;
+    case PhysicalOpType::kIndexScan: {
+      const storage::Table* table = db.FindTable(table_name);
+      std::string column = table != nullptr
+                               ? table->schema().column(index_column).name
+                               : StrFormat("#%zu", index_column);
+      line += StrFormat("(%s.%s in [%s, %s])", table_name.c_str(),
+                        column.c_str(),
+                        range_lo ? FormatDouble(*range_lo, 2).c_str() : "-inf",
+                        range_hi ? FormatDouble(*range_hi, 2).c_str() : "+inf");
+      break;
+    }
+    case PhysicalOpType::kIndexNLJoin:
+      line += StrFormat("(outer.$%zu = %s.#%zu)", left_key_slot,
+                        table_name.c_str(), index_column);
+      break;
+    case PhysicalOpType::kHashJoin:
+    case PhysicalOpType::kNestedLoopJoin:
+      line += StrFormat("($%zu = $%zu)", left_key_slot, right_key_slot);
+      break;
+    default:
+      break;
+  }
+  if (predicate.has_value()) {
+    std::vector<std::string> slot_names;
+    if (type == PhysicalOpType::kSeqScan ||
+        type == PhysicalOpType::kIndexScan ||
+        type == PhysicalOpType::kIndexNLJoin) {
+      const storage::Table* table = db.FindTable(table_name);
+      if (table != nullptr) {
+        for (const auto& column : table->schema().columns()) {
+          slot_names.push_back(column.name);
+        }
+      }
+    }
+    line += " filter=" + predicate->ToString(slot_names);
+  }
+  if (!aggregates.empty()) {
+    line += StrFormat(" aggs=%zu", aggregates.size());
+  }
+  line += StrFormat("  [est=%.1f", est_cardinality);
+  if (true_cardinality >= 0) line += StrFormat(" true=%.0f", true_cardinality);
+  line += "]";
+  for (const auto& child : children) {
+    line += "\n" + child->ToString(db, indent + 1);
+  }
+  return line;
+}
+
+std::unique_ptr<PhysicalNode> MakeSeqScan(std::string table,
+                                          std::optional<Predicate> predicate) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kSeqScan;
+  node->table_name = std::move(table);
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+std::unique_ptr<PhysicalNode> MakeIndexScan(
+    std::string table, size_t index_column, std::optional<double> lo,
+    std::optional<double> hi, std::optional<Predicate> residual) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kIndexScan;
+  node->table_name = std::move(table);
+  node->index_column = index_column;
+  node->range_lo = lo;
+  node->range_hi = hi;
+  node->predicate = std::move(residual);
+  return node;
+}
+
+std::unique_ptr<PhysicalNode> MakeFilter(std::unique_ptr<PhysicalNode> child,
+                                         Predicate predicate) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kFilter;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PhysicalNode> MakeHashJoin(std::unique_ptr<PhysicalNode> build,
+                                           std::unique_ptr<PhysicalNode> probe,
+                                           size_t left_key_slot,
+                                           size_t right_key_slot) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kHashJoin;
+  node->left_key_slot = left_key_slot;
+  node->right_key_slot = right_key_slot;
+  node->children.push_back(std::move(build));
+  node->children.push_back(std::move(probe));
+  return node;
+}
+
+std::unique_ptr<PhysicalNode> MakeNestedLoopJoin(
+    std::unique_ptr<PhysicalNode> left, std::unique_ptr<PhysicalNode> right,
+    size_t left_key_slot, size_t right_key_slot) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kNestedLoopJoin;
+  node->left_key_slot = left_key_slot;
+  node->right_key_slot = right_key_slot;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<PhysicalNode> MakeIndexNLJoin(
+    std::unique_ptr<PhysicalNode> outer, std::string inner_table,
+    size_t outer_key_slot, size_t inner_key_column,
+    std::optional<Predicate> inner_residual) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kIndexNLJoin;
+  node->table_name = std::move(inner_table);
+  node->left_key_slot = outer_key_slot;
+  node->index_column = inner_key_column;
+  node->predicate = std::move(inner_residual);
+  node->children.push_back(std::move(outer));
+  return node;
+}
+
+std::unique_ptr<PhysicalNode> MakeSort(std::unique_ptr<PhysicalNode> child,
+                                       std::vector<size_t> sort_slots) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kSort;
+  node->sort_slots = std::move(sort_slots);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PhysicalNode> MakeSimpleAggregate(
+    std::unique_ptr<PhysicalNode> child,
+    std::vector<AggregateExpr> aggregates) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kSimpleAggregate;
+  node->aggregates = std::move(aggregates);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PhysicalNode> MakeHashAggregate(
+    std::unique_ptr<PhysicalNode> child, std::vector<size_t> group_by_slots,
+    std::vector<AggregateExpr> aggregates) {
+  auto node = std::make_unique<PhysicalNode>();
+  node->type = PhysicalOpType::kHashAggregate;
+  node->group_by_slots = std::move(group_by_slots);
+  node->aggregates = std::move(aggregates);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+}  // namespace zerodb::plan

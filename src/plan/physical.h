@@ -1,0 +1,155 @@
+#ifndef ZERODB_PLAN_PHYSICAL_H_
+#define ZERODB_PLAN_PHYSICAL_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/expr.h"
+#include "plan/query.h"
+#include "storage/database.h"
+
+namespace zerodb::plan {
+
+/// Physical operator kinds. The zero-shot model has one encoder per kind:
+/// physical (not logical) operators are featurized so runtime-complexity
+/// differences (hash vs index-nested-loop join, seq vs index scan) are
+/// visible to the model, as in the paper's Figure 3.
+enum class PhysicalOpType {
+  kSeqScan,
+  kIndexScan,
+  kFilter,
+  kHashJoin,
+  kNestedLoopJoin,
+  kIndexNLJoin,
+  kSort,
+  kHashAggregate,
+  kSimpleAggregate,
+};
+
+const char* PhysicalOpName(PhysicalOpType type);
+inline constexpr size_t kNumPhysicalOpTypes = 9;
+
+/// An aggregate over a slot of the child's output (nullopt = COUNT(*)).
+struct AggregateExpr {
+  AggFunc func = AggFunc::kCount;
+  std::optional<size_t> input_slot;
+};
+
+/// Provenance of one output column: which base table column it carries.
+/// Synthetic columns (aggregate results) have table empty.
+struct OutputColumn {
+  std::string table;
+  size_t column_index = 0;
+  bool synthetic = false;
+};
+
+/// A node of a physical query plan. Plans are trees of unique_ptr-owned
+/// nodes; annotation fields are written by the optimizer (estimates) and the
+/// executor (true cardinalities) and consumed by the featurizers.
+struct PhysicalNode {
+  PhysicalOpType type = PhysicalOpType::kSeqScan;
+  std::vector<std::unique_ptr<PhysicalNode>> children;
+
+  // --- Scans (kSeqScan, kIndexScan) and the inner side of kIndexNLJoin ---
+  std::string table_name;
+  /// Scan filter (slots = base table columns) evaluated during the scan; for
+  /// kIndexScan this is the residual predicate applied after the range
+  /// lookup; for kFilter the slots index the child's output schema; for
+  /// kIndexNLJoin it is the residual predicate on the *inner* table.
+  std::optional<Predicate> predicate;
+  // kIndexScan: indexed column and inclusive key range.
+  size_t index_column = 0;
+  std::optional<double> range_lo;
+  std::optional<double> range_hi;
+
+  // --- Joins (kHashJoin, kNestedLoopJoin): equi-join slots into the left /
+  // right child output schemas. For kIndexNLJoin, left_key_slot indexes the
+  // outer (only) child's output and index_column names the inner key column.
+  size_t left_key_slot = 0;
+  size_t right_key_slot = 0;
+
+  // --- Aggregation (kHashAggregate has group_by_slots; kSimpleAggregate
+  // produces exactly one row) ---
+  std::vector<size_t> group_by_slots;
+  std::vector<AggregateExpr> aggregates;
+
+  // --- Sort ---
+  std::vector<size_t> sort_slots;
+
+  // --- Annotations ---
+  double est_cardinality = 0.0;   ///< optimizer's estimated output rows
+  double est_cost = 0.0;          ///< optimizer's cumulative cost
+  double true_cardinality = -1.0; ///< filled by the executor, -1 = unknown
+
+  /// Output schema given the database (for widths / slot resolution).
+  std::vector<OutputColumn> OutputSchema(const storage::Database& db) const;
+
+  /// Average output tuple width in bytes.
+  int64_t OutputWidthBytes(const storage::Database& db) const;
+
+  /// Number of nodes in this subtree.
+  size_t SubtreeSize() const;
+
+  /// Tree height (leaf = 1).
+  size_t Height() const;
+
+  /// Pre-order visit of the subtree.
+  void Visit(const std::function<void(const PhysicalNode&)>& fn) const;
+  void VisitMutable(const std::function<void(PhysicalNode&)>& fn);
+
+  /// Deep copy (annotations included).
+  std::unique_ptr<PhysicalNode> Clone() const;
+
+  /// Indented multi-line rendering of the subtree (EXPLAIN-style).
+  std::string ToString(const storage::Database& db, int indent = 0) const;
+};
+
+/// Convenience builders.
+std::unique_ptr<PhysicalNode> MakeSeqScan(std::string table,
+                                          std::optional<Predicate> predicate);
+std::unique_ptr<PhysicalNode> MakeIndexScan(std::string table,
+                                            size_t index_column,
+                                            std::optional<double> lo,
+                                            std::optional<double> hi,
+                                            std::optional<Predicate> residual);
+std::unique_ptr<PhysicalNode> MakeFilter(std::unique_ptr<PhysicalNode> child,
+                                         Predicate predicate);
+std::unique_ptr<PhysicalNode> MakeHashJoin(std::unique_ptr<PhysicalNode> build,
+                                           std::unique_ptr<PhysicalNode> probe,
+                                           size_t left_key_slot,
+                                           size_t right_key_slot);
+std::unique_ptr<PhysicalNode> MakeNestedLoopJoin(
+    std::unique_ptr<PhysicalNode> left, std::unique_ptr<PhysicalNode> right,
+    size_t left_key_slot, size_t right_key_slot);
+std::unique_ptr<PhysicalNode> MakeIndexNLJoin(
+    std::unique_ptr<PhysicalNode> outer, std::string inner_table,
+    size_t outer_key_slot, size_t inner_key_column,
+    std::optional<Predicate> inner_residual);
+std::unique_ptr<PhysicalNode> MakeSort(std::unique_ptr<PhysicalNode> child,
+                                       std::vector<size_t> sort_slots);
+std::unique_ptr<PhysicalNode> MakeSimpleAggregate(
+    std::unique_ptr<PhysicalNode> child, std::vector<AggregateExpr> aggregates);
+std::unique_ptr<PhysicalNode> MakeHashAggregate(
+    std::unique_ptr<PhysicalNode> child, std::vector<size_t> group_by_slots,
+    std::vector<AggregateExpr> aggregates);
+
+/// A complete plan: the root node plus the query it answers.
+struct PhysicalPlan {
+  std::unique_ptr<PhysicalNode> root;
+
+  PhysicalPlan() = default;
+  explicit PhysicalPlan(std::unique_ptr<PhysicalNode> r) : root(std::move(r)) {}
+
+  PhysicalPlan Clone() const {
+    PhysicalPlan copy;
+    if (root != nullptr) copy.root = root->Clone();
+    return copy;
+  }
+};
+
+}  // namespace zerodb::plan
+
+#endif  // ZERODB_PLAN_PHYSICAL_H_

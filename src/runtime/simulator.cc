@@ -1,0 +1,102 @@
+#include "runtime/simulator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zerodb::runtime {
+
+namespace {
+
+double Log2Safe(double x) { return std::log2(x < 2.0 ? 2.0 : x); }
+
+}  // namespace
+
+RuntimeSimulator::RuntimeSimulator(MachineProfile profile)
+    : profile_(profile) {}
+
+double RuntimeSimulator::OperatorMs(plan::PhysicalOpType type,
+                                    const exec::OperatorStats& stats,
+                                    size_t num_aggregates) const {
+  const MachineProfile& p = profile_;
+  double ms = p.operator_startup_ms;
+  // Work every operator pays: producing its output.
+  ms += static_cast<double>(stats.output_rows) * p.tuple_cpu_ms;
+  ms += static_cast<double>(stats.output_bytes) * p.output_byte_ms;
+  ms += static_cast<double>(stats.predicate_evals) * p.predicate_leaf_ms;
+
+  auto cache_factor = [&p](double rows) {
+    // Smooth out-of-cache penalty: 1 at 0 rows, 1 + penalty for tables far
+    // beyond the cache size. log1p keeps it differentiable-ish and mild.
+    return 1.0 + p.cache_penalty * std::log1p(rows / p.cache_rows) /
+                     std::log1p(8.0);
+  };
+
+  switch (type) {
+    case plan::PhysicalOpType::kSeqScan:
+      ms += static_cast<double>(stats.pages_read) * p.seq_page_ms;
+      ms += static_cast<double>(stats.rows_scanned) * p.tuple_cpu_ms * 0.5;
+      break;
+    case plan::PhysicalOpType::kIndexScan:
+      ms += static_cast<double>(stats.index_probes) * p.index_probe_ms;
+      ms += static_cast<double>(stats.index_entries) * p.index_entry_ms;
+      ms += static_cast<double>(stats.pages_read) * p.random_page_ms;
+      break;
+    case plan::PhysicalOpType::kFilter:
+      break;  // predicate_evals covered above
+    case plan::PhysicalOpType::kHashJoin: {
+      double build = static_cast<double>(stats.hash_build_rows);
+      double probe = static_cast<double>(stats.hash_probe_rows);
+      double factor = cache_factor(build);
+      ms += build * p.hash_build_row_ms * factor;
+      ms += probe * p.hash_probe_row_ms * factor;
+      break;
+    }
+    case plan::PhysicalOpType::kNestedLoopJoin:
+      break;  // predicate_evals covers the quadratic comparisons
+    case plan::PhysicalOpType::kIndexNLJoin:
+      ms += static_cast<double>(stats.index_probes) * p.index_probe_ms;
+      ms += static_cast<double>(stats.index_entries) * p.index_entry_ms;
+      ms += static_cast<double>(stats.pages_read) * p.random_page_ms * 0.1;
+      break;
+    case plan::PhysicalOpType::kSort: {
+      double rows = static_cast<double>(stats.sort_rows);
+      ms += rows * Log2Safe(rows) * p.sort_compare_ms;
+      break;
+    }
+    case plan::PhysicalOpType::kHashAggregate:
+    case plan::PhysicalOpType::kSimpleAggregate: {
+      double rows = static_cast<double>(stats.input_rows_left);
+      double groups = static_cast<double>(stats.group_count);
+      ms += rows * p.agg_update_ms *
+            static_cast<double>(num_aggregates == 0 ? 1 : num_aggregates) *
+            cache_factor(groups);
+      ms += groups * p.group_ms;
+      break;
+    }
+  }
+  return ms;
+}
+
+double RuntimeSimulator::PlanMs(const plan::PhysicalPlan& plan,
+                                const exec::ExecutionResult& result) const {
+  ZDB_CHECK(plan.root != nullptr);
+  double total = profile_.startup_ms;
+  plan.root->Visit([&](const plan::PhysicalNode& node) {
+    total += OperatorMs(node.type, result.StatsFor(node),
+                        node.aggregates.size());
+  });
+  return total;
+}
+
+double RuntimeSimulator::NoisyPlanMs(const plan::PhysicalPlan& plan,
+                                     const exec::ExecutionResult& result,
+                                     Rng* rng) const {
+  ZDB_CHECK(rng != nullptr);
+  const double sigma = profile_.noise_sigma;
+  // Mean-one lognormal noise: E[exp(N(-s^2/2, s^2))] = 1.
+  double noise = rng->LogNormal(-0.5 * sigma * sigma, sigma);
+  return PlanMs(plan, result) * noise;
+}
+
+}  // namespace zerodb::runtime

@@ -1,0 +1,67 @@
+#ifndef ZERODB_RUNTIME_SIMULATOR_H_
+#define ZERODB_RUNTIME_SIMULATOR_H_
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "plan/physical.h"
+
+namespace zerodb::runtime {
+
+/// Latency parameters of the simulated machine, in milliseconds per unit of
+/// work. This is the *hidden ground truth* standing in for the paper's real
+/// PostgreSQL server: the executor reports what work was done, this profile
+/// says how long that work takes. The learned models never see these
+/// constants, and the functional forms are deliberately different from the
+/// optimizer's CostModel (nonlinear cache terms, per-operator startup), so a
+/// linear rescaling of optimizer cost cannot fit runtimes exactly.
+struct MachineProfile {
+  double startup_ms = 0.4;             ///< per-query overhead
+  double operator_startup_ms = 0.04;   ///< per-operator overhead
+  double seq_page_ms = 0.015;
+  double random_page_ms = 0.06;
+  double tuple_cpu_ms = 0.0004;
+  double predicate_leaf_ms = 0.00012;
+  double hash_build_row_ms = 0.0011;
+  double hash_probe_row_ms = 0.0006;
+  double index_probe_ms = 0.0035;
+  double index_entry_ms = 0.0012;
+  double sort_compare_ms = 0.00035;    ///< x n log2 n
+  double agg_update_ms = 0.00045;      ///< per row per aggregate
+  double group_ms = 0.0009;            ///< per output group
+  double output_byte_ms = 1.5e-6;      ///< materialization bandwidth
+  /// Hash tables beyond this many rows fall out of cache; build/probe costs
+  /// scale up smoothly (the main nonlinearity).
+  double cache_rows = 60000.0;
+  double cache_penalty = 0.9;
+  /// Multiplicative lognormal noise (sigma of log runtime) applied per
+  /// query; models real-machine variance and keeps Q-errors above 1.
+  double noise_sigma = 0.08;
+};
+
+/// Converts executed plans' work counters into simulated runtimes.
+class RuntimeSimulator {
+ public:
+  explicit RuntimeSimulator(MachineProfile profile = MachineProfile());
+
+  /// Deterministic time for one operator's work.
+  double OperatorMs(plan::PhysicalOpType type,
+                    const exec::OperatorStats& stats,
+                    size_t num_aggregates) const;
+
+  /// Deterministic total runtime of an executed plan (no noise).
+  double PlanMs(const plan::PhysicalPlan& plan,
+                const exec::ExecutionResult& result) const;
+
+  /// Total runtime with multiplicative noise drawn from `rng`.
+  double NoisyPlanMs(const plan::PhysicalPlan& plan,
+                     const exec::ExecutionResult& result, Rng* rng) const;
+
+  const MachineProfile& profile() const { return profile_; }
+
+ private:
+  MachineProfile profile_;
+};
+
+}  // namespace zerodb::runtime
+
+#endif  // ZERODB_RUNTIME_SIMULATOR_H_

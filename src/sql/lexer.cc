@@ -1,0 +1,164 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace zerodb::sql {
+
+namespace {
+
+const char* const kKeywords[] = {"select", "from", "where", "and", "or",
+                                 "group",  "by",   "count", "sum", "avg",
+                                 "min",    "max",  "as",    "order"};
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  for (const char* keyword : kKeywords) {
+    if (word == keyword) return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        ++i;
+      }
+      token.text = ToLower(text.substr(start, i - start));
+      token.type = IsKeyword(token.text) ? TokenType::kKeyword
+                                         : TokenType::kIdentifier;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.' || text[i] == 'e' || text[i] == 'E' ||
+                       ((text[i] == '+' || text[i] == '-') &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+        ++i;
+      }
+      token.type = TokenType::kNumber;
+      token.text = text.substr(start, i - start);
+      char* end = nullptr;
+      token.number = std::strtod(token.text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("bad number '%s' at %zu", token.text.c_str(), start));
+      }
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && text[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string at %zu", token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = text.substr(start, i - start);
+      ++i;  // closing quote
+    } else {
+      switch (c) {
+        case ',':
+          token.type = TokenType::kComma;
+          token.text = ",";
+          ++i;
+          break;
+        case '.':
+          token.type = TokenType::kDot;
+          token.text = ".";
+          ++i;
+          break;
+        case '*':
+          token.type = TokenType::kStar;
+          token.text = "*";
+          ++i;
+          break;
+        case '(':
+          token.type = TokenType::kLParen;
+          token.text = "(";
+          ++i;
+          break;
+        case ')':
+          token.type = TokenType::kRParen;
+          token.text = ")";
+          ++i;
+          break;
+        case ';':
+          token.type = TokenType::kSemicolon;
+          token.text = ";";
+          ++i;
+          break;
+        case '=':
+          token.type = TokenType::kOperator;
+          token.text = "=";
+          ++i;
+          break;
+        case '<':
+          token.type = TokenType::kOperator;
+          if (i + 1 < n && text[i + 1] == '=') {
+            token.text = "<=";
+            i += 2;
+          } else if (i + 1 < n && text[i + 1] == '>') {
+            token.text = "<>";
+            i += 2;
+          } else {
+            token.text = "<";
+            ++i;
+          }
+          break;
+        case '>':
+          token.type = TokenType::kOperator;
+          if (i + 1 < n && text[i + 1] == '=') {
+            token.text = ">=";
+            i += 2;
+          } else {
+            token.text = ">";
+            ++i;
+          }
+          break;
+        case '!':
+          if (i + 1 < n && text[i + 1] == '=') {
+            token.type = TokenType::kOperator;
+            token.text = "<>";
+            i += 2;
+            break;
+          }
+          [[fallthrough]];
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '%c' at %zu", c, i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.type = TokenType::kEnd;
+  end_token.position = n;
+  tokens.push_back(end_token);
+  return tokens;
+}
+
+}  // namespace zerodb::sql

@@ -1,0 +1,43 @@
+#ifndef ZERODB_SQL_LEXER_H_
+#define ZERODB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zerodb::sql {
+
+enum class TokenType {
+  kIdentifier,   // title, production_year
+  kNumber,       // 42, 3.5, -7
+  kString,       // 'berlin'
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kOperator,     // = <> < <= > >=
+  kKeyword,      // SELECT FROM WHERE AND OR GROUP BY COUNT SUM AVG MIN MAX AS ORDER
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // normalized: keywords/identifiers lower-cased
+  double number = 0.0;    // for kNumber
+  size_t position = 0;    // byte offset, for error messages
+};
+
+/// Tokenizes a SQL string. Keywords are case-insensitive; identifiers are
+/// lower-cased (this engine's catalogs are lower-case). Fails on unknown
+/// characters and unterminated strings.
+StatusOr<std::vector<Token>> Tokenize(const std::string& text);
+
+/// True if the (lower-case) word is a recognized keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace zerodb::sql
+
+#endif  // ZERODB_SQL_LEXER_H_

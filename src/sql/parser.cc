@@ -1,0 +1,418 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace zerodb::sql {
+
+namespace {
+
+using plan::AggFunc;
+using plan::CompareOp;
+using plan::Predicate;
+using plan::QuerySpec;
+
+struct ColumnRef {
+  std::string table;
+  size_t column_index = 0;
+};
+
+// A parsed scalar comparison or boolean combination, before it is assigned
+// to a table (join vs filter) during binding.
+struct BoundPredicate {
+  std::string table;        // every leaf references this table
+  Predicate predicate = Predicate::Compare(0, CompareOp::kEq, 0);
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const storage::Database& db)
+      : tokens_(std::move(tokens)), db_(db) {}
+
+  StatusOr<QuerySpec> Parse() {
+    ZDB_RETURN_NOT_OK(ExpectKeyword("select"));
+    ZDB_RETURN_NOT_OK(ParseSelectList());
+    ZDB_RETURN_NOT_OK(ExpectKeyword("from"));
+    ZDB_RETURN_NOT_OK(ParseTableList());
+    if (AcceptKeyword("where")) {
+      ZDB_RETURN_NOT_OK(ParseWhere());
+    }
+    if (AcceptKeyword("group")) {
+      ZDB_RETURN_NOT_OK(ExpectKeyword("by"));
+      ZDB_RETURN_NOT_OK(ParseGroupBy());
+    }
+    (void)Accept(TokenType::kSemicolon);
+    if (Peek().type != TokenType::kEnd) {
+      return ErrorHere("trailing input");
+    }
+    ZDB_RETURN_NOT_OK(BindSelectItems());
+    ZDB_RETURN_NOT_OK(query_.Validate(db_));
+    return query_;
+  }
+
+ private:
+  // ----- token helpers -----
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = std::min(position_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  const Token& Advance() { return tokens_[position_++]; }
+  bool Accept(TokenType type) {
+    if (Peek().type == type) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const std::string& keyword) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == keyword) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return ErrorHere("expected '" + keyword + "'");
+    }
+    return Status::OK();
+  }
+  Status Expect(TokenType type, const char* what) {
+    if (!Accept(type)) return ErrorHere(std::string("expected ") + what);
+    return Status::OK();
+  }
+  Status ErrorHere(const std::string& message) const {
+    return Status::InvalidArgument(StrFormat(
+        "%s at position %zu (near '%s')", message.c_str(), Peek().position,
+        Peek().text.c_str()));
+  }
+
+  // ----- grammar -----
+  // Select items are remembered raw and bound after FROM is known.
+  struct RawSelectItem {
+    bool is_aggregate = false;
+    bool is_star = false;           // COUNT(*) argument or bare '*'
+    AggFunc func = AggFunc::kCount;
+    std::string table;              // may be empty (unqualified)
+    std::string column;
+  };
+
+  Status ParseSelectList() {
+    if (Accept(TokenType::kStar)) {
+      RawSelectItem item;
+      item.is_star = true;
+      raw_items_.push_back(item);
+      return Status::OK();
+    }
+    do {
+      RawSelectItem item;
+      if (Peek().type == TokenType::kKeyword && IsAggName(Peek().text)) {
+        item.is_aggregate = true;
+        item.func = AggFromName(Advance().text);
+        ZDB_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+        if (Accept(TokenType::kStar)) {
+          item.is_star = true;
+        } else {
+          ZDB_RETURN_NOT_OK(ParseColumnName(&item.table, &item.column));
+        }
+        ZDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      } else {
+        ZDB_RETURN_NOT_OK(ParseColumnName(&item.table, &item.column));
+      }
+      raw_items_.push_back(std::move(item));
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  Status ParseTableList() {
+    do {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected table name");
+      }
+      query_.tables.push_back(Advance().text);
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  Status ParseColumnName(std::string* table, std::string* column) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected column name");
+    }
+    std::string first = Advance().text;
+    if (Accept(TokenType::kDot)) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected column name after '.'");
+      }
+      *table = first;
+      *column = Advance().text;
+    } else {
+      table->clear();
+      *column = first;
+    }
+    return Status::OK();
+  }
+
+  // Resolves a (possibly unqualified) column against the FROM tables.
+  StatusOr<ColumnRef> Resolve(const std::string& table,
+                              const std::string& column) {
+    if (!table.empty()) {
+      if (std::find(query_.tables.begin(), query_.tables.end(), table) ==
+          query_.tables.end()) {
+        return Status::InvalidArgument("table not in FROM: " + table);
+      }
+      const storage::Table* t = db_.FindTable(table);
+      if (t == nullptr) return Status::NotFound("table: " + table);
+      auto index = t->schema().FindColumn(column);
+      if (!index.has_value()) {
+        return Status::NotFound("column: " + table + "." + column);
+      }
+      return ColumnRef{table, *index};
+    }
+    // Unqualified: search the FROM tables; must be unique.
+    std::optional<ColumnRef> found;
+    for (const std::string& candidate : query_.tables) {
+      const storage::Table* t = db_.FindTable(candidate);
+      if (t == nullptr) continue;
+      auto index = t->schema().FindColumn(column);
+      if (index.has_value()) {
+        if (found.has_value()) {
+          return Status::InvalidArgument("ambiguous column: " + column);
+        }
+        found = ColumnRef{candidate, *index};
+      }
+    }
+    if (!found.has_value()) return Status::NotFound("column: " + column);
+    return *found;
+  }
+
+  static bool IsAggName(const std::string& word) {
+    return word == "count" || word == "sum" || word == "avg" ||
+           word == "min" || word == "max";
+  }
+  static AggFunc AggFromName(const std::string& word) {
+    if (word == "count") return AggFunc::kCount;
+    if (word == "sum") return AggFunc::kSum;
+    if (word == "avg") return AggFunc::kAvg;
+    if (word == "min") return AggFunc::kMin;
+    return AggFunc::kMax;
+  }
+
+  static StatusOr<CompareOp> OpFromText(const std::string& text) {
+    if (text == "=") return CompareOp::kEq;
+    if (text == "<>") return CompareOp::kNe;
+    if (text == "<") return CompareOp::kLt;
+    if (text == "<=") return CompareOp::kLe;
+    if (text == ">") return CompareOp::kGt;
+    if (text == ">=") return CompareOp::kGe;
+    return Status::InvalidArgument("unknown operator: " + text);
+  }
+
+  // WHERE := factor (AND factor)* ; each factor is a join condition, a
+  // comparison, or a parenthesized OR group over one table.
+  Status ParseWhere() {
+    do {
+      ZDB_RETURN_NOT_OK(ParseWhereFactor());
+    } while (AcceptKeyword("and"));
+    return Status::OK();
+  }
+
+  Status ParseWhereFactor() {
+    if (Accept(TokenType::kLParen)) {
+      // Parenthesized group: comparisons combined with a single connective
+      // (all OR or all AND), over a single table.
+      ZDB_ASSIGN_OR_RETURN(BoundPredicate first, ParseComparison());
+      std::vector<Predicate> branches = {first.predicate};
+      std::string table = first.table;
+      bool is_or = false;
+      bool saw_connective = false;
+      while (true) {
+        bool got_or = AcceptKeyword("or");
+        bool got_and = !got_or && AcceptKeyword("and");
+        if (!got_or && !got_and) break;
+        if (saw_connective && got_or != is_or) {
+          return Status::InvalidArgument(
+              "mixed AND/OR inside one group is not supported; nest "
+              "parentheses");
+        }
+        is_or = got_or;
+        saw_connective = true;
+        ZDB_ASSIGN_OR_RETURN(BoundPredicate next, ParseComparison());
+        if (next.table != table) {
+          return Status::InvalidArgument(
+              "boolean groups across different tables are not supported");
+        }
+        branches.push_back(next.predicate);
+      }
+      ZDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      Predicate group = is_or ? Predicate::Or(std::move(branches))
+                              : Predicate::And(std::move(branches));
+      query_.filters.push_back(plan::FilterSpec{table, std::move(group)});
+      return Status::OK();
+    }
+
+    // Either `col op literal` or a join `col = col`.
+    std::string left_table;
+    std::string left_column;
+    ZDB_RETURN_NOT_OK(ParseColumnName(&left_table, &left_column));
+    if (Peek().type != TokenType::kOperator) {
+      return ErrorHere("expected comparison operator");
+    }
+    std::string op_text = Advance().text;
+    ZDB_ASSIGN_OR_RETURN(CompareOp op, OpFromText(op_text));
+
+    if (Peek().type == TokenType::kIdentifier) {
+      // Join condition.
+      if (op != CompareOp::kEq) {
+        return ErrorHere("only equi-joins are supported");
+      }
+      std::string right_table;
+      std::string right_column;
+      ZDB_RETURN_NOT_OK(ParseColumnName(&right_table, &right_column));
+      ZDB_ASSIGN_OR_RETURN(ColumnRef left, Resolve(left_table, left_column));
+      ZDB_ASSIGN_OR_RETURN(ColumnRef right,
+                           Resolve(right_table, right_column));
+      const storage::Table* lt = db_.FindTable(left.table);
+      const storage::Table* rt = db_.FindTable(right.table);
+      query_.joins.push_back(plan::JoinSpec{
+          left.table, lt->schema().column(left.column_index).name,
+          right.table, rt->schema().column(right.column_index).name});
+      return Status::OK();
+    }
+
+    ZDB_ASSIGN_OR_RETURN(BoundPredicate bound,
+                         FinishComparison(left_table, left_column, op));
+    query_.filters.push_back(plan::FilterSpec{bound.table, bound.predicate});
+    return Status::OK();
+  }
+
+  // Parses `col op literal` (no join allowed here; used inside OR groups).
+  StatusOr<BoundPredicate> ParseComparison() {
+    std::string table;
+    std::string column;
+    ZDB_RETURN_NOT_OK(ParseColumnName(&table, &column));
+    if (Peek().type != TokenType::kOperator) {
+      return Status(StatusCode::kInvalidArgument,
+                    "expected comparison operator in predicate");
+    }
+    ZDB_ASSIGN_OR_RETURN(CompareOp op, OpFromText(Advance().text));
+    return FinishComparison(table, column, op);
+  }
+
+  StatusOr<BoundPredicate> FinishComparison(const std::string& table,
+                                            const std::string& column,
+                                            CompareOp op) {
+    ZDB_ASSIGN_OR_RETURN(ColumnRef ref, Resolve(table, column));
+    const storage::Table* t = db_.FindTable(ref.table);
+    const storage::Column& col = t->column(ref.column_index);
+
+    double literal = 0.0;
+    if (Peek().type == TokenType::kNumber) {
+      if (col.type() == catalog::DataType::kString) {
+        return Status::InvalidArgument(
+            "numeric literal compared against string column " + column);
+      }
+      literal = Advance().number;
+    } else if (Peek().type == TokenType::kString) {
+      if (col.type() != catalog::DataType::kString) {
+        return Status::InvalidArgument(
+            "string literal compared against numeric column " + column);
+      }
+      if (op != CompareOp::kEq && op != CompareOp::kNe) {
+        return Status::InvalidArgument(
+            "string columns support only = and <>");
+      }
+      std::string value = Advance().text;
+      auto code = col.LookupCode(value);
+      // Unknown strings match nothing: use a code outside the dictionary.
+      literal = code.ok() ? static_cast<double>(*code) : -1.0;
+    } else {
+      return ErrorHere("expected literal");
+    }
+    BoundPredicate bound;
+    bound.table = ref.table;
+    bound.predicate = Predicate::Compare(ref.column_index, op, literal);
+    return bound;
+  }
+
+  Status ParseGroupBy() {
+    do {
+      std::string table;
+      std::string column;
+      ZDB_RETURN_NOT_OK(ParseColumnName(&table, &column));
+      ZDB_ASSIGN_OR_RETURN(ColumnRef ref, Resolve(table, column));
+      const storage::Table* t = db_.FindTable(ref.table);
+      query_.group_by.push_back(plan::GroupBySpec{
+          ref.table, t->schema().column(ref.column_index).name});
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  // Turns raw select items into aggregates, checking GROUP BY consistency.
+  Status BindSelectItems() {
+    for (const RawSelectItem& item : raw_items_) {
+      if (item.is_aggregate) {
+        if (item.is_star) {
+          if (item.func != AggFunc::kCount) {
+            return Status::InvalidArgument("only COUNT(*) takes '*'");
+          }
+          query_.aggregates.push_back(plan::AggregateSpec{AggFunc::kCount,
+                                                          "", ""});
+        } else {
+          ZDB_ASSIGN_OR_RETURN(ColumnRef ref,
+                               Resolve(item.table, item.column));
+          const storage::Table* t = db_.FindTable(ref.table);
+          query_.aggregates.push_back(plan::AggregateSpec{
+              item.func, ref.table,
+              t->schema().column(ref.column_index).name});
+        }
+        continue;
+      }
+      if (item.is_star) {
+        // Bare '*': plain scan projection, allowed only without grouping
+        // or aggregation.
+        if (!query_.group_by.empty()) {
+          return Status::InvalidArgument("SELECT * with GROUP BY");
+        }
+        continue;
+      }
+      // Bare column: must appear in GROUP BY.
+      ZDB_ASSIGN_OR_RETURN(ColumnRef ref, Resolve(item.table, item.column));
+      const storage::Table* t = db_.FindTable(ref.table);
+      const std::string& name = t->schema().column(ref.column_index).name;
+      bool grouped = false;
+      for (const plan::GroupBySpec& g : query_.group_by) {
+        if (g.table == ref.table && g.column == name) grouped = true;
+      }
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column " + name + " must appear in GROUP BY or an aggregate");
+      }
+    }
+    // Grouping without aggregates still needs at least a COUNT(*) for this
+    // engine's HashAggregate output; add one implicitly.
+    if (!query_.group_by.empty() && query_.aggregates.empty()) {
+      query_.aggregates.push_back(plan::AggregateSpec{AggFunc::kCount, "", ""});
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  const storage::Database& db_;
+  size_t position_ = 0;
+  QuerySpec query_;
+  std::vector<RawSelectItem> raw_items_;
+};
+
+}  // namespace
+
+StatusOr<plan::QuerySpec> ParseQuery(const std::string& text,
+                                     const storage::Database& db) {
+  ZDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), db);
+  return parser.Parse();
+}
+
+}  // namespace zerodb::sql

@@ -1,0 +1,30 @@
+#ifndef ZERODB_SQL_PARSER_H_
+#define ZERODB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "plan/query.h"
+#include "storage/database.h"
+
+namespace zerodb::sql {
+
+/// Parses a SQL SELECT statement of the dialect this engine supports into a
+/// bound QuerySpec:
+///
+///   SELECT COUNT(*), AVG(t.score) FROM t, u
+///   WHERE t.id = u.t_id AND t.score >= 10 AND (u.kind = 'a' OR u.kind = 'b')
+///   GROUP BY t.status;
+///
+/// Supported: aggregate and plain column select items, comma-separated FROM
+/// list, a WHERE conjunction of equi-join conditions (column = column) and
+/// per-table predicates (column <op> literal, with parenthesized OR groups),
+/// GROUP BY. String literals are resolved through the column dictionary;
+/// unqualified columns are resolved if unambiguous. Everything is validated
+/// against the database schema; errors carry the byte position.
+StatusOr<plan::QuerySpec> ParseQuery(const std::string& text,
+                                     const storage::Database& db);
+
+}  // namespace zerodb::sql
+
+#endif  // ZERODB_SQL_PARSER_H_

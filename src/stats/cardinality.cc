@@ -1,0 +1,116 @@
+#include "stats/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace zerodb::stats {
+
+CardinalityEstimator::CardinalityEstimator(const storage::Database* db,
+                                           const DatabaseStats* stats)
+    : db_(db), stats_(stats) {
+  ZDB_CHECK(db != nullptr);
+  ZDB_CHECK(stats != nullptr);
+}
+
+double CardinalityEstimator::LeafSelectivity(const std::string& table,
+                                             size_t column_index,
+                                             plan::CompareOp op,
+                                             double literal) const {
+  const ColumnStats& column = stats_->GetColumn(table, column_index);
+  if (column.num_rows == 0) return 0.0;
+  const double nd = std::max<double>(1.0, static_cast<double>(column.num_distinct));
+  switch (op) {
+    case plan::CompareOp::kEq:
+      // Uniform-over-distinct assumption; skew makes this wrong, which is
+      // intended (Postgres without MCVs behaves the same way).
+      if (literal < column.min || literal > column.max) return 0.0;
+      return 1.0 / nd;
+    case plan::CompareOp::kNe:
+      if (literal < column.min || literal > column.max) return 1.0;
+      return 1.0 - 1.0 / nd;
+    case plan::CompareOp::kLt:
+      return column.histogram.SelectivityLe(literal) -
+             LeafSelectivity(table, column_index, plan::CompareOp::kEq, literal);
+    case plan::CompareOp::kLe:
+      return column.histogram.SelectivityLe(literal);
+    case plan::CompareOp::kGt:
+      return 1.0 - column.histogram.SelectivityLe(literal);
+    case plan::CompareOp::kGe:
+      return 1.0 - column.histogram.SelectivityLe(literal) +
+             LeafSelectivity(table, column_index, plan::CompareOp::kEq, literal);
+  }
+  ZDB_CHECK(false);
+  return 0.0;
+}
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+double CardinalityEstimator::PredicateSelectivity(
+    const std::string& table, const plan::Predicate& predicate) const {
+  switch (predicate.kind()) {
+    case plan::Predicate::Kind::kCompare:
+      return Clamp01(LeafSelectivity(table, predicate.slot(), predicate.op(),
+                                     predicate.literal()));
+    case plan::Predicate::Kind::kAnd: {
+      double selectivity = 1.0;
+      for (const plan::Predicate& child : predicate.children()) {
+        selectivity *= PredicateSelectivity(table, child);
+      }
+      return Clamp01(selectivity);
+    }
+    case plan::Predicate::Kind::kOr: {
+      double not_selected = 1.0;
+      for (const plan::Predicate& child : predicate.children()) {
+        not_selected *= 1.0 - PredicateSelectivity(table, child);
+      }
+      return Clamp01(1.0 - not_selected);
+    }
+  }
+  ZDB_CHECK(false);
+  return 0.0;
+}
+
+double CardinalityEstimator::ScanCardinality(
+    const std::string& table, const plan::Predicate* predicate) const {
+  const TableStats& table_stats = stats_->GetTable(table);
+  double cardinality = static_cast<double>(table_stats.num_rows);
+  if (predicate != nullptr) {
+    cardinality *= PredicateSelectivity(table, *predicate);
+  }
+  return std::max(cardinality, 1.0);
+}
+
+double CardinalityEstimator::JoinSelectivity(const std::string& left_table,
+                                             size_t left_column,
+                                             const std::string& right_table,
+                                             size_t right_column) const {
+  const ColumnStats& left = stats_->GetColumn(left_table, left_column);
+  const ColumnStats& right = stats_->GetColumn(right_table, right_column);
+  double nd = std::max({static_cast<double>(left.num_distinct),
+                        static_cast<double>(right.num_distinct), 1.0});
+  return 1.0 / nd;
+}
+
+double CardinalityEstimator::GroupCount(
+    const std::vector<plan::GroupBySpec>& group_by,
+    double input_cardinality) const {
+  if (group_by.empty()) return 1.0;
+  double combinations = 1.0;
+  for (const plan::GroupBySpec& g : group_by) {
+    const storage::Table* table = db_->FindTable(g.table);
+    ZDB_CHECK(table != nullptr);
+    auto column_index = table->schema().FindColumn(g.column);
+    ZDB_CHECK(column_index.has_value());
+    const ColumnStats& column = stats_->GetColumn(g.table, *column_index);
+    combinations *= std::max<double>(1.0, static_cast<double>(column.num_distinct));
+  }
+  return std::max(1.0, std::min(combinations, input_cardinality));
+}
+
+}  // namespace zerodb::stats

@@ -1,0 +1,58 @@
+#ifndef ZERODB_STATS_CARDINALITY_H_
+#define ZERODB_STATS_CARDINALITY_H_
+
+#include <string>
+
+#include "plan/expr.h"
+#include "plan/query.h"
+#include "stats/database_stats.h"
+#include "storage/database.h"
+
+namespace zerodb::stats {
+
+/// Histogram-based cardinality estimator in the System-R / Postgres
+/// tradition: per-leaf selectivities from histograms and distinct counts,
+/// independence across predicates, and 1/max(nd_left, nd_right) for
+/// equi-joins. Deliberately classical — these are the "estimated
+/// cardinalities" fed to the zero-shot model's estimated-card variant and to
+/// the optimizer's cost model, and their characteristic errors (correlation
+/// blindness, skew smoothing) are part of the reproduction.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const storage::Database* db, const DatabaseStats* stats);
+
+  /// Selectivity of a single comparison leaf on a base-table column.
+  double LeafSelectivity(const std::string& table, size_t column_index,
+                         plan::CompareOp op, double literal) const;
+
+  /// Selectivity of a predicate tree over a base table (AND: product,
+  /// OR: inclusion-exclusion, independence everywhere).
+  double PredicateSelectivity(const std::string& table,
+                              const plan::Predicate& predicate) const;
+
+  /// Estimated rows surviving a scan of `table` under `predicate`
+  /// (nullptr = no predicate).
+  double ScanCardinality(const std::string& table,
+                         const plan::Predicate* predicate) const;
+
+  /// Equi-join selectivity between two base columns: 1 / max(nd_l, nd_r).
+  double JoinSelectivity(const std::string& left_table, size_t left_column,
+                         const std::string& right_table,
+                         size_t right_column) const;
+
+  /// Estimated distinct groups for a group-by over the given base columns,
+  /// capped by the input cardinality.
+  double GroupCount(const std::vector<plan::GroupBySpec>& group_by,
+                    double input_cardinality) const;
+
+  const DatabaseStats& stats() const { return *stats_; }
+  const storage::Database& db() const { return *db_; }
+
+ private:
+  const storage::Database* db_;
+  const DatabaseStats* stats_;
+};
+
+}  // namespace zerodb::stats
+
+#endif  // ZERODB_STATS_CARDINALITY_H_

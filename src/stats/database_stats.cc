@@ -1,0 +1,64 @@
+#include "stats/database_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace zerodb::stats {
+
+DatabaseStats DatabaseStats::Build(const storage::Database& db,
+                                   size_t histogram_buckets) {
+  DatabaseStats stats;
+  for (const storage::Table& table : db.tables()) {
+    TableStats table_stats;
+    table_stats.table_name = table.name();
+    table_stats.num_rows = static_cast<int64_t>(table.num_rows());
+    table_stats.num_pages = table.NumPages();
+    table_stats.row_width_bytes = table.RowWidthBytes();
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const storage::Column& column = table.column(c);
+      ColumnStats column_stats;
+      column_stats.num_rows = static_cast<int64_t>(column.size());
+      std::vector<double> values(column.size());
+      std::unordered_set<double> distinct;
+      for (size_t row = 0; row < column.size(); ++row) {
+        values[row] = column.GetNumeric(row);
+        distinct.insert(values[row]);
+      }
+      column_stats.num_distinct = static_cast<int64_t>(distinct.size());
+      if (!values.empty()) {
+        auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+        column_stats.min = *min_it;
+        column_stats.max = *max_it;
+      }
+      column_stats.histogram =
+          EquiDepthHistogram::Build(std::move(values), histogram_buckets);
+      table_stats.columns.push_back(std::move(column_stats));
+    }
+    stats.tables_.push_back(std::move(table_stats));
+  }
+  return stats;
+}
+
+const TableStats* DatabaseStats::FindTable(const std::string& name) const {
+  for (const TableStats& table : tables_) {
+    if (table.table_name == name) return &table;
+  }
+  return nullptr;
+}
+
+const TableStats& DatabaseStats::GetTable(const std::string& name) const {
+  const TableStats* table = FindTable(name);
+  ZDB_CHECK(table != nullptr) << "no stats for table " << name;
+  return *table;
+}
+
+const ColumnStats& DatabaseStats::GetColumn(const std::string& table,
+                                            size_t column_index) const {
+  const TableStats& table_stats = GetTable(table);
+  ZDB_CHECK_LT(column_index, table_stats.columns.size());
+  return table_stats.columns[column_index];
+}
+
+}  // namespace zerodb::stats

@@ -1,0 +1,56 @@
+#ifndef ZERODB_STATS_DATABASE_STATS_H_
+#define ZERODB_STATS_DATABASE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/histogram.h"
+#include "storage/database.h"
+
+namespace zerodb::stats {
+
+/// Per-column statistics (the ANALYZE output of this engine).
+struct ColumnStats {
+  int64_t num_rows = 0;
+  int64_t num_distinct = 0;
+  double min = 0.0;
+  double max = 0.0;
+  EquiDepthHistogram histogram;
+};
+
+/// Per-table statistics.
+struct TableStats {
+  std::string table_name;
+  int64_t num_rows = 0;
+  int64_t num_pages = 0;
+  int64_t row_width_bytes = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Statistics for every table of a database; built once after data load
+/// (the "data-driven model" of the paper's separation of concerns — cheap,
+/// derived from the data alone, no training queries).
+class DatabaseStats {
+ public:
+  DatabaseStats() = default;
+
+  /// Scans the database and builds all histograms / distinct counts.
+  static DatabaseStats Build(const storage::Database& db,
+                             size_t histogram_buckets = 64);
+
+  const TableStats* FindTable(const std::string& name) const;
+  const TableStats& GetTable(const std::string& name) const;
+  const ColumnStats& GetColumn(const std::string& table,
+                               size_t column_index) const;
+
+  const std::vector<TableStats>& tables() const { return tables_; }
+
+ private:
+  std::vector<TableStats> tables_;
+};
+
+}  // namespace zerodb::stats
+
+#endif  // ZERODB_STATS_DATABASE_STATS_H_

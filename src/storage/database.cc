@@ -1,0 +1,56 @@
+#include "storage/database.h"
+
+namespace zerodb::storage {
+
+Status Database::AddTable(Table table) {
+  ZDB_RETURN_NOT_OK(table.Validate());
+  ZDB_RETURN_NOT_OK(catalog_.AddTable(table.schema()));
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  for (const Table& table : tables_) {
+    if (table.name() == name) return &table;
+  }
+  return nullptr;
+}
+
+StatusOr<const Table*> Database::GetTable(const std::string& name) const {
+  const Table* table = FindTable(name);
+  if (table == nullptr) return Status::NotFound("table: " + name);
+  return table;
+}
+
+Status Database::CreateIndex(const std::string& table_name,
+                             const std::string& column_name) {
+  const Table* table = FindTable(table_name);
+  if (table == nullptr) return Status::NotFound("table: " + table_name);
+  ZDB_ASSIGN_OR_RETURN(size_t column_index, table->ColumnIndex(column_name));
+  if (FindIndex(table_name, column_index) != nullptr) {
+    return Status::AlreadyExists("index on " + table_name + "." + column_name);
+  }
+  indexes_.push_back(OrderedIndex::Build(table_name, *table, column_index));
+  return Status::OK();
+}
+
+const OrderedIndex* Database::FindIndex(const std::string& table_name,
+                                        size_t column_index) const {
+  for (const OrderedIndex& index : indexes_) {
+    if (index.table_name() == table_name &&
+        index.column_index() == column_index) {
+      return &index;
+    }
+  }
+  return nullptr;
+}
+
+int64_t Database::TotalRows() const {
+  int64_t total = 0;
+  for (const Table& table : tables_) {
+    total += static_cast<int64_t>(table.num_rows());
+  }
+  return total;
+}
+
+}  // namespace zerodb::storage

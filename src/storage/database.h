@@ -1,0 +1,64 @@
+#ifndef ZERODB_STORAGE_DATABASE_H_
+#define ZERODB_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace zerodb::storage {
+
+/// A complete in-memory database: catalog, table data, and secondary
+/// indexes. Move-only (tables can be large).
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const std::string& name() const { return name_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  catalog::Catalog& mutable_catalog() { return catalog_; }
+
+  /// Adds a table (schema goes into the catalog as well).
+  Status AddTable(Table table);
+
+  const std::vector<Table>& tables() const { return tables_; }
+  const Table* FindTable(const std::string& name) const;
+  StatusOr<const Table*> GetTable(const std::string& name) const;
+
+  /// Creates a secondary index on table.column; fails if one already exists
+  /// or the endpoints are missing.
+  Status CreateIndex(const std::string& table_name,
+                     const std::string& column_name);
+
+  /// The index on table.column if present, else nullptr.
+  const OrderedIndex* FindIndex(const std::string& table_name,
+                                size_t column_index) const;
+
+  const std::vector<OrderedIndex>& indexes() const { return indexes_; }
+
+  /// Drops all secondary indexes (used between what-if experiments).
+  void DropAllIndexes() { indexes_.clear(); }
+
+  /// Total rows across tables (size reporting).
+  int64_t TotalRows() const;
+
+ private:
+  std::string name_;
+  catalog::Catalog catalog_;
+  std::vector<Table> tables_;
+  std::vector<OrderedIndex> indexes_;
+};
+
+}  // namespace zerodb::storage
+
+#endif  // ZERODB_STORAGE_DATABASE_H_

@@ -1,0 +1,57 @@
+#include "storage/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace zerodb::storage {
+
+OrderedIndex OrderedIndex::Build(const std::string& table_name,
+                                 const Table& table, size_t column_index) {
+  ZDB_CHECK_LT(column_index, table.num_columns());
+  const Column& column = table.column(column_index);
+  const size_t n = column.size();
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&column](uint32_t a, uint32_t b) {
+    return column.GetNumeric(a) < column.GetNumeric(b);
+  });
+
+  OrderedIndex index;
+  index.table_name_ = table_name;
+  index.column_index_ = column_index;
+  index.keys_.reserve(n);
+  index.row_ids_.reserve(n);
+  for (uint32_t row : order) {
+    index.keys_.push_back(column.GetNumeric(row));
+    index.row_ids_.push_back(row);
+  }
+  return index;
+}
+
+int64_t OrderedIndex::EstimatedHeight() const {
+  // ceil(log_fanout(entries)) with fanout 256, minimum height 1.
+  constexpr double kFanout = 256.0;
+  if (keys_.size() <= 1) return 1;
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(std::log(static_cast<double>(keys_.size())) /
+                       std::log(kFanout))));
+}
+
+size_t OrderedIndex::LookupRange(double lo, double hi,
+                                 std::vector<uint32_t>* out) const {
+  ZDB_CHECK(out != nullptr);
+  if (lo > hi) return 0;
+  auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  auto end = std::upper_bound(begin, keys_.end(), hi);
+  size_t first = static_cast<size_t>(begin - keys_.begin());
+  size_t last = static_cast<size_t>(end - keys_.begin());
+  for (size_t i = first; i < last; ++i) out->push_back(row_ids_[i]);
+  return last - first;
+}
+
+}  // namespace zerodb::storage

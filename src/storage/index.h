@@ -1,0 +1,49 @@
+#ifndef ZERODB_STORAGE_INDEX_H_
+#define ZERODB_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace zerodb::storage {
+
+/// A secondary ordered index over one numeric (or dictionary-code) column:
+/// (key, row_id) pairs sorted by key, range lookups by binary search —
+/// operationally a B+-tree leaf chain, which is what matters for cost
+/// behaviour (log height probe + sequential leaf scan).
+class OrderedIndex {
+ public:
+  OrderedIndex() = default;
+
+  /// Builds the index over table.column(column_index).
+  static OrderedIndex Build(const std::string& table_name,
+                            const Table& table, size_t column_index);
+
+  const std::string& table_name() const { return table_name_; }
+  size_t column_index() const { return column_index_; }
+  size_t num_entries() const { return keys_.size(); }
+
+  /// Estimated B-tree height for the entry count (fanout 256).
+  int64_t EstimatedHeight() const;
+
+  /// Row ids with key in [lo, hi] (inclusive), appended to `out`.
+  /// Returns the number of index entries touched (== matches).
+  size_t LookupRange(double lo, double hi, std::vector<uint32_t>* out) const;
+
+  /// Row ids with key == key.
+  size_t LookupEqual(double key, std::vector<uint32_t>* out) const {
+    return LookupRange(key, key, out);
+  }
+
+ private:
+  std::string table_name_;
+  size_t column_index_ = 0;
+  std::vector<double> keys_;      // sorted
+  std::vector<uint32_t> row_ids_;  // aligned with keys_
+};
+
+}  // namespace zerodb::storage
+
+#endif  // ZERODB_STORAGE_INDEX_H_

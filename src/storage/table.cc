@@ -1,0 +1,59 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace zerodb::storage {
+
+Table::Table(catalog::TableSchema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (const catalog::ColumnSchema& column : schema_.columns()) {
+    columns_.emplace_back(column.type);
+  }
+}
+
+size_t Table::num_rows() const {
+  return columns_.empty() ? 0 : columns_[0].size();
+}
+
+Column& Table::column(size_t index) {
+  ZDB_CHECK_LT(index, columns_.size());
+  return columns_[index];
+}
+
+const Column& Table::column(size_t index) const {
+  ZDB_CHECK_LT(index, columns_.size());
+  return columns_[index];
+}
+
+StatusOr<size_t> Table::ColumnIndex(const std::string& name) const {
+  auto index = schema_.FindColumn(name);
+  if (!index.has_value()) {
+    return Status::NotFound("column " + name + " in table " + schema_.name());
+  }
+  return *index;
+}
+
+int64_t Table::NumPages() const {
+  int64_t bytes = static_cast<int64_t>(num_rows()) * RowWidthBytes();
+  return std::max<int64_t>(1, CeilDiv(bytes, catalog::kPageSizeBytes));
+}
+
+int64_t Table::RowWidthBytes() const {
+  int64_t width = 0;
+  for (const Column& column : columns_) width += column.AvgWidthBytes();
+  return std::max<int64_t>(width, 1);
+}
+
+Status Table::Validate() const {
+  for (const Column& column : columns_) {
+    if (column.size() != num_rows()) {
+      return Status::Internal("ragged columns in table " + schema_.name());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace zerodb::storage

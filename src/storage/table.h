@@ -1,0 +1,48 @@
+#ifndef ZERODB_STORAGE_TABLE_H_
+#define ZERODB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace zerodb::storage {
+
+/// An in-memory columnar table: a schema plus one Column per schema column.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(catalog::TableSchema schema);
+
+  const catalog::TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  size_t num_rows() const;
+  size_t num_columns() const { return columns_.size(); }
+
+  Column& column(size_t index);
+  const Column& column(size_t index) const;
+
+  /// Column by name; error status if absent.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Number of 8 KiB pages the table would occupy: a scan-cost feature the
+  /// zero-shot model consumes (ceil(rows * row_width / page_size), min 1).
+  int64_t NumPages() const;
+
+  /// Average tuple width in bytes from the live column data.
+  int64_t RowWidthBytes() const;
+
+  /// Verifies all columns have equal length.
+  Status Validate() const;
+
+ private:
+  catalog::TableSchema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace zerodb::storage
+
+#endif  // ZERODB_STORAGE_TABLE_H_

@@ -1,0 +1,13 @@
+#include "storage/value.h"
+
+#include "common/string_util.h"
+
+namespace zerodb::storage {
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(AsInt64());
+  if (is_double()) return StrFormat("%g", AsDouble());
+  return "'" + AsString() + "'";
+}
+
+}  // namespace zerodb::storage

@@ -1,0 +1,58 @@
+#ifndef ZERODB_STORAGE_VALUE_H_
+#define ZERODB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "catalog/types.h"
+#include "common/check.h"
+
+namespace zerodb::storage {
+
+/// A single scalar value. Strings appear only at API boundaries (loading
+/// data, printing); inside the engine string columns are dictionary codes
+/// and predicates compare codes.
+class Value {
+ public:
+  Value() : repr_(int64_t{0}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t AsInt64() const {
+    ZDB_CHECK(is_int64());
+    return std::get<int64_t>(repr_);
+  }
+  double AsDouble() const {
+    ZDB_CHECK(is_double());
+    return std::get<double>(repr_);
+  }
+  const std::string& AsString() const {
+    ZDB_CHECK(is_string());
+    return std::get<std::string>(repr_);
+  }
+
+  /// Numeric view: int64 widened to double; strings not allowed.
+  double AsNumeric() const {
+    if (is_int64()) return static_cast<double>(AsInt64());
+    return AsDouble();
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.repr_ == b.repr_;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> repr_;
+};
+
+}  // namespace zerodb::storage
+
+#endif  // ZERODB_STORAGE_VALUE_H_

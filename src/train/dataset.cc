@@ -1,0 +1,76 @@
+#include "train/dataset.h"
+
+#include "common/logging.h"
+
+namespace zerodb::train {
+
+std::vector<QueryRecord> CollectRecords(
+    const datagen::DatabaseEnv& env,
+    const std::vector<plan::QuerySpec>& queries,
+    const CollectOptions& options) {
+  optimizer::Planner planner(env.db.get(), &env.stats, optimizer::CostParams(),
+                             options.planner);
+  exec::Executor executor(env.db.get(), options.executor);
+  runtime::RuntimeSimulator simulator(options.machine);
+  Rng noise_rng(options.noise_seed);
+
+  std::vector<QueryRecord> records;
+  records.reserve(queries.size());
+  size_t rejected = 0;
+  for (const plan::QuerySpec& query : queries) {
+    auto plan = planner.Plan(query);
+    if (!plan.ok()) {
+      ++rejected;
+      continue;
+    }
+    auto result = executor.Execute(&*plan);
+    if (!result.ok()) {
+      ++rejected;
+      continue;
+    }
+    QueryRecord record;
+    record.env = &env;
+    record.db_name = env.db->name();
+    record.query = query;
+    record.runtime_ms = simulator.NoisyPlanMs(*plan, *result, &noise_rng);
+    record.opt_cost = plan->root->est_cost;
+    record.plan = std::move(*plan);
+    records.push_back(std::move(record));
+  }
+  if (rejected > 0) {
+    ZDB_LOG(Debug) << env.db->name() << ": " << rejected
+                   << " queries rejected during collection";
+  }
+  return records;
+}
+
+std::vector<QueryRecord> CollectRandomWorkload(
+    const datagen::DatabaseEnv& env, const workload::WorkloadConfig& config,
+    size_t count, uint64_t seed, const CollectOptions& options) {
+  workload::QueryGenerator generator(&env, config, seed);
+  std::vector<QueryRecord> records;
+  size_t attempts = 0;
+  const size_t max_attempts = 3 * count + 16;
+  while (records.size() < count && attempts < max_attempts) {
+    size_t batch_size = count - records.size();
+    std::vector<plan::QuerySpec> queries;
+    queries.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) queries.push_back(generator.Next());
+    attempts += batch_size;
+    CollectOptions batch_options = options;
+    batch_options.noise_seed = options.noise_seed + attempts;
+    std::vector<QueryRecord> batch = CollectRecords(env, queries, batch_options);
+    for (QueryRecord& record : batch) records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<const QueryRecord*> MakeView(
+    const std::vector<QueryRecord>& records) {
+  std::vector<const QueryRecord*> view;
+  view.reserve(records.size());
+  for (const QueryRecord& record : records) view.push_back(&record);
+  return view;
+}
+
+}  // namespace zerodb::train

@@ -1,0 +1,57 @@
+#ifndef ZERODB_TRAIN_DATASET_H_
+#define ZERODB_TRAIN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "plan/physical.h"
+#include "plan/query.h"
+#include "runtime/simulator.h"
+#include "workload/generator.h"
+
+namespace zerodb::train {
+
+/// One labeled training/evaluation example: a query, its optimized physical
+/// plan (annotated with estimated AND true cardinalities), the measured
+/// (simulated) runtime, and the optimizer's cost — everything any of the
+/// four cost models needs.
+struct QueryRecord {
+  const datagen::DatabaseEnv* env = nullptr;  ///< owning corpus outlives records
+  std::string db_name;
+  plan::QuerySpec query;
+  plan::PhysicalPlan plan;
+  double runtime_ms = 0.0;
+  double opt_cost = 0.0;
+};
+
+struct CollectOptions {
+  exec::ExecutorOptions executor;
+  optimizer::PlannerOptions planner;
+  runtime::MachineProfile machine;
+  uint64_t noise_seed = 1234;
+};
+
+/// Plans, executes and labels the given queries against `env`. Queries that
+/// the executor rejects (row-cap) are skipped, mirroring how timed-out
+/// training queries would be dropped in the paper's collection runs.
+std::vector<QueryRecord> CollectRecords(const datagen::DatabaseEnv& env,
+                                        const std::vector<plan::QuerySpec>& queries,
+                                        const CollectOptions& options);
+
+/// Draws random queries from the generator until `count` records collected
+/// (or 3x count attempts exhausted).
+std::vector<QueryRecord> CollectRandomWorkload(const datagen::DatabaseEnv& env,
+                                               const workload::WorkloadConfig& config,
+                                               size_t count, uint64_t seed,
+                                               const CollectOptions& options);
+
+/// Non-owning views used by trainers/models.
+std::vector<const QueryRecord*> MakeView(const std::vector<QueryRecord>& records);
+
+}  // namespace zerodb::train
+
+#endif  // ZERODB_TRAIN_DATASET_H_

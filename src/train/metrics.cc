@@ -1,0 +1,41 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace zerodb::train {
+
+std::string QErrorStats::ToString() const {
+  return StrFormat("median=%.2f p95=%.2f max=%.2f (n=%zu)", median, p95, max,
+                   count);
+}
+
+std::vector<double> QErrorsOf(const std::vector<double>& predicted,
+                              const std::vector<double>& truth) {
+  ZDB_CHECK_EQ(predicted.size(), truth.size());
+  std::vector<double> q;
+  q.reserve(predicted.size());
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    q.push_back(QError(predicted[i], truth[i]));
+  }
+  return q;
+}
+
+QErrorStats ComputeQErrors(const std::vector<double>& predicted,
+                           const std::vector<double>& truth) {
+  QErrorStats stats;
+  std::vector<double> q = QErrorsOf(predicted, truth);
+  if (q.empty()) return stats;
+  std::sort(q.begin(), q.end());
+  stats.count = q.size();
+  stats.median = QuantileSorted(q, 0.5);
+  stats.p95 = QuantileSorted(q, 0.95);
+  stats.max = q.back();
+  stats.mean = Mean(q);
+  return stats;
+}
+
+}  // namespace zerodb::train

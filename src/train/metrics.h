@@ -1,0 +1,31 @@
+#ifndef ZERODB_TRAIN_METRICS_H_
+#define ZERODB_TRAIN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace zerodb::train {
+
+/// Q-error summary statistics — the metric of the paper's Figure 4 and
+/// Table 1 (median / 95th / max).
+struct QErrorStats {
+  double median = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes Q-errors between predictions and true values (element-wise).
+QErrorStats ComputeQErrors(const std::vector<double>& predicted,
+                           const std::vector<double>& truth);
+
+/// Raw per-query Q-errors, for custom quantiles.
+std::vector<double> QErrorsOf(const std::vector<double>& predicted,
+                              const std::vector<double>& truth);
+
+}  // namespace zerodb::train
+
+#endif  // ZERODB_TRAIN_METRICS_H_

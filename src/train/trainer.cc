@@ -1,0 +1,120 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "nn/lr_schedule.h"
+#include "nn/optimizer.h"
+
+namespace zerodb::train {
+
+TrainResult TrainModel(models::NeuralCostModel* model,
+                       const std::vector<const QueryRecord*>& records,
+                       const TrainerOptions& options) {
+  ZDB_CHECK(model != nullptr);
+  ZDB_CHECK(!records.empty());
+
+  Rng rng(options.seed);
+  std::vector<const QueryRecord*> shuffled = records;
+  rng.Shuffle(&shuffled);
+
+  // Split train / validation.
+  size_t val_count = static_cast<size_t>(
+      static_cast<double>(shuffled.size()) * options.validation_fraction);
+  if (shuffled.size() >= 20 && val_count == 0) val_count = 1;
+  val_count = std::min(val_count, shuffled.size() - 1);
+  std::vector<const QueryRecord*> validation(shuffled.begin(),
+                                             shuffled.begin() + val_count);
+  std::vector<const QueryRecord*> training(shuffled.begin() + val_count,
+                                           shuffled.end());
+
+  model->Prepare(training);
+  nn::Adam optimizer(model->Parameters(), options.learning_rate, 0.9f, 0.999f,
+                     1e-8f, options.weight_decay);
+
+  auto snapshot = [&]() {
+    std::vector<std::vector<float>> weights;
+    for (const nn::Tensor& p : model->Parameters()) weights.push_back(p.data());
+    return weights;
+  };
+  auto restore = [&](const std::vector<std::vector<float>>& weights) {
+    auto params = model->Parameters();
+    ZDB_CHECK_EQ(params.size(), weights.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_data() = weights[i];
+    }
+  };
+
+  TrainResult result;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<float>> best_weights = snapshot();
+  size_t epochs_since_best = 0;
+
+  std::unique_ptr<nn::LrSchedule> schedule;
+  switch (options.lr_schedule) {
+    case LrScheduleKind::kConstant:
+      schedule = std::make_unique<nn::ConstantLr>(options.learning_rate);
+      break;
+    case LrScheduleKind::kStepDecay:
+      schedule = std::make_unique<nn::StepDecayLr>(
+          options.learning_rate, options.lr_decay_factor,
+          options.lr_decay_epochs);
+      break;
+    case LrScheduleKind::kCosine:
+      schedule = std::make_unique<nn::CosineLr>(
+          options.learning_rate, options.lr_floor, options.max_epochs);
+      break;
+  }
+
+  for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    optimizer.set_learning_rate(schedule->RateForEpoch(epoch));
+    rng.Shuffle(&training);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < training.size();
+         start += options.batch_size) {
+      size_t end = std::min(start + options.batch_size, training.size());
+      std::vector<const QueryRecord*> batch(training.begin() + start,
+                                            training.begin() + end);
+      nn::Tensor loss = model->LossOnBatch(batch, /*training=*/true, &rng);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(options.grad_clip_norm);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    result.final_train_loss = epoch_loss / std::max<size_t>(batches, 1);
+    result.epochs_run = epoch + 1;
+
+    // Validation (falls back to train loss when no validation split).
+    double val_loss = result.final_train_loss;
+    if (!validation.empty()) {
+      val_loss =
+          model->LossOnBatch(validation, /*training=*/false, nullptr).item();
+    }
+    if (options.verbose) {
+      ZDB_LOG(Info) << model->Name() << " epoch " << epoch + 1
+                    << " train=" << result.final_train_loss
+                    << " val=" << val_loss;
+    }
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      best_weights = snapshot();
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+      if (epochs_since_best >= options.early_stop_patience) {
+        result.early_stopped = true;
+        break;
+      }
+    }
+  }
+  restore(best_weights);
+  result.best_validation_loss = best_val;
+  return result;
+}
+
+}  // namespace zerodb::train

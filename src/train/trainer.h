@@ -1,0 +1,45 @@
+#ifndef ZERODB_TRAIN_TRAINER_H_
+#define ZERODB_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "models/cost_predictor.h"
+#include "train/dataset.h"
+
+namespace zerodb::train {
+
+enum class LrScheduleKind { kConstant, kStepDecay, kCosine };
+
+struct TrainerOptions {
+  size_t max_epochs = 60;
+  size_t batch_size = 32;
+  float learning_rate = 1e-3f;
+  LrScheduleKind lr_schedule = LrScheduleKind::kConstant;
+  float lr_decay_factor = 0.5f;   ///< step decay only
+  size_t lr_decay_epochs = 15;    ///< step decay only
+  float lr_floor = 1e-4f;         ///< cosine only
+  float weight_decay = 1e-5f;
+  double grad_clip_norm = 10.0;
+  double validation_fraction = 0.1;
+  size_t early_stop_patience = 10;  ///< epochs without val improvement
+  uint64_t seed = 99;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+  double best_validation_loss = 0.0;
+  bool early_stopped = false;
+};
+
+/// Mini-batch Adam training with validation-based early stopping and
+/// best-weights restoration — the standard recipe the paper's models use.
+TrainResult TrainModel(models::NeuralCostModel* model,
+                       const std::vector<const QueryRecord*>& records,
+                       const TrainerOptions& options = TrainerOptions());
+
+}  // namespace zerodb::train
+
+#endif  // ZERODB_TRAIN_TRAINER_H_

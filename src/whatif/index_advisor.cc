@@ -1,0 +1,106 @@
+#include "whatif/index_advisor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace zerodb::whatif {
+
+IndexAdvisor::IndexAdvisor(zeroshot::ZeroShotEstimator* estimator,
+                           Options options)
+    : estimator_(estimator), options_(options) {
+  ZDB_CHECK(estimator != nullptr);
+}
+
+std::vector<IndexCandidate> IndexAdvisor::EnumerateCandidates(
+    const datagen::DatabaseEnv& env,
+    const std::vector<plan::QuerySpec>& workload) const {
+  std::vector<IndexCandidate> candidates;
+  auto add = [&](const std::string& table, size_t column_index) {
+    const storage::Table* t = env.db->FindTable(table);
+    if (t == nullptr) return;
+    const std::string& column = t->schema().column(column_index).name;
+    for (const IndexCandidate& existing : candidates) {
+      if (existing.table == table && existing.column_index == column_index) {
+        return;
+      }
+    }
+    // Skip columns that already have a real index.
+    if (env.db->FindIndex(table, column_index) != nullptr) return;
+    candidates.push_back(IndexCandidate{table, column, column_index});
+  };
+
+  for (const plan::QuerySpec& query : workload) {
+    for (const plan::FilterSpec& filter : query.filters) {
+      for (size_t slot : filter.predicate.ReferencedSlots()) {
+        add(filter.table, slot);
+      }
+    }
+    for (const plan::JoinSpec& join : query.joins) {
+      const storage::Table* left = env.db->FindTable(join.left_table);
+      const storage::Table* right = env.db->FindTable(join.right_table);
+      if (left != nullptr) {
+        add(join.left_table, *left->schema().FindColumn(join.left_column));
+      }
+      if (right != nullptr) {
+        add(join.right_table, *right->schema().FindColumn(join.right_column));
+      }
+    }
+  }
+  return candidates;
+}
+
+double IndexAdvisor::PredictWorkloadMs(
+    const datagen::DatabaseEnv& env,
+    const std::vector<plan::QuerySpec>& workload,
+    const std::vector<IndexCandidate>& indexes) {
+  optimizer::PlannerOptions planner_options;
+  for (const IndexCandidate& index : indexes) {
+    planner_options.hypothetical_indexes.push_back(
+        optimizer::HypotheticalIndex{index.table, index.column_index});
+  }
+  double total = 0.0;
+  for (const plan::QuerySpec& query : workload) {
+    auto ms = estimator_->EstimateQueryMs(env, query, planner_options);
+    if (!ms.ok()) continue;  // unplannable queries contribute nothing
+    total += *ms;
+  }
+  return total;
+}
+
+AdvisorResult IndexAdvisor::Recommend(
+    const datagen::DatabaseEnv& env,
+    const std::vector<plan::QuerySpec>& workload) {
+  AdvisorResult result;
+  result.baseline_total_ms = PredictWorkloadMs(env, workload, {});
+  double current = result.baseline_total_ms;
+
+  std::vector<IndexCandidate> remaining = EnumerateCandidates(env, workload);
+  while (result.chosen.size() < options_.max_indexes && !remaining.empty()) {
+    double best_ms = current;
+    size_t best_index = remaining.size();
+    for (size_t c = 0; c < remaining.size(); ++c) {
+      std::vector<IndexCandidate> trial = result.chosen;
+      trial.push_back(remaining[c]);
+      double ms = PredictWorkloadMs(env, workload, trial);
+      if (ms < best_ms) {
+        best_ms = ms;
+        best_index = c;
+      }
+    }
+    if (best_index == remaining.size() ||
+        current / std::max(best_ms, 1e-9) < options_.min_improvement) {
+      break;  // no candidate helps enough
+    }
+    result.chosen.push_back(remaining[best_index]);
+    remaining.erase(remaining.begin() + static_cast<long>(best_index));
+    current = best_ms;
+    ZDB_LOG(Debug) << "advisor chose " << result.chosen.back().table << "."
+                   << result.chosen.back().column << " -> " << current << "ms";
+  }
+  result.final_total_ms = current;
+  return result;
+}
+
+}  // namespace zerodb::whatif

@@ -1,0 +1,77 @@
+#include "workload/benchmarks.h"
+
+#include "common/check.h"
+
+namespace zerodb::workload {
+
+const char* BenchmarkWorkloadName(BenchmarkWorkload workload) {
+  switch (workload) {
+    case BenchmarkWorkload::kScale:
+      return "scale";
+    case BenchmarkWorkload::kSynthetic:
+      return "synthetic";
+    case BenchmarkWorkload::kJobLight:
+      return "job-light";
+  }
+  ZDB_CHECK(false);
+  return "?";
+}
+
+WorkloadConfig TrainingWorkloadConfig() {
+  WorkloadConfig config;
+  config.min_tables = 1;
+  config.max_tables = 5;
+  config.max_predicates = 5;
+  config.max_aggregates = 3;
+  return config;
+}
+
+std::vector<plan::QuerySpec> MakeBenchmark(BenchmarkWorkload workload,
+                                           const datagen::DatabaseEnv& env,
+                                           size_t count, uint64_t seed) {
+  std::vector<plan::QuerySpec> queries;
+  queries.reserve(count);
+  switch (workload) {
+    case BenchmarkWorkload::kScale: {
+      // Sweep the join count: bucket i uses (i % 5) + 1 tables, so the
+      // workload "scales" the number of joins like the original benchmark.
+      for (size_t join_bucket = 0; join_bucket < 5; ++join_bucket) {
+        WorkloadConfig config = TrainingWorkloadConfig();
+        config.min_tables = join_bucket + 1;
+        config.max_tables = join_bucket + 1;
+        config.min_predicates = 1;
+        config.max_predicates = 4;
+        QueryGenerator generator(&env, config, seed + join_bucket);
+        size_t bucket_count = count / 5 + (join_bucket < count % 5 ? 1 : 0);
+        for (size_t i = 0; i < bucket_count; ++i) {
+          queries.push_back(generator.Next());
+        }
+      }
+      break;
+    }
+    case BenchmarkWorkload::kSynthetic: {
+      QueryGenerator generator(&env, TrainingWorkloadConfig(), seed);
+      for (size_t i = 0; i < count; ++i) queries.push_back(generator.Next());
+      break;
+    }
+    case BenchmarkWorkload::kJobLight: {
+      WorkloadConfig config;
+      config.min_tables = 2;
+      config.max_tables = 5;
+      config.min_predicates = 1;
+      config.max_predicates = 4;
+      config.max_aggregates = 1;
+      config.count_star_only = true;
+      config.range_predicate_prob = 0.1;  // "rarely contain range predicates"
+      config.or_predicate_prob = 0.0;
+      config.group_by_prob = 0.0;
+      config.hub_table = "title";
+      QueryGenerator generator(&env, config, seed);
+      for (size_t i = 0; i < count; ++i) queries.push_back(generator.Next());
+      break;
+    }
+  }
+  return queries;
+}
+
+}  // namespace zerodb::workload

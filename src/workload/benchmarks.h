@@ -1,0 +1,34 @@
+#ifndef ZERODB_WORKLOAD_BENCHMARKS_H_
+#define ZERODB_WORKLOAD_BENCHMARKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "plan/query.h"
+#include "workload/generator.h"
+
+namespace zerodb::workload {
+
+/// The three IMDB evaluation benchmarks of the paper's Figure 4 / Table 1,
+/// rebuilt as generators against the IMDB-like database:
+///  - scale:     join-count sweep (1..5 tables), mixed predicates;
+///  - synthetic: the training distribution (random SPJA queries);
+///  - job-light: star joins on `title`, mostly equality predicates, COUNT(*).
+enum class BenchmarkWorkload { kScale, kSynthetic, kJobLight };
+
+const char* BenchmarkWorkloadName(BenchmarkWorkload workload);
+
+/// Generates `count` queries of the given benchmark against the database
+/// (which must be the IMDB-like env for job-light).
+std::vector<plan::QuerySpec> MakeBenchmark(BenchmarkWorkload workload,
+                                           const datagen::DatabaseEnv& env,
+                                           size_t count, uint64_t seed);
+
+/// The paper's training workload shape (used on the 19 training databases).
+WorkloadConfig TrainingWorkloadConfig();
+
+}  // namespace zerodb::workload
+
+#endif  // ZERODB_WORKLOAD_BENCHMARKS_H_

@@ -1,0 +1,232 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace zerodb::workload {
+
+namespace {
+
+using plan::CompareOp;
+using plan::Predicate;
+using plan::QuerySpec;
+
+// A column is a key if it is the primary key or participates in a foreign
+// key (either end). Keys carry no data semantics, so predicates and
+// aggregates avoid them — matching how the paper's workloads filter on
+// attribute columns.
+bool IsKeyColumn(const catalog::Catalog& cat, const std::string& table,
+                 const catalog::ColumnSchema& column) {
+  if (column.name == "id") return true;
+  for (const catalog::ForeignKey& fk : cat.foreign_keys()) {
+    if ((fk.table == table && fk.column == column.name) ||
+        (fk.ref_table == table && fk.ref_column == column.name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(const datagen::DatabaseEnv* env,
+                               WorkloadConfig config, uint64_t seed)
+    : env_(env), config_(std::move(config)), rng_(seed) {
+  ZDB_CHECK(env != nullptr && env->db != nullptr);
+  ZDB_CHECK_GE(config_.max_tables, config_.min_tables);
+  ZDB_CHECK_GE(config_.min_tables, 1u);
+}
+
+std::vector<size_t> QueryGenerator::AttributeColumns(
+    const storage::Table& table) const {
+  const catalog::Catalog& cat = env_->db->catalog();
+  std::vector<size_t> columns;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (!IsKeyColumn(cat, table.name(), table.schema().column(c))) {
+      columns.push_back(c);
+    }
+  }
+  return columns;
+}
+
+std::vector<size_t> QueryGenerator::NumericColumns(
+    const storage::Table& table) const {
+  const catalog::Catalog& cat = env_->db->catalog();
+  std::vector<size_t> columns;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const catalog::ColumnSchema& schema = table.schema().column(c);
+    if (IsKeyColumn(cat, table.name(), schema)) continue;
+    if (schema.type != catalog::DataType::kString) columns.push_back(c);
+  }
+  return columns;
+}
+
+double QueryGenerator::SampleLiteral(const storage::Table& table,
+                                     size_t column_index) {
+  const storage::Column& column = table.column(column_index);
+  ZDB_CHECK_GT(column.size(), 0u);
+  size_t row = static_cast<size_t>(rng_.NextUint64(column.size()));
+  return column.GetNumeric(row);
+}
+
+std::optional<Predicate> QueryGenerator::MakePredicate(
+    const storage::Table& table) {
+  std::vector<size_t> candidates = AttributeColumns(table);
+  if (candidates.empty()) return std::nullopt;
+
+  auto make_leaf = [&]() {
+    size_t column_index =
+        candidates[rng_.NextUint64(candidates.size())];
+    const catalog::ColumnSchema& schema = table.schema().column(column_index);
+    double literal = SampleLiteral(table, column_index);
+    CompareOp op;
+    if (schema.type == catalog::DataType::kString) {
+      // Dictionary codes: equality predicates only (like categorical
+      // predicates in the paper's workloads).
+      op = rng_.Bernoulli(0.9) ? CompareOp::kEq : CompareOp::kNe;
+    } else if (schema.type == catalog::DataType::kDouble) {
+      // Point predicates on continuous data are degenerate; use ranges.
+      static constexpr CompareOp kRangeOps[] = {CompareOp::kLe, CompareOp::kGe,
+                                                CompareOp::kLt, CompareOp::kGt};
+      op = kRangeOps[rng_.NextUint64(4)];
+    } else if (rng_.Bernoulli(config_.range_predicate_prob)) {
+      static constexpr CompareOp kRangeOps[] = {CompareOp::kLe, CompareOp::kGe,
+                                                CompareOp::kLt, CompareOp::kGt};
+      op = kRangeOps[rng_.NextUint64(4)];
+    } else {
+      op = CompareOp::kEq;
+    }
+    return Predicate::Compare(column_index, op, literal);
+  };
+
+  if (rng_.Bernoulli(config_.or_predicate_prob)) {
+    return Predicate::Or({make_leaf(), make_leaf()});
+  }
+  return make_leaf();
+}
+
+QuerySpec QueryGenerator::Next() {
+  const storage::Database& db = *env_->db;
+  const catalog::Catalog& cat = db.catalog();
+  QuerySpec query;
+
+  // --- Choose the table set via a random walk on the FK graph. ---
+  const size_t target_tables = static_cast<size_t>(rng_.UniformInt(
+      static_cast<int64_t>(config_.min_tables),
+      static_cast<int64_t>(config_.max_tables)));
+
+  std::string start;
+  if (config_.hub_table.has_value()) {
+    start = *config_.hub_table;
+    ZDB_CHECK(db.FindTable(start) != nullptr)
+        << "hub table missing: " << start;
+  } else {
+    start = db.tables()[rng_.NextUint64(db.tables().size())].name();
+  }
+  query.tables.push_back(start);
+
+  while (query.tables.size() < target_tables) {
+    // Candidate edges: FK edges with exactly one endpoint inside the set.
+    std::vector<catalog::ForeignKey> frontier;
+    for (const std::string& table : query.tables) {
+      for (const catalog::ForeignKey& fk : cat.JoinEdgesFor(table)) {
+        bool src_in = std::find(query.tables.begin(), query.tables.end(),
+                                fk.table) != query.tables.end();
+        bool dst_in = std::find(query.tables.begin(), query.tables.end(),
+                                fk.ref_table) != query.tables.end();
+        if (src_in != dst_in) frontier.push_back(fk);
+      }
+    }
+    if (frontier.empty()) break;  // no more join partners
+    const catalog::ForeignKey& fk =
+        frontier[rng_.NextUint64(frontier.size())];
+    bool src_in = std::find(query.tables.begin(), query.tables.end(),
+                            fk.table) != query.tables.end();
+    query.tables.push_back(src_in ? fk.ref_table : fk.table);
+    query.joins.push_back(
+        plan::JoinSpec{fk.table, fk.column, fk.ref_table, fk.ref_column});
+  }
+
+  // --- Predicates. ---
+  size_t num_predicates = static_cast<size_t>(rng_.UniformInt(
+      static_cast<int64_t>(config_.min_predicates),
+      static_cast<int64_t>(config_.max_predicates)));
+  if (config_.force_predicate_on_joins && query.tables.size() > 1) {
+    // Wide star joins over skewed foreign keys blow up without filters;
+    // require at least one predicate, two once the join gets wide (the
+    // paper's benchmark queries behave the same way).
+    size_t floor = query.tables.size() >= 4 ? 2 : 1;
+    num_predicates = std::max(num_predicates, floor);
+  }
+  size_t added = 0;
+  for (size_t attempt = 0; attempt < 4 * num_predicates && added < num_predicates;
+       ++attempt) {
+    const std::string& table_name =
+        query.tables[rng_.NextUint64(query.tables.size())];
+    const storage::Table* table = db.FindTable(table_name);
+    std::optional<Predicate> predicate = MakePredicate(*table);
+    if (!predicate.has_value()) continue;  // table has no attribute columns
+    query.filters.push_back(plan::FilterSpec{table_name, *predicate});
+    ++added;
+  }
+
+  // --- Aggregates. ---
+  size_t num_aggregates = static_cast<size_t>(
+      rng_.UniformInt(1, static_cast<int64_t>(config_.max_aggregates)));
+  if (config_.count_star_only) num_aggregates = 1;
+  for (size_t i = 0; i < num_aggregates; ++i) {
+    if (config_.count_star_only || i == 0 || rng_.Bernoulli(0.35)) {
+      query.aggregates.push_back(plan::AggregateSpec{plan::AggFunc::kCount,
+                                                     "", ""});
+      continue;
+    }
+    // Numeric aggregate over a random numeric column in the joined set.
+    std::vector<std::pair<std::string, size_t>> numeric;
+    for (const std::string& table_name : query.tables) {
+      const storage::Table* table = db.FindTable(table_name);
+      for (size_t c : NumericColumns(*table)) {
+        numeric.emplace_back(table_name, c);
+      }
+    }
+    if (numeric.empty()) {
+      query.aggregates.push_back(plan::AggregateSpec{plan::AggFunc::kCount,
+                                                     "", ""});
+      continue;
+    }
+    auto [table_name, column_index] =
+        numeric[rng_.NextUint64(numeric.size())];
+    static constexpr plan::AggFunc kFuncs[] = {
+        plan::AggFunc::kSum, plan::AggFunc::kAvg, plan::AggFunc::kMin,
+        plan::AggFunc::kMax};
+    const storage::Table* table = db.FindTable(table_name);
+    query.aggregates.push_back(plan::AggregateSpec{
+        kFuncs[rng_.NextUint64(4)], table_name,
+        table->schema().column(column_index).name});
+  }
+
+  // --- Group by (occasionally, over a low-cardinality column). ---
+  if (!config_.count_star_only && rng_.Bernoulli(config_.group_by_prob)) {
+    std::vector<std::pair<std::string, size_t>> categorical;
+    for (const std::string& table_name : query.tables) {
+      const storage::Table* table = db.FindTable(table_name);
+      for (size_t c = 0; c < table->num_columns(); ++c) {
+        if (table->schema().column(c).type == catalog::DataType::kString) {
+          categorical.emplace_back(table_name, c);
+        }
+      }
+    }
+    if (!categorical.empty()) {
+      auto [table_name, column_index] =
+          categorical[rng_.NextUint64(categorical.size())];
+      const storage::Table* table = db.FindTable(table_name);
+      query.group_by.push_back(plan::GroupBySpec{
+          table_name, table->schema().column(column_index).name});
+    }
+  }
+
+  ZDB_DCHECK(query.Validate(db).ok());
+  return query;
+}
+
+}  // namespace zerodb::workload

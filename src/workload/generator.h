@@ -1,0 +1,72 @@
+#ifndef ZERODB_WORKLOAD_GENERATOR_H_
+#define ZERODB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "datagen/corpus.h"
+#include "plan/query.h"
+
+namespace zerodb::workload {
+
+/// Query-shape knobs matching the paper's training workload description:
+/// "up to five-way joins with up to five numerical and categorical
+/// predicates and up to three aggregates".
+struct WorkloadConfig {
+  size_t min_tables = 1;
+  size_t max_tables = 5;            ///< up to 5-way joins
+  size_t min_predicates = 0;
+  size_t max_predicates = 5;
+  size_t max_aggregates = 3;
+  double group_by_prob = 0.12;
+  double or_predicate_prob = 0.08;  ///< chance a predicate is an OR of two leaves
+  /// Probability a numeric predicate is a range (vs equality). JOB-light
+  /// uses a low value ("rarely contain range predicates").
+  double range_predicate_prob = 0.55;
+  /// When true, the only aggregate is COUNT(*) (JOB-light style).
+  bool count_star_only = false;
+  /// When set, every query is a star join centered on this table
+  /// (JOB-light style); tables are the hub plus 0..max_tables-1 satellites.
+  std::optional<std::string> hub_table;
+  /// Multi-table queries always get at least one predicate to bound
+  /// intermediate results.
+  bool force_predicate_on_joins = true;
+};
+
+/// Draws random valid queries against one database: a random walk over the
+/// foreign-key join graph, literals sampled from live column data (so
+/// selectivities span the full range), and random aggregates.
+/// Deterministic in (env, config, seed).
+class QueryGenerator {
+ public:
+  QueryGenerator(const datagen::DatabaseEnv* env, WorkloadConfig config,
+                 uint64_t seed);
+
+  /// Generates the next random query. Always valid against the database.
+  plan::QuerySpec Next();
+
+ private:
+  /// Picks a literal for a predicate on the given column by sampling a live
+  /// row (guarantees non-degenerate selectivity).
+  double SampleLiteral(const storage::Table& table, size_t column_index);
+
+  /// Builds one random leaf or OR-of-leaves predicate on the table; returns
+  /// nullopt if the table has no usable attribute columns.
+  std::optional<plan::Predicate> MakePredicate(const storage::Table& table);
+
+  /// Attribute (non-key) column indexes of a table.
+  std::vector<size_t> AttributeColumns(const storage::Table& table) const;
+
+  /// Numeric column indexes (int64 or double, excluding keys).
+  std::vector<size_t> NumericColumns(const storage::Table& table) const;
+
+  const datagen::DatabaseEnv* env_;
+  WorkloadConfig config_;
+  Rng rng_;
+};
+
+}  // namespace zerodb::workload
+
+#endif  // ZERODB_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,93 @@
+#include "zeroshot/ensemble.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "train/trainer.h"
+
+namespace zerodb::zeroshot {
+
+EnsembleEstimator EnsembleEstimator::TrainFromRecords(
+    std::vector<train::QueryRecord> records, const EnsembleConfig& config) {
+  ZDB_CHECK(!records.empty());
+  ZDB_CHECK_GT(config.ensemble_size, 0u);
+  EnsembleEstimator ensemble;
+  ensemble.config_ = config;
+  ensemble.records_ = std::move(records);
+  auto view = train::MakeView(ensemble.records_);
+  for (size_t member = 0; member < config.ensemble_size; ++member) {
+    models::ZeroShotCostModel::Options model_options = config.base.model;
+    model_options.init_seed = config.base.model.init_seed + 1000 * (member + 1);
+    auto model = std::make_unique<models::ZeroShotCostModel>(model_options);
+    train::TrainerOptions trainer = config.base.trainer;
+    trainer.seed = config.base.trainer.seed + 77 * (member + 1);
+    train::TrainModel(model.get(), view, trainer);
+    ensemble.members_.push_back(std::move(model));
+  }
+  return ensemble;
+}
+
+EnsembleEstimator EnsembleEstimator::Train(
+    const std::vector<datagen::DatabaseEnv>& corpus,
+    const EnsembleConfig& config) {
+  return TrainFromRecords(CollectCorpusRecords(corpus, config.base), config);
+}
+
+std::vector<UncertainPrediction> EnsembleEstimator::Predict(
+    const std::vector<const train::QueryRecord*>& records) {
+  ZDB_CHECK(!members_.empty());
+  // Member predictions in log space.
+  std::vector<std::vector<double>> member_logs;
+  member_logs.reserve(members_.size());
+  for (const auto& member : members_) {
+    std::vector<double> predictions = member->PredictMs(records);
+    std::vector<double> logs;
+    logs.reserve(predictions.size());
+    for (double p : predictions) logs.push_back(std::log(std::max(p, 1e-9)));
+    member_logs.push_back(std::move(logs));
+  }
+
+  std::vector<UncertainPrediction> out;
+  out.reserve(records.size());
+  for (size_t q = 0; q < records.size(); ++q) {
+    std::vector<double> logs;
+    logs.reserve(members_.size());
+    for (const auto& member : member_logs) logs.push_back(member[q]);
+    UncertainPrediction prediction;
+    double mean_log = Mean(logs);
+    double std_log = StdDev(logs);
+    prediction.runtime_ms = std::exp(mean_log);
+    prediction.spread_factor = std::exp(std_log);
+    prediction.low_ms = std::exp(mean_log - std_log);
+    prediction.high_ms = std::exp(mean_log + std_log);
+    prediction.uncertain =
+        prediction.spread_factor > config_.uncertainty_threshold;
+    out.push_back(prediction);
+  }
+  return out;
+}
+
+std::vector<double> EnsembleEstimator::PredictWithFallback(
+    const std::vector<const train::QueryRecord*>& records,
+    models::CostPredictor* fallback, size_t* num_fallbacks) {
+  ZDB_CHECK(fallback != nullptr);
+  std::vector<UncertainPrediction> predictions = Predict(records);
+  std::vector<double> fallback_values = fallback->PredictMs(records);
+  ZDB_CHECK_EQ(fallback_values.size(), predictions.size());
+  std::vector<double> out;
+  out.reserve(predictions.size());
+  size_t fallbacks = 0;
+  for (size_t q = 0; q < predictions.size(); ++q) {
+    if (predictions[q].uncertain) {
+      out.push_back(fallback_values[q]);
+      ++fallbacks;
+    } else {
+      out.push_back(predictions[q].runtime_ms);
+    }
+  }
+  if (num_fallbacks != nullptr) *num_fallbacks = fallbacks;
+  return out;
+}
+
+}  // namespace zerodb::zeroshot

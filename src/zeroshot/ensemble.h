@@ -1,0 +1,71 @@
+#ifndef ZERODB_ZEROSHOT_ENSEMBLE_H_
+#define ZERODB_ZEROSHOT_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/scaled_cost_model.h"
+#include "zeroshot/estimator.h"
+
+namespace zerodb::zeroshot {
+
+/// A prediction with an uncertainty estimate (paper Section 2.2, "Training
+/// Data and Uncertainty"): the ensemble's geometric-mean runtime plus a
+/// multiplicative spread factor. `uncertain` flags predictions whose spread
+/// exceeds the configured threshold — callers can fall back to traditional
+/// heuristics for those, exactly as the paper proposes.
+struct UncertainPrediction {
+  double runtime_ms = 0.0;      ///< geometric mean across the ensemble
+  double spread_factor = 1.0;   ///< exp(stddev of log predictions), >= 1
+  double low_ms = 0.0;          ///< runtime_ms / spread_factor
+  double high_ms = 0.0;         ///< runtime_ms * spread_factor
+  bool uncertain = false;
+};
+
+struct EnsembleConfig {
+  size_t ensemble_size = 5;
+  /// Predictions with spread_factor above this are flagged uncertain.
+  double uncertainty_threshold = 2.0;
+  ZeroShotConfig base;  ///< per-member training config (seeds are varied)
+};
+
+/// Deep ensemble of zero-shot cost models: K members trained on the same
+/// records with different initialization and shuffling seeds. Disagreement
+/// between members approximates epistemic uncertainty — large on plan
+/// shapes and feature regions the training corpus never covered.
+class EnsembleEstimator {
+ public:
+  /// Trains all members from shared records (collected once).
+  static EnsembleEstimator TrainFromRecords(
+      std::vector<train::QueryRecord> records, const EnsembleConfig& config);
+
+  /// Convenience: collect + train on a corpus.
+  static EnsembleEstimator Train(
+      const std::vector<datagen::DatabaseEnv>& corpus,
+      const EnsembleConfig& config);
+
+  /// Mean predictions with uncertainty, one per record.
+  std::vector<UncertainPrediction> Predict(
+      const std::vector<const train::QueryRecord*>& records);
+
+  /// Predictions where uncertain queries fall back to the given predictor
+  /// (e.g. a ScaledOptCostModel standing in for the classical optimizer
+  /// cost model). Returns the values and how many fell back.
+  std::vector<double> PredictWithFallback(
+      const std::vector<const train::QueryRecord*>& records,
+      models::CostPredictor* fallback, size_t* num_fallbacks = nullptr);
+
+  size_t size() const { return members_.size(); }
+  const EnsembleConfig& config() const { return config_; }
+
+ private:
+  EnsembleEstimator() = default;
+
+  EnsembleConfig config_;
+  std::vector<train::QueryRecord> records_;
+  std::vector<std::unique_ptr<models::ZeroShotCostModel>> members_;
+};
+
+}  // namespace zerodb::zeroshot
+
+#endif  // ZERODB_ZEROSHOT_ENSEMBLE_H_

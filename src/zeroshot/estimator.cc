@@ -1,0 +1,75 @@
+#include "zeroshot/estimator.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace zerodb::zeroshot {
+
+std::vector<train::QueryRecord> CollectCorpusRecords(
+    const std::vector<datagen::DatabaseEnv>& corpus,
+    const ZeroShotConfig& config) {
+  std::vector<train::QueryRecord> records;
+  Rng seed_rng(config.seed);
+  for (const datagen::DatabaseEnv& env : corpus) {
+    train::CollectOptions collect = config.collect;
+    collect.noise_seed = seed_rng.NextUint64();
+    std::vector<train::QueryRecord> db_records = train::CollectRandomWorkload(
+        env, config.workload, config.queries_per_database,
+        seed_rng.NextUint64(), collect);
+    ZDB_LOG(Debug) << env.db->name() << ": collected " << db_records.size()
+                   << " training records";
+    for (train::QueryRecord& record : db_records) {
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+ZeroShotEstimator ZeroShotEstimator::Train(
+    const std::vector<datagen::DatabaseEnv>& corpus,
+    const ZeroShotConfig& config) {
+  return TrainFromRecords(CollectCorpusRecords(corpus, config), config);
+}
+
+ZeroShotEstimator ZeroShotEstimator::TrainFromRecords(
+    std::vector<train::QueryRecord> records, const ZeroShotConfig& config) {
+  ZDB_CHECK(!records.empty()) << "no training records collected";
+  ZeroShotEstimator estimator;
+  estimator.training_records_ = std::move(records);
+  estimator.model_ =
+      std::make_unique<models::ZeroShotCostModel>(config.model);
+  estimator.train_result_ = train::TrainModel(
+      estimator.model_.get(), train::MakeView(estimator.training_records_),
+      config.trainer);
+  return estimator;
+}
+
+std::vector<double> ZeroShotEstimator::PredictMs(
+    const std::vector<const train::QueryRecord*>& records) {
+  ZDB_CHECK(model_ != nullptr);
+  return model_->PredictMs(records);
+}
+
+StatusOr<double> ZeroShotEstimator::EstimateQueryMs(
+    const datagen::DatabaseEnv& env, const plan::QuerySpec& query,
+    const optimizer::PlannerOptions& planner_options) {
+  ZDB_CHECK(model_ != nullptr);
+  if (model_->cardinality_mode() != featurize::CardinalityMode::kEstimated) {
+    return Status::InvalidArgument(
+        "EstimateQueryMs requires an estimated-cardinality model (exact "
+        "cardinalities only exist after execution)");
+  }
+  optimizer::Planner planner(env.db.get(), &env.stats, optimizer::CostParams(),
+                             planner_options);
+  ZDB_ASSIGN_OR_RETURN(plan::PhysicalPlan plan, planner.Plan(query));
+  train::QueryRecord record;
+  record.env = &env;
+  record.db_name = env.db->name();
+  record.query = query;
+  record.plan = std::move(plan);
+  record.opt_cost = record.plan.root->est_cost;
+  std::vector<const train::QueryRecord*> view = {&record};
+  return model_->PredictMs(view)[0];
+}
+
+}  // namespace zerodb::zeroshot

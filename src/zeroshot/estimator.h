@@ -1,0 +1,80 @@
+#ifndef ZERODB_ZEROSHOT_ESTIMATOR_H_
+#define ZERODB_ZEROSHOT_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/corpus.h"
+#include "models/zeroshot_model.h"
+#include "train/dataset.h"
+#include "train/trainer.h"
+#include "workload/benchmarks.h"
+
+namespace zerodb::zeroshot {
+
+/// End-to-end configuration for training a zero-shot cost model on a corpus
+/// of databases. Defaults are sized for a single-core machine; the paper
+/// used 5,000 queries per database — scale `queries_per_database` up when
+/// you have the budget.
+struct ZeroShotConfig {
+  size_t queries_per_database = 400;
+  workload::WorkloadConfig workload = workload::TrainingWorkloadConfig();
+  train::CollectOptions collect;
+  train::TrainerOptions trainer;
+  models::ZeroShotCostModel::Options model;
+  uint64_t seed = 7;
+};
+
+/// The public face of the reproduction: train once on many databases, then
+/// predict runtimes for queries on a database the model has never seen.
+class ZeroShotEstimator {
+ public:
+  /// Collects training workloads on every corpus database and trains the
+  /// model. The corpus must outlive the estimator (records keep env
+  /// pointers).
+  static ZeroShotEstimator Train(
+      const std::vector<datagen::DatabaseEnv>& corpus,
+      const ZeroShotConfig& config);
+
+  /// Trains from pre-collected records (used by benches that sweep corpus
+  /// subsets without re-collecting).
+  static ZeroShotEstimator TrainFromRecords(
+      std::vector<train::QueryRecord> records, const ZeroShotConfig& config);
+
+  /// Predicts runtimes for already-built records (e.g. an executed
+  /// evaluation workload; required for exact-cardinality mode).
+  std::vector<double> PredictMs(
+      const std::vector<const train::QueryRecord*>& records);
+
+  /// The deployable path: plans `query` on the (unseen) database and
+  /// predicts its runtime without executing anything. Only valid for
+  /// estimated-cardinality models. `planner_options` may declare
+  /// hypothetical indexes — the What-If mode of Section 4.1.
+  StatusOr<double> EstimateQueryMs(
+      const datagen::DatabaseEnv& env, const plan::QuerySpec& query,
+      const optimizer::PlannerOptions& planner_options = {});
+
+  models::ZeroShotCostModel& model() { return *model_; }
+  const train::TrainResult& train_result() const { return train_result_; }
+  const std::vector<train::QueryRecord>& training_records() const {
+    return training_records_;
+  }
+
+ private:
+  ZeroShotEstimator() = default;
+
+  std::unique_ptr<models::ZeroShotCostModel> model_;
+  train::TrainResult train_result_;
+  std::vector<train::QueryRecord> training_records_;
+};
+
+/// Collects the zero-shot training set: `queries_per_database` labeled
+/// records from each corpus database.
+std::vector<train::QueryRecord> CollectCorpusRecords(
+    const std::vector<datagen::DatabaseEnv>& corpus,
+    const ZeroShotConfig& config);
+
+}  // namespace zerodb::zeroshot
+
+#endif  // ZERODB_ZEROSHOT_ESTIMATOR_H_

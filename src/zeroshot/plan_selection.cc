@@ -1,0 +1,98 @@
+#include "zeroshot/plan_selection.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+#include "optimizer/optimizer.h"
+
+namespace zerodb::zeroshot {
+
+std::vector<plan::PhysicalPlan> EnumerateCandidatePlans(
+    const datagen::DatabaseEnv& env, const plan::QuerySpec& query) {
+  // Hint sets, Bao-style: each knob combination may steer the planner to a
+  // structurally different plan.
+  std::vector<optimizer::PlannerOptions> hint_sets;
+  {
+    optimizer::PlannerOptions defaults;
+    hint_sets.push_back(defaults);
+
+    optimizer::PlannerOptions no_index;
+    no_index.enable_index_scan = false;
+    no_index.enable_index_nl_join = false;
+    hint_sets.push_back(no_index);
+
+    optimizer::PlannerOptions no_inlj;
+    no_inlj.enable_index_nl_join = false;
+    hint_sets.push_back(no_inlj);
+
+    optimizer::PlannerOptions no_index_scan;
+    no_index_scan.enable_index_scan = false;
+    hint_sets.push_back(no_index_scan);
+
+    optimizer::PlannerOptions eager_nlj;
+    eager_nlj.nlj_row_threshold = 2048.0;
+    hint_sets.push_back(eager_nlj);
+  }
+
+  std::vector<plan::PhysicalPlan> candidates;
+  std::vector<std::string> shapes;
+  for (const optimizer::PlannerOptions& options : hint_sets) {
+    optimizer::Planner planner(env.db.get(), &env.stats,
+                               optimizer::CostParams(), options);
+    auto plan = planner.Plan(query);
+    if (!plan.ok()) continue;
+    std::string shape = plan->root->ToString(*env.db);
+    if (std::find(shapes.begin(), shapes.end(), shape) != shapes.end()) {
+      continue;  // structurally identical to an earlier candidate
+    }
+    shapes.push_back(std::move(shape));
+    candidates.push_back(std::move(*plan));
+  }
+  return candidates;
+}
+
+StatusOr<PlanChoice> ChoosePlanWithModel(ZeroShotEstimator* estimator,
+                                         const datagen::DatabaseEnv& env,
+                                         const plan::QuerySpec& query) {
+  ZDB_CHECK(estimator != nullptr);
+  if (estimator->model().cardinality_mode() !=
+      featurize::CardinalityMode::kEstimated) {
+    return Status::InvalidArgument(
+        "plan selection requires an estimated-cardinality model");
+  }
+  std::vector<plan::PhysicalPlan> candidates =
+      EnumerateCandidatePlans(env, query);
+  if (candidates.empty()) {
+    return Status::InvalidArgument("query produced no candidate plans");
+  }
+
+  // Score all candidates in one model batch.
+  std::vector<train::QueryRecord> records;
+  records.reserve(candidates.size());
+  for (plan::PhysicalPlan& candidate : candidates) {
+    train::QueryRecord record;
+    record.env = &env;
+    record.db_name = env.db->name();
+    record.query = query;
+    record.opt_cost = candidate.root->est_cost;
+    record.plan = std::move(candidate);
+    records.push_back(std::move(record));
+  }
+  std::vector<double> predicted =
+      estimator->PredictMs(train::MakeView(records));
+
+  size_t best = 0;
+  for (size_t c = 1; c < predicted.size(); ++c) {
+    if (predicted[c] < predicted[best]) best = c;
+  }
+  PlanChoice choice;
+  choice.plan = std::move(records[best].plan);
+  choice.predicted_ms = predicted[best];
+  choice.candidate_index = best;
+  choice.num_candidates = records.size();
+  return choice;
+}
+
+}  // namespace zerodb::zeroshot

@@ -1,0 +1,38 @@
+#ifndef ZERODB_ZEROSHOT_PLAN_SELECTION_H_
+#define ZERODB_ZEROSHOT_PLAN_SELECTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/corpus.h"
+#include "plan/physical.h"
+#include "plan/query.h"
+#include "zeroshot/estimator.h"
+
+namespace zerodb::zeroshot {
+
+/// The paper's Section 4.2 "initial naive approach" to zero-shot query
+/// optimization: use the zero-shot cost model to evaluate candidate plans
+/// and steer the optimizer — in the spirit of Bao's hint sets. Candidates
+/// come from planning the query under different planner configurations
+/// (index scans on/off, index-nested-loop joins on/off, nested-loop
+/// thresholds), deduplicated structurally.
+std::vector<plan::PhysicalPlan> EnumerateCandidatePlans(
+    const datagen::DatabaseEnv& env, const plan::QuerySpec& query);
+
+struct PlanChoice {
+  plan::PhysicalPlan plan;
+  double predicted_ms = 0.0;
+  size_t candidate_index = 0;   ///< into EnumerateCandidatePlans order
+  size_t num_candidates = 0;
+};
+
+/// Picks the candidate plan with the lowest zero-shot predicted runtime.
+/// Requires an estimated-cardinality model (nothing is executed).
+StatusOr<PlanChoice> ChoosePlanWithModel(ZeroShotEstimator* estimator,
+                                         const datagen::DatabaseEnv& env,
+                                         const plan::QuerySpec& query);
+
+}  // namespace zerodb::zeroshot
+
+#endif  // ZERODB_ZEROSHOT_PLAN_SELECTION_H_

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace zerodb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseParsed(int x, int* out) {
+  ZDB_ASSIGN_OR_RETURN(int parsed, ParsePositive(x));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = ParsePositive(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 21);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = ParsePositive(-1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseParsed(4, &out).ok());
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(UseParsed(-4, &out).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMeanAndStdDev) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.Normal(3.0, 2.0));
+  EXPECT_NEAR(Mean(samples), 3.0, 0.1);
+  EXPECT_NEAR(StdDev(samples), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Categorical(weights) == 1) ++count1;
+  }
+  EXPECT_NEAR(count1 / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(31);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6};
+  auto original = items;
+  rng.Shuffle(&items);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextUint64(), child.NextUint64());
+}
+
+TEST(MathTest, QErrorSymmetric) {
+  EXPECT_DOUBLE_EQ(QError(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(5.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(7.0, 7.0), 1.0);
+}
+
+TEST(MathTest, QErrorHandlesZero) {
+  double q = QError(0.0, 1.0);
+  EXPECT_GT(q, 1e6);
+  EXPECT_TRUE(std::isfinite(q));
+}
+
+TEST(MathTest, QuantileInterpolates) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+}
+
+TEST(MathTest, QuantileSingleValue) {
+  EXPECT_DOUBLE_EQ(Quantile({42.0}, 0.9), 42.0);
+}
+
+TEST(MathTest, MeanAndStdDev) {
+  std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(values), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MathTest, LinearFitRecoversLine) {
+  std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  LinearFit fit = FitLeastSquares(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+}
+
+TEST(MathTest, LinearFitDegenerateConstantX) {
+  LinearFit fit = FitLeastSquares({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(1, 8), 1);
+}
+
+TEST(MathTest, Log1pSafeClampsNegative) {
+  EXPECT_DOUBLE_EQ(Log1pSafe(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Log1pSafe(0.0), 0.0);
+  EXPECT_NEAR(Log1pSafe(std::exp(1.0) - 1.0), 1.0, 1e-12);
+}
+
+TEST(StringTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringTest, Split) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace zerodb

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/corpus.h"
+#include "datagen/distributions.h"
+#include "datagen/generator.h"
+
+namespace zerodb::datagen {
+namespace {
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  Rng rng(1);
+  ZipfDistribution dist(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[dist.Draw(&rng)]++;
+  for (int count : counts) EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  Rng rng(2);
+  ZipfDistribution dist(1000, 1.0);
+  int rank0 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (dist.Draw(&rng) == 0) ++rank0;
+  }
+  // With s=1, n=1000: P(rank 0) = 1/H_1000 ~= 1/7.49 ~= 13%.
+  EXPECT_NEAR(rank0 / 10000.0, 0.133, 0.02);
+}
+
+TEST(ZipfTest, DrawsStayInDomain) {
+  Rng rng(3);
+  ZipfDistribution dist(7, 1.5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = dist.Draw(&rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.min_rows = 100;
+  config.max_rows = 500;
+  storage::Database a = GenerateRandomDatabase("x", 42, config);
+  storage::Database b = GenerateRandomDatabase("x", 42, config);
+  ASSERT_EQ(a.tables().size(), b.tables().size());
+  for (size_t t = 0; t < a.tables().size(); ++t) {
+    EXPECT_EQ(a.tables()[t].name(), b.tables()[t].name());
+    EXPECT_EQ(a.tables()[t].num_rows(), b.tables()[t].num_rows());
+  }
+  storage::Database c = GenerateRandomDatabase("x", 43, config);
+  // Different seed should give a structurally different database (rows or
+  // table count differ with overwhelming probability).
+  bool differs = a.tables().size() != c.tables().size();
+  if (!differs) {
+    for (size_t t = 0; t < a.tables().size(); ++t) {
+      if (a.tables()[t].num_rows() != c.tables()[t].num_rows()) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, SchemaInvariants) {
+  GeneratorConfig config;
+  config.min_rows = 50;
+  config.max_rows = 200;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    storage::Database db = GenerateRandomDatabase("inv", seed, config);
+    EXPECT_GE(db.tables().size(), config.min_tables);
+    EXPECT_LE(db.tables().size(), config.max_tables);
+    for (const storage::Table& table : db.tables()) {
+      EXPECT_TRUE(table.Validate().ok());
+      EXPECT_GE(table.num_rows(), 10u);
+      // First column is always the id primary key, sequential.
+      EXPECT_EQ(table.schema().column(0).name, "id");
+      EXPECT_EQ(table.column(0).GetValue(0).AsInt64(), 0);
+    }
+    // Every FK edge references valid endpoints and values within range.
+    for (const catalog::ForeignKey& fk : db.catalog().foreign_keys()) {
+      const storage::Table* child = db.FindTable(fk.table);
+      const storage::Table* parent = db.FindTable(fk.ref_table);
+      ASSERT_NE(child, nullptr);
+      ASSERT_NE(parent, nullptr);
+      auto column = child->ColumnIndex(fk.column);
+      ASSERT_TRUE(column.ok());
+      const storage::Column& fk_column = child->column(*column);
+      int64_t parent_rows = static_cast<int64_t>(parent->num_rows());
+      for (size_t row = 0; row < std::min<size_t>(fk_column.size(), 100);
+           ++row) {
+        int64_t v = fk_column.GetValue(row).AsInt64();
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, parent_rows);
+      }
+    }
+    // Every non-root table has at least one foreign key.
+    if (db.tables().size() > 1) {
+      EXPECT_GE(db.catalog().foreign_keys().size(), db.tables().size() - 1);
+    }
+  }
+}
+
+TEST(GeneratorTest, ScaleMultipliesRows) {
+  GeneratorConfig small;
+  small.min_rows = 1000;
+  small.max_rows = 1000;
+  small.scale = 0.1;
+  storage::Database db = GenerateRandomDatabase("s", 7, small);
+  for (const storage::Table& table : db.tables()) {
+    EXPECT_EQ(table.num_rows(), 100u);
+  }
+}
+
+TEST(ImdbTest, SchemaMatchesJobLight) {
+  storage::Database db = MakeImdbDatabase(11, 0.05);
+  EXPECT_EQ(db.name(), "imdb");
+  const char* expected[] = {"title",          "cast_info",
+                            "movie_info",     "movie_info_idx",
+                            "movie_companies", "movie_keyword"};
+  for (const char* name : expected) {
+    EXPECT_NE(db.FindTable(name), nullptr) << name;
+  }
+  // All satellites reference title.id via movie_id.
+  EXPECT_EQ(db.catalog().foreign_keys().size(), 5u);
+  for (const catalog::ForeignKey& fk : db.catalog().foreign_keys()) {
+    EXPECT_EQ(fk.ref_table, "title");
+    EXPECT_EQ(fk.column, "movie_id");
+  }
+  // Satellites are larger than the hub.
+  size_t title_rows = db.FindTable("title")->num_rows();
+  EXPECT_GT(db.FindTable("cast_info")->num_rows(), title_rows);
+}
+
+TEST(CorpusTest, NamesAndSizes) {
+  EXPECT_EQ(TrainingDatabaseNames().size(), 19u);
+  auto corpus = MakeTrainingCorpus(5, 3, /*scale=*/0.05);
+  ASSERT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus[0].db->name(), "airline");
+  EXPECT_EQ(corpus[1].db->name(), "ssb");
+  for (const DatabaseEnv& env : corpus) {
+    EXPECT_GT(env.db->tables().size(), 0u);
+    // Stats were built for every table.
+    for (const storage::Table& table : env.db->tables()) {
+      EXPECT_NE(env.stats.FindTable(table.name()), nullptr);
+    }
+  }
+}
+
+TEST(CorpusTest, EnvRefreshStats) {
+  auto env = MakeImdbEnv(3, 0.02);
+  int64_t rows_before = env.stats.GetTable("title").num_rows;
+  env.RefreshStats();
+  EXPECT_EQ(env.stats.GetTable("title").num_rows, rows_before);
+}
+
+}  // namespace
+}  // namespace zerodb::datagen

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "featurize/e2e_featurizer.h"
+#include "featurize/mscn_featurizer.h"
+#include "featurize/normalization.h"
+#include "featurize/zeroshot_featurizer.h"
+#include "optimizer/optimizer.h"
+#include "train/dataset.h"
+#include "workload/benchmarks.h"
+
+namespace zerodb::featurize {
+namespace {
+
+// Two structurally identical databases that differ only in names — the
+// zero-shot encoding must match between them; the one-hot encodings differ.
+datagen::DatabaseEnv MakeNamedEnv(const std::string& db_name,
+                                  const std::string& table_a,
+                                  const std::string& table_b) {
+  using catalog::ColumnSchema;
+  using catalog::DataType;
+  using catalog::TableSchema;
+  storage::Database db(db_name);
+  storage::Table a(TableSchema(table_a, {ColumnSchema{"id", DataType::kInt64, 8},
+                                         ColumnSchema{"x", DataType::kInt64, 8}}));
+  for (int i = 0; i < 500; ++i) {
+    a.column(0).AppendInt64(i);
+    // Skewed: value 3 dominates, so the uniform-over-distinct estimator is
+    // wrong for most literals (estimated vs exact cardinalities diverge).
+    a.column(1).AppendInt64(i < 400 ? 3 : i % 50);
+  }
+  storage::Table b(TableSchema(table_b, {ColumnSchema{"id", DataType::kInt64, 8},
+                                         ColumnSchema{"a_ref", DataType::kInt64, 8},
+                                         ColumnSchema{"y", DataType::kDouble, 8}}));
+  for (int i = 0; i < 1500; ++i) {
+    b.column(0).AppendInt64(i);
+    b.column(1).AppendInt64(i % 500);
+    b.column(2).AppendDouble(i * 0.25);
+  }
+  EXPECT_TRUE(db.AddTable(std::move(a)).ok());
+  EXPECT_TRUE(db.AddTable(std::move(b)).ok());
+  EXPECT_TRUE(db.mutable_catalog()
+                  .AddForeignKey(catalog::ForeignKey{table_b, "a_ref", table_a,
+                                                     "id"})
+                  .ok());
+  return datagen::MakeEnv(std::move(db));
+}
+
+plan::QuerySpec TwoWayJoinQuery(const std::string& table_a,
+                                const std::string& table_b) {
+  plan::QuerySpec query;
+  query.tables = {table_a, table_b};
+  query.joins = {plan::JoinSpec{table_b, "a_ref", table_a, "id"}};
+  query.filters = {plan::FilterSpec{
+      table_a, plan::Predicate::Compare(1, plan::CompareOp::kEq, 7)}};
+  query.aggregates = {plan::AggregateSpec{plan::AggFunc::kCount, "", ""}};
+  return query;
+}
+
+train::QueryRecord MakeRecord(const datagen::DatabaseEnv& env,
+                              const plan::QuerySpec& query) {
+  auto records = train::CollectRecords(env, {query}, train::CollectOptions());
+  EXPECT_EQ(records.size(), 1u);
+  return std::move(records[0]);
+}
+
+TEST(ZeroShotFeaturizerTest, DatabaseIndependence) {
+  // Same structure, different names/identities: identical features.
+  auto env1 = MakeNamedEnv("db1", "alpha", "beta");
+  auto env2 = MakeNamedEnv("db2", "gamma", "delta");
+  auto record1 = MakeRecord(env1, TwoWayJoinQuery("alpha", "beta"));
+  auto record2 = MakeRecord(env2, TwoWayJoinQuery("gamma", "delta"));
+
+  ZeroShotFeaturizer featurizer(CardinalityMode::kEstimated);
+  PlanGraph graph1 = featurizer.Featurize(*record1.plan.root, env1);
+  PlanGraph graph2 = featurizer.Featurize(*record2.plan.root, env2);
+  ASSERT_EQ(graph1.nodes.size(), graph2.nodes.size());
+  for (size_t n = 0; n < graph1.nodes.size(); ++n) {
+    EXPECT_EQ(graph1.nodes[n].op_type, graph2.nodes[n].op_type);
+    ASSERT_EQ(graph1.nodes[n].features.size(), graph2.nodes[n].features.size());
+    for (size_t d = 0; d < graph1.nodes[n].features.size(); ++d) {
+      EXPECT_FLOAT_EQ(graph1.nodes[n].features[d], graph2.nodes[n].features[d])
+          << "node " << n << " dim " << d;
+    }
+  }
+}
+
+TEST(ZeroShotFeaturizerTest, GraphMirrorsPlanStructure) {
+  auto env = MakeNamedEnv("db", "alpha", "beta");
+  auto record = MakeRecord(env, TwoWayJoinQuery("alpha", "beta"));
+  ZeroShotFeaturizer featurizer(CardinalityMode::kEstimated);
+  PlanGraph graph = featurizer.Featurize(*record.plan.root, env);
+  EXPECT_EQ(graph.nodes.size(), record.plan.root->SubtreeSize());
+  // Root is an aggregate with one child.
+  EXPECT_EQ(graph.nodes[graph.root()].children.size(), 1u);
+  EXPECT_EQ(graph.nodes[graph.root()].level, graph.max_level());
+  for (const PlanGraphNode& node : graph.nodes) {
+    EXPECT_EQ(node.features.size(), ZeroShotFeaturizer::kFeatureDim);
+  }
+}
+
+TEST(ZeroShotFeaturizerTest, ExactVsEstimatedDiffer) {
+  auto env = MakeNamedEnv("db", "alpha", "beta");
+  auto record = MakeRecord(env, TwoWayJoinQuery("alpha", "beta"));
+  ZeroShotFeaturizer estimated(CardinalityMode::kEstimated);
+  ZeroShotFeaturizer exact(CardinalityMode::kExact);
+  PlanGraph g_est = estimated.Featurize(*record.plan.root, env);
+  PlanGraph g_exact = exact.Featurize(*record.plan.root, env);
+  // Cardinality features (dim 0) generally differ between modes.
+  bool any_difference = false;
+  for (size_t n = 0; n < g_est.nodes.size(); ++n) {
+    if (g_est.nodes[n].features[0] != g_exact.nodes[n].features[0]) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ZeroShotFeaturizerTest, NoLiteralValuesInFeatures) {
+  // Shifting every literal must not change zero-shot features when the
+  // resulting cardinality estimates are forced equal (structure-only).
+  auto env = MakeNamedEnv("db", "alpha", "beta");
+  plan::QuerySpec q1 = TwoWayJoinQuery("alpha", "beta");
+  auto r1 = MakeRecord(env, q1);
+  // Same predicate structure, different literal with same est selectivity
+  // (eq on x has uniform 1/nd for any in-domain literal).
+  plan::QuerySpec q2 = q1;
+  q2.filters[0].predicate = plan::Predicate::Compare(1, plan::CompareOp::kEq, 13);
+  auto r2 = MakeRecord(env, q2);
+  ZeroShotFeaturizer featurizer(CardinalityMode::kEstimated);
+  PlanGraph g1 = featurizer.Featurize(*r1.plan.root, env);
+  PlanGraph g2 = featurizer.Featurize(*r2.plan.root, env);
+  ASSERT_EQ(g1.nodes.size(), g2.nodes.size());
+  for (size_t n = 0; n < g1.nodes.size(); ++n) {
+    for (size_t d = 0; d < g1.nodes[n].features.size(); ++d) {
+      EXPECT_FLOAT_EQ(g1.nodes[n].features[d], g2.nodes[n].features[d]);
+    }
+  }
+}
+
+TEST(E2EFeaturizerTest, DatabaseDependence) {
+  // The whole point of the contrast: E2E features DO depend on identity.
+  auto env = MakeNamedEnv("db", "alpha", "beta");
+  plan::QuerySpec on_alpha;
+  on_alpha.tables = {"alpha"};
+  on_alpha.filters = {plan::FilterSpec{
+      "alpha", plan::Predicate::Compare(1, plan::CompareOp::kEq, 7)}};
+  plan::QuerySpec on_beta;
+  on_beta.tables = {"beta"};
+  on_beta.filters = {plan::FilterSpec{
+      "beta", plan::Predicate::Compare(2, plan::CompareOp::kGe, 10.0)}};
+  auto r_alpha = MakeRecord(env, on_alpha);
+  auto r_beta = MakeRecord(env, on_beta);
+
+  E2EFeaturizer featurizer(CardinalityMode::kEstimated);
+  PlanGraph g_alpha = featurizer.Featurize(*r_alpha.plan.root, env);
+  PlanGraph g_beta = featurizer.Featurize(*r_beta.plan.root, env);
+  // Table one-hot region (offset 9): alpha sets slot 9+0, beta slot 9+1.
+  EXPECT_FLOAT_EQ(g_alpha.nodes[0].features[9 + 0], 1.0f);
+  EXPECT_FLOAT_EQ(g_alpha.nodes[0].features[9 + 1], 0.0f);
+  EXPECT_FLOAT_EQ(g_beta.nodes[0].features[9 + 0], 0.0f);
+  EXPECT_FLOAT_EQ(g_beta.nodes[0].features[9 + 1], 1.0f);
+}
+
+TEST(E2EFeaturizerTest, LiteralValuesPresent) {
+  auto env = MakeNamedEnv("db", "alpha", "beta");
+  plan::QuerySpec q1 = TwoWayJoinQuery("alpha", "beta");
+  plan::QuerySpec q2 = q1;
+  q2.filters[0].predicate =
+      plan::Predicate::Compare(1, plan::CompareOp::kEq, 45);
+  auto r1 = MakeRecord(env, q1);
+  auto r2 = MakeRecord(env, q2);
+  E2EFeaturizer featurizer(CardinalityMode::kEstimated);
+  PlanGraph g1 = featurizer.Featurize(*r1.plan.root, env);
+  PlanGraph g2 = featurizer.Featurize(*r2.plan.root, env);
+  bool any_difference = false;
+  for (size_t n = 0; n < g1.nodes.size(); ++n) {
+    for (size_t d = 0; d < g1.nodes[n].features.size(); ++d) {
+      if (g1.nodes[n].features[d] != g2.nodes[n].features[d]) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);  // literal 7 vs 45 visible to E2E
+}
+
+TEST(E2EFeaturizerTest, FeatureDimensionsConsistent) {
+  auto env = datagen::MakeImdbEnv(5, 0.02);
+  workload::QueryGenerator generator(&env,
+                                     workload::TrainingWorkloadConfig(), 3);
+  E2EFeaturizer featurizer(CardinalityMode::kEstimated);
+  for (int i = 0; i < 10; ++i) {
+    auto record = MakeRecord(env, generator.Next());
+    PlanGraph graph = featurizer.Featurize(*record.plan.root, env);
+    for (const PlanGraphNode& node : graph.nodes) {
+      EXPECT_EQ(node.features.size(), E2EFeaturizer::kFeatureDim);
+    }
+  }
+}
+
+TEST(MscnFeaturizerTest, SetSizesMatchQuery) {
+  auto env = MakeNamedEnv("db", "alpha", "beta");
+  plan::QuerySpec query = TwoWayJoinQuery("alpha", "beta");
+  MscnFeaturizer featurizer;
+  MscnSets sets = featurizer.Featurize(query, env);
+  EXPECT_EQ(sets.tables.size(), 2u);
+  EXPECT_EQ(sets.joins.size(), 1u);
+  EXPECT_EQ(sets.predicates.size(), 1u);
+  EXPECT_EQ(sets.tables[0].size(), MscnFeaturizer::kTableDim);
+  EXPECT_EQ(sets.joins[0].size(), MscnFeaturizer::kJoinDim);
+  EXPECT_EQ(sets.predicates[0].size(), MscnFeaturizer::kPredicateDim);
+}
+
+TEST(MscnFeaturizerTest, EmptySetsForSingleTableNoFilter) {
+  auto env = MakeNamedEnv("db", "alpha", "beta");
+  plan::QuerySpec query;
+  query.tables = {"alpha"};
+  query.aggregates = {plan::AggregateSpec{plan::AggFunc::kCount, "", ""}};
+  MscnFeaturizer featurizer;
+  MscnSets sets = featurizer.Featurize(query, env);
+  EXPECT_EQ(sets.tables.size(), 1u);
+  EXPECT_TRUE(sets.joins.empty());
+  EXPECT_TRUE(sets.predicates.empty());
+}
+
+TEST(MscnFeaturizerTest, OrPredicatesExpandToLeaves) {
+  auto env = MakeNamedEnv("db", "alpha", "beta");
+  plan::QuerySpec query;
+  query.tables = {"alpha"};
+  query.filters = {plan::FilterSpec{
+      "alpha",
+      plan::Predicate::Or({plan::Predicate::Compare(1, plan::CompareOp::kEq, 1),
+                           plan::Predicate::Compare(1, plan::CompareOp::kEq, 2)})}};
+  MscnFeaturizer featurizer;
+  MscnSets sets = featurizer.Featurize(query, env);
+  EXPECT_EQ(sets.predicates.size(), 2u);
+}
+
+TEST(NormalizationTest, FeatureNormStandardizes) {
+  std::vector<float> a = {1.0f, 10.0f};
+  std::vector<float> b = {3.0f, 10.0f};
+  FeatureNorm norm;
+  norm.Fit({&a, &b});
+  std::vector<float> row = {1.0f, 10.0f};
+  norm.Apply(&row);
+  EXPECT_FLOAT_EQ(row[0], -1.0f);  // (1-2)/1
+  EXPECT_FLOAT_EQ(row[1], 0.0f);   // constant dim: centered, unscaled
+}
+
+TEST(NormalizationTest, TargetNormRoundTrip) {
+  TargetNorm norm;
+  norm.Fit({1.0, 2.0, 3.0, 4.0});
+  for (double v : {0.5, 2.5, 9.0}) {
+    EXPECT_NEAR(norm.Denormalize(norm.Normalize(v)), v, 1e-12);
+  }
+}
+
+TEST(NormalizationTest, UnfittedApplyIsNoop) {
+  FeatureNorm norm;
+  std::vector<float> row = {5.0f};
+  norm.Apply(&row);
+  EXPECT_FLOAT_EQ(row[0], 5.0f);
+}
+
+TEST(PlanGraphTest, ComputeLevels) {
+  PlanGraph graph;
+  graph.nodes.resize(4);
+  graph.nodes[0].children = {1, 2};
+  graph.nodes[2].children = {3};
+  graph.ComputeLevels();
+  EXPECT_EQ(graph.nodes[1].level, 0u);
+  EXPECT_EQ(graph.nodes[3].level, 0u);
+  EXPECT_EQ(graph.nodes[2].level, 1u);
+  EXPECT_EQ(graph.nodes[0].level, 2u);
+  EXPECT_EQ(graph.max_level(), 2u);
+}
+
+}  // namespace
+}  // namespace zerodb::featurize

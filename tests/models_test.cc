@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "models/e2e_model.h"
+#include "models/mscn_model.h"
+#include "models/scaled_cost_model.h"
+#include "models/zeroshot_model.h"
+#include "train/dataset.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+#include "workload/benchmarks.h"
+
+namespace zerodb::models {
+namespace {
+
+// Shared tiny fixture: one small IMDB-like env and a workload on it.
+class ModelsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new datagen::DatabaseEnv(datagen::MakeImdbEnv(31, 0.03));
+    workload::WorkloadConfig config = workload::TrainingWorkloadConfig();
+    records_ = new std::vector<train::QueryRecord>(
+        train::CollectRandomWorkload(*env_, config, 200, 41,
+                                     train::CollectOptions()));
+    ASSERT_GE(records_->size(), 150u);
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    delete env_;
+    records_ = nullptr;
+    env_ = nullptr;
+  }
+
+  static datagen::DatabaseEnv* env_;
+  static std::vector<train::QueryRecord>* records_;
+};
+
+datagen::DatabaseEnv* ModelsTest::env_ = nullptr;
+std::vector<train::QueryRecord>* ModelsTest::records_ = nullptr;
+
+TEST_F(ModelsTest, ZeroShotTrainsToLowError) {
+  ZeroShotCostModel::Options options;
+  options.hidden_dim = 32;
+  ZeroShotCostModel model(options);
+  train::TrainerOptions trainer;
+  trainer.max_epochs = 30;
+  train::TrainResult result =
+      train::TrainModel(&model, train::MakeView(*records_), trainer);
+  EXPECT_GT(result.epochs_run, 0u);
+  EXPECT_LT(result.best_validation_loss, 0.2);
+
+  auto view = train::MakeView(*records_);
+  auto predictions = model.PredictMs(view);
+  std::vector<double> truth;
+  for (const auto& record : *records_) truth.push_back(record.runtime_ms);
+  train::QErrorStats stats = train::ComputeQErrors(predictions, truth);
+  EXPECT_LT(stats.median, 1.5) << stats.ToString();
+}
+
+TEST_F(ModelsTest, ZeroShotExactCardinalitiesAtLeastAsGoodTraining) {
+  ZeroShotCostModel::Options options;
+  options.hidden_dim = 32;
+  options.cardinality_mode = featurize::CardinalityMode::kExact;
+  ZeroShotCostModel model(options);
+  train::TrainerOptions trainer;
+  trainer.max_epochs = 30;
+  train::TrainModel(&model, train::MakeView(*records_), trainer);
+  auto view = train::MakeView(*records_);
+  auto predictions = model.PredictMs(view);
+  std::vector<double> truth;
+  for (const auto& record : *records_) truth.push_back(record.runtime_ms);
+  train::QErrorStats stats = train::ComputeQErrors(predictions, truth);
+  EXPECT_LT(stats.median, 1.5) << stats.ToString();
+}
+
+TEST_F(ModelsTest, E2ETrainsOnOneDatabase) {
+  E2ECostModel::Options options;
+  options.hidden_dim = 32;
+  E2ECostModel model(options);
+  train::TrainerOptions trainer;
+  trainer.max_epochs = 30;
+  train::TrainModel(&model, train::MakeView(*records_), trainer);
+  auto view = train::MakeView(*records_);
+  auto predictions = model.PredictMs(view);
+  std::vector<double> truth;
+  for (const auto& record : *records_) truth.push_back(record.runtime_ms);
+  train::QErrorStats stats = train::ComputeQErrors(predictions, truth);
+  EXPECT_LT(stats.median, 2.0) << stats.ToString();
+}
+
+TEST_F(ModelsTest, MscnTrainsButCoarser) {
+  MscnCostModel::Options options;
+  options.hidden_dim = 32;
+  MscnCostModel model(options);
+  train::TrainerOptions trainer;
+  trainer.max_epochs = 30;
+  train::TrainModel(&model, train::MakeView(*records_), trainer);
+  auto view = train::MakeView(*records_);
+  auto predictions = model.PredictMs(view);
+  std::vector<double> truth;
+  for (const auto& record : *records_) truth.push_back(record.runtime_ms);
+  train::QErrorStats stats = train::ComputeQErrors(predictions, truth);
+  // MSCN sees no plan structure; it still must beat wild guessing.
+  EXPECT_LT(stats.median, 5.0) << stats.ToString();
+}
+
+TEST_F(ModelsTest, ScaledOptCostFitsAndPredicts) {
+  ScaledOptCostModel model;
+  auto view = train::MakeView(*records_);
+  model.Fit(view);
+  ASSERT_TRUE(model.fitted());
+  auto predictions = model.PredictMs(view);
+  ASSERT_EQ(predictions.size(), records_->size());
+  for (double p : predictions) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+  std::vector<double> truth;
+  for (const auto& record : *records_) truth.push_back(record.runtime_ms);
+  train::QErrorStats stats = train::ComputeQErrors(predictions, truth);
+  EXPECT_LT(stats.median, 5.0) << stats.ToString();
+}
+
+TEST_F(ModelsTest, ModelsExposeParameters) {
+  ZeroShotCostModel::Options zs_options;
+  zs_options.hidden_dim = 16;
+  ZeroShotCostModel zero_shot(zs_options);
+  // 9 encoders x 3 linear layers x 2 tensors + combine 3x2 + readout 3x2.
+  EXPECT_EQ(zero_shot.Parameters().size(), 9u * 6 + 6 + 6);
+
+  E2ECostModel::Options e2e_options;
+  e2e_options.hidden_dim = 16;
+  E2ECostModel e2e(e2e_options);
+  EXPECT_EQ(e2e.Parameters().size(), 6u + 6 + 6);
+
+  MscnCostModel::Options mscn_options;
+  mscn_options.hidden_dim = 16;
+  MscnCostModel mscn(mscn_options);
+  EXPECT_EQ(mscn.Parameters().size(), 4u * 4);  // 4 MLPs x 2 layers x (W,b)
+}
+
+TEST_F(ModelsTest, PredictionsAreDeterministic) {
+  ZeroShotCostModel::Options options;
+  options.hidden_dim = 16;
+  ZeroShotCostModel model(options);
+  train::TrainerOptions trainer;
+  trainer.max_epochs = 3;
+  train::TrainModel(&model, train::MakeView(*records_), trainer);
+  auto view = train::MakeView(*records_);
+  auto first = model.PredictMs(view);
+  auto second = model.PredictMs(view);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]);
+  }
+}
+
+TEST_F(ModelsTest, TrainerEarlyStopsAndRestoresBest) {
+  ZeroShotCostModel::Options options;
+  options.hidden_dim = 16;
+  ZeroShotCostModel model(options);
+  train::TrainerOptions trainer;
+  trainer.max_epochs = 200;
+  trainer.early_stop_patience = 3;
+  train::TrainResult result =
+      train::TrainModel(&model, train::MakeView(*records_), trainer);
+  // With 200 allowed epochs and patience 3, early stopping should engage.
+  EXPECT_TRUE(result.early_stopped || result.epochs_run == 200);
+  EXPECT_LT(result.epochs_run, 201u);
+}
+
+TEST(MetricsTest, QErrorStats) {
+  train::QErrorStats stats =
+      train::ComputeQErrors({10, 20, 40}, {10, 10, 10});
+  EXPECT_DOUBLE_EQ(stats.median, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(MetricsTest, EmptyInput) {
+  train::QErrorStats stats = train::ComputeQErrors({}, {});
+  EXPECT_EQ(stats.count, 0u);
+}
+
+}  // namespace
+}  // namespace zerodb::models

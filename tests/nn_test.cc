@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/lr_schedule.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/tensor.h"
+
+namespace zerodb::nn {
+namespace {
+
+TEST(TensorTest, FactoriesAndShapes) {
+  Tensor z = Tensor::Zeros(2, 3);
+  EXPECT_EQ(z.rows(), 2u);
+  EXPECT_EQ(z.cols(), 3u);
+  EXPECT_EQ(z.size(), 6u);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  Tensor f = Tensor::Full(2, 2, 1.5f);
+  EXPECT_EQ(f.at(1, 1), 1.5f);
+
+  Tensor d = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(d.at(0, 1), 2.0f);
+  EXPECT_EQ(d.at(1, 0), 3.0f);
+  EXPECT_FALSE(d.requires_grad());
+
+  Tensor p = Tensor::Parameter(1, 2, {5, 6});
+  EXPECT_TRUE(p.requires_grad());
+  EXPECT_EQ(p.grad().size(), 2u);
+}
+
+TEST(TensorTest, ItemRequiresScalar) {
+  Tensor s = Tensor::FromData(1, 1, {3.0f});
+  EXPECT_EQ(s.item(), 3.0f);
+}
+
+TEST(OpsTest, MatMulForward) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, AddBiasForward) {
+  Tensor x = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData(1, 2, {10, 20});
+  Tensor y = AddBias(x, b);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 24.0f);
+}
+
+TEST(OpsTest, ReluForward) {
+  Tensor x = Tensor::FromData(1, 4, {-2, -0.5f, 0, 3});
+  Tensor y = Relu(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 3), 3.0f);
+}
+
+TEST(OpsTest, RowGatherForward) {
+  Tensor x = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor y = RowGather(x, {2, 0, 2});
+  ASSERT_EQ(y.rows(), 3u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, RowScatterAddForward) {
+  Tensor x = Tensor::FromData(3, 2, {1, 1, 2, 2, 3, 3});
+  Tensor y = RowScatterAdd(x, {0, 0, 1}, 2);
+  ASSERT_EQ(y.rows(), 2u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.0f);  // rows 0 and 1 summed
+  EXPECT_FLOAT_EQ(y.at(1, 0), 3.0f);
+}
+
+TEST(OpsTest, ConcatColsForward) {
+  Tensor a = Tensor::FromData(2, 1, {1, 2});
+  Tensor b = Tensor::FromData(2, 2, {3, 4, 5, 6});
+  Tensor c = ConcatCols({a, b});
+  ASSERT_EQ(c.cols(), 3u);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 5.0f);
+}
+
+TEST(OpsTest, ConcatRowsForward) {
+  Tensor a = Tensor::FromData(1, 2, {1, 2});
+  Tensor b = Tensor::FromData(2, 2, {3, 4, 5, 6});
+  Tensor c = ConcatRows({a, b});
+  ASSERT_EQ(c.rows(), 3u);
+  EXPECT_FLOAT_EQ(c.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, MseLossForward) {
+  Tensor pred = Tensor::FromData(2, 1, {1.0f, 3.0f});
+  Tensor target = Tensor::FromData(2, 1, {0.0f, 1.0f});
+  Tensor loss = MseLoss(pred, target);
+  EXPECT_FLOAT_EQ(loss.item(), (1.0f + 4.0f) / 2.0f);
+}
+
+TEST(OpsTest, HuberLossForward) {
+  Tensor pred = Tensor::FromData(2, 1, {0.5f, 3.0f});
+  Tensor target = Tensor::FromData(2, 1, {0.0f, 0.0f});
+  Tensor loss = HuberLoss(pred, target, 1.0f);
+  // 0.5*0.25 + (3 - 0.5) = 0.125 + 2.5, averaged.
+  EXPECT_FLOAT_EQ(loss.item(), (0.125f + 2.5f) / 2.0f);
+}
+
+// Numerical gradient checking: perturb each parameter entry and compare the
+// finite-difference slope with the autograd gradient.
+void CheckGradients(Tensor param, const std::function<Tensor()>& loss_fn,
+                    float tolerance = 2e-2f) {
+  Tensor loss = loss_fn();
+  param.ZeroGrad();
+  loss.Backward();
+  std::vector<float> analytic = param.grad();
+  const float eps = 1e-2f;
+  for (size_t i = 0; i < param.size(); ++i) {
+    float original = param.mutable_data()[i];
+    param.mutable_data()[i] = original + eps;
+    float up = loss_fn().item();
+    param.mutable_data()[i] = original - eps;
+    float down = loss_fn().item();
+    param.mutable_data()[i] = original;
+    float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tolerance)
+        << "gradient mismatch at index " << i;
+  }
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  Tensor w = Tensor::Parameter(3, 2, {0.1f, -0.2f, 0.3f, 0.4f, -0.5f, 0.6f});
+  Tensor x = Tensor::FromData(2, 3, {1, 2, 3, -1, 0.5f, 2});
+  Tensor target = Tensor::FromData(2, 1, {1.0f, -1.0f});
+  Tensor ones = Tensor::FromData(2, 1, {1.0f, 1.0f});
+  auto loss_fn = [&]() {
+    Tensor h = MatMul(x, w);                       // (2,2)
+    Tensor col = MatMul(h, Tensor::FromData(2, 1, {1.0f, 1.0f}));
+    (void)ones;
+    return MseLoss(col, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, BiasGradient) {
+  Tensor b = Tensor::Parameter(1, 2, {0.2f, -0.3f});
+  Tensor x = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor target = Tensor::FromData(3, 1, {1, 2, 3});
+  auto loss_fn = [&]() {
+    Tensor h = AddBias(x, b);
+    Tensor col = MatMul(h, Tensor::FromData(2, 1, {1.0f, -1.0f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(b, loss_fn);
+}
+
+TEST(AutogradTest, ReluGradient) {
+  Tensor w = Tensor::Parameter(2, 2, {0.5f, -0.4f, 0.3f, 0.8f});
+  Tensor x = Tensor::FromData(2, 2, {1, -2, 3, 0.5f});
+  Tensor target = Tensor::FromData(2, 1, {0.3f, 0.7f});
+  auto loss_fn = [&]() {
+    Tensor h = Relu(MatMul(x, w));
+    Tensor col = MatMul(h, Tensor::FromData(2, 1, {1.0f, 1.0f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, SigmoidTanhGradient) {
+  Tensor w = Tensor::Parameter(2, 2, {0.5f, -0.4f, 0.3f, 0.8f});
+  Tensor x = Tensor::FromData(2, 2, {1, -2, 3, 0.5f});
+  Tensor target = Tensor::FromData(2, 1, {0.3f, 0.7f});
+  auto loss_fn = [&]() {
+    Tensor h = Tanh(MatMul(x, w));
+    Tensor s = Sigmoid(h);
+    Tensor col = MatMul(s, Tensor::FromData(2, 1, {1.0f, 1.0f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, GatherScatterGradient) {
+  Tensor w = Tensor::Parameter(3, 2, {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f});
+  Tensor target = Tensor::FromData(2, 1, {1.0f, 0.0f});
+  auto loss_fn = [&]() {
+    Tensor gathered = RowGather(w, {0, 2, 1, 0});          // (4,2)
+    Tensor pooled = RowScatterAdd(gathered, {0, 0, 1, 1}, 2);  // (2,2)
+    Tensor col = MatMul(pooled, Tensor::FromData(2, 1, {1.0f, -1.0f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, ConcatGradient) {
+  Tensor w = Tensor::Parameter(2, 2, {0.1f, 0.2f, 0.3f, 0.4f});
+  Tensor x = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor target = Tensor::FromData(2, 1, {1.0f, -1.0f});
+  auto loss_fn = [&]() {
+    Tensor h = MatMul(x, w);
+    Tensor cat = ConcatCols({h, x});  // (2,4)
+    Tensor col = MatMul(cat, Tensor::FromData(4, 1, {1.0f, -1.0f, 0.5f, 0.5f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, SharedSubgraphAccumulates) {
+  // Using a parameter twice must add both gradient contributions.
+  Tensor w = Tensor::Parameter(1, 1, {0.7f});
+  Tensor target = Tensor::FromData(1, 1, {2.0f});
+  auto loss_fn = [&]() {
+    Tensor doubled = Add(w, w);  // 2w
+    return MseLoss(doubled, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, HuberGradient) {
+  Tensor w = Tensor::Parameter(2, 1, {2.0f, -0.2f});
+  Tensor x = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor target = Tensor::FromData(2, 1, {0.0f, 0.0f});
+  auto loss_fn = [&]() { return HuberLoss(MatMul(x, w), target, 1.0f); };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, ScaleRowsAndScaleGradient) {
+  Tensor w = Tensor::Parameter(2, 2, {0.3f, 0.1f, -0.2f, 0.5f});
+  Tensor target = Tensor::FromData(2, 1, {1.0f, 2.0f});
+  auto loss_fn = [&]() {
+    Tensor scaled = ScaleRows(w, {0.5f, 2.0f});
+    Tensor s2 = Scale(scaled, 3.0f);
+    Tensor col = MatMul(s2, Tensor::FromData(2, 1, {1.0f, 1.0f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(LayersTest, LinearShapesAndDeterminism) {
+  Rng rng1(5);
+  Rng rng2(5);
+  Linear a(4, 3, &rng1);
+  Linear b(4, 3, &rng2);
+  EXPECT_EQ(a.weight().data(), b.weight().data());
+  Tensor x = Tensor::FromData(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor y = a.Forward(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(LayersTest, MlpForwardShape) {
+  Rng rng(5);
+  MlpConfig config;
+  config.in_features = 6;
+  config.hidden_sizes = {8, 8};
+  config.out_features = 1;
+  Mlp mlp(config, &rng);
+  Tensor x = Tensor::Zeros(3, 6);
+  Tensor y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 1u);
+  EXPECT_EQ(mlp.Parameters().size(), 6u);  // 3 layers x (W, b)
+}
+
+TEST(TrainingTest, MlpLearnsLinearFunction) {
+  // y = 2*x0 - x1 + 0.5 learned from samples; sanity check the full loop.
+  Rng rng(123);
+  MlpConfig config;
+  config.in_features = 2;
+  config.hidden_sizes = {16};
+  config.out_features = 1;
+  Mlp mlp(config, &rng);
+
+  std::vector<float> inputs;
+  std::vector<float> targets;
+  Rng data_rng(7);
+  const size_t n = 256;
+  for (size_t i = 0; i < n; ++i) {
+    float x0 = static_cast<float>(data_rng.UniformDouble(-1, 1));
+    float x1 = static_cast<float>(data_rng.UniformDouble(-1, 1));
+    inputs.push_back(x0);
+    inputs.push_back(x1);
+    targets.push_back(2 * x0 - x1 + 0.5f);
+  }
+  Tensor x = Tensor::FromData(n, 2, inputs);
+  Tensor y = Tensor::FromData(n, 1, targets);
+
+  Adam optimizer(mlp.Parameters(), 0.01f);
+  float final_loss = 1e9f;
+  for (int epoch = 0; epoch < 600; ++epoch) {
+    Tensor loss = MseLoss(mlp.Forward(x), y);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 2e-3f);
+}
+
+TEST(TrainingTest, SgdMomentumConverges) {
+  Rng rng(11);
+  MlpConfig config;
+  config.in_features = 1;
+  config.hidden_sizes = {};
+  config.out_features = 1;
+  Mlp mlp(config, &rng);
+  Tensor x = Tensor::FromData(4, 1, {0, 1, 2, 3});
+  Tensor y = Tensor::FromData(4, 1, {1, 3, 5, 7});  // y = 2x + 1
+  Sgd optimizer(mlp.Parameters(), 0.02f, 0.9f);
+  float final_loss = 1e9f;
+  for (int step = 0; step < 500; ++step) {
+    Tensor loss = MseLoss(mlp.Forward(x), y);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 1e-4f);
+}
+
+TEST(OptimizerTest, ClipGradNorm) {
+  Tensor p = Tensor::Parameter(1, 2, {0.0f, 0.0f});
+  p.mutable_grad() = {3.0f, 4.0f};  // norm 5
+  Adam optimizer({p}, 0.001f);
+  double norm = optimizer.ClipGradNorm(1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(p.grad()[0], 0.6f, 1e-5);
+  EXPECT_NEAR(p.grad()[1], 0.8f, 1e-5);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Tensor p = Tensor::Parameter(1, 2, {0.0f, 0.0f});
+  p.mutable_grad() = {1.0f, 2.0f};
+  Sgd optimizer({p}, 0.1f);
+  optimizer.ZeroGrad();
+  EXPECT_EQ(p.grad()[0], 0.0f);
+  EXPECT_EQ(p.grad()[1], 0.0f);
+}
+
+TEST(DropoutTest, IdentityInEval) {
+  Rng rng(3);
+  Tensor x = Tensor::FromData(1, 4, {1, 2, 3, 4});
+  Tensor y = Dropout(x, 0.5f, &rng, /*training=*/false);
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(DropoutTest, ZeroesAndRescales) {
+  Rng rng(3);
+  Tensor x = Tensor::Full(1, 1000, 1.0f);
+  Tensor y = Dropout(x, 0.5f, &rng, /*training=*/true);
+  int zeros = 0;
+  double sum = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.06);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.12);
+}
+
+TEST(OpsTest, LayerNormForward) {
+  Tensor x = Tensor::FromData(2, 3, {1, 2, 3, 10, 10, 10});
+  Tensor y = LayerNorm(x);
+  // Row 0: mean 2, var 2/3 -> normalized {-1.22, 0, 1.22}.
+  EXPECT_NEAR(y.at(0, 0), -1.2247f, 1e-3);
+  EXPECT_NEAR(y.at(0, 1), 0.0f, 1e-4);
+  EXPECT_NEAR(y.at(0, 2), 1.2247f, 1e-3);
+  // Constant row: all zeros (epsilon guards the division).
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(y.at(1, j), 0.0f, 1e-3);
+}
+
+TEST(LrScheduleTest, ConstantAndStep) {
+  ConstantLr constant(0.1f);
+  EXPECT_FLOAT_EQ(constant.RateForEpoch(0), 0.1f);
+  EXPECT_FLOAT_EQ(constant.RateForEpoch(100), 0.1f);
+
+  StepDecayLr step(0.1f, 0.5f, 10);
+  EXPECT_FLOAT_EQ(step.RateForEpoch(0), 0.1f);
+  EXPECT_FLOAT_EQ(step.RateForEpoch(9), 0.1f);
+  EXPECT_FLOAT_EQ(step.RateForEpoch(10), 0.05f);
+  EXPECT_FLOAT_EQ(step.RateForEpoch(25), 0.025f);
+}
+
+TEST(LrScheduleTest, CosineDecreasesToFloor) {
+  CosineLr cosine(0.1f, 0.01f, 21);
+  EXPECT_FLOAT_EQ(cosine.RateForEpoch(0), 0.1f);
+  EXPECT_NEAR(cosine.RateForEpoch(10), 0.055f, 1e-3);
+  EXPECT_FLOAT_EQ(cosine.RateForEpoch(20), 0.01f);
+  EXPECT_FLOAT_EQ(cosine.RateForEpoch(100), 0.01f);  // clamped past the end
+  float previous = 1.0f;
+  for (size_t epoch = 0; epoch < 21; ++epoch) {
+    float rate = cosine.RateForEpoch(epoch);
+    EXPECT_LE(rate, previous + 1e-7f);
+    previous = rate;
+  }
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(77);
+  MlpConfig config;
+  config.in_features = 3;
+  config.hidden_sizes = {5};
+  config.out_features = 2;
+  Mlp source(config, &rng);
+  Mlp dest(config, &rng);  // different weights (rng advanced)
+
+  std::string path = testing::TempDir() + "/zdb_params.bin";
+  ASSERT_TRUE(SaveParameters(source.Parameters(), path).ok());
+  ASSERT_TRUE(LoadParameters(dest.Parameters(), path).ok());
+
+  Tensor x = Tensor::FromData(1, 3, {0.1f, 0.2f, 0.3f});
+  Tensor ys = source.Forward(x);
+  Tensor yd = dest.Forward(x);
+  for (size_t i = 0; i < ys.size(); ++i) {
+    EXPECT_FLOAT_EQ(ys.data()[i], yd.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(78);
+  MlpConfig small;
+  small.in_features = 2;
+  small.out_features = 1;
+  MlpConfig big;
+  big.in_features = 3;
+  big.out_features = 1;
+  Mlp source(small, &rng);
+  Mlp dest(big, &rng);
+  std::string path = testing::TempDir() + "/zdb_params2.bin";
+  ASSERT_TRUE(SaveParameters(source.Parameters(), path).ok());
+  Status s = LoadParameters(dest.Parameters(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  Rng rng(79);
+  MlpConfig config;
+  config.in_features = 2;
+  config.out_features = 1;
+  Mlp mlp(config, &rng);
+  Status s = LoadParameters(mlp.Parameters(), "/nonexistent/params.bin");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace zerodb::nn

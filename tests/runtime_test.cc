@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "datagen/corpus.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "runtime/simulator.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace zerodb::runtime {
+namespace {
+
+TEST(SimulatorTest, OperatorTimesPositiveAndMonotone) {
+  RuntimeSimulator simulator;
+  exec::OperatorStats small;
+  small.rows_scanned = 100;
+  small.pages_read = 2;
+  small.output_rows = 50;
+  small.output_bytes = 800;
+  exec::OperatorStats big = small;
+  big.rows_scanned = 100000;
+  big.pages_read = 2000;
+  big.output_rows = 50000;
+  big.output_bytes = 800000;
+  double t_small =
+      simulator.OperatorMs(plan::PhysicalOpType::kSeqScan, small, 0);
+  double t_big = simulator.OperatorMs(plan::PhysicalOpType::kSeqScan, big, 0);
+  EXPECT_GT(t_small, 0.0);
+  EXPECT_GT(t_big, 10 * t_small);
+}
+
+TEST(SimulatorTest, HashJoinCachePenaltyIsNonlinear) {
+  RuntimeSimulator simulator;
+  exec::OperatorStats small;
+  small.hash_build_rows = 1000;
+  small.hash_probe_rows = 1000;
+  exec::OperatorStats big;
+  big.hash_build_rows = 1000000;
+  big.hash_probe_rows = 1000000;
+  double t_small =
+      simulator.OperatorMs(plan::PhysicalOpType::kHashJoin, small, 0);
+  double t_big = simulator.OperatorMs(plan::PhysicalOpType::kHashJoin, big, 0);
+  // 1000x the rows must cost MORE than 1000x the time (cache penalty),
+  // after subtracting the constant startup.
+  double startup = simulator.profile().operator_startup_ms;
+  EXPECT_GT(t_big - startup, 1000.0 * (t_small - startup));
+}
+
+TEST(SimulatorTest, EndToEndPipeline) {
+  auto env = datagen::MakeImdbEnv(3, 0.05);
+  optimizer::Planner planner(env.db.get(), &env.stats);
+  exec::Executor executor(env.db.get());
+  RuntimeSimulator simulator;
+  workload::QueryGenerator generator(&env,
+                                     workload::TrainingWorkloadConfig(), 11);
+  Rng noise_rng(5);
+  int measured = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto plan = planner.Plan(generator.Next());
+    ASSERT_TRUE(plan.ok());
+    auto result = executor.Execute(&*plan);
+    if (!result.ok()) continue;
+    double ms = simulator.PlanMs(*plan, *result);
+    EXPECT_GT(ms, simulator.profile().startup_ms);
+    EXPECT_LT(ms, 60 * 60 * 1000.0);  // sanity: under an hour
+    double noisy = simulator.NoisyPlanMs(*plan, *result, &noise_rng);
+    EXPECT_GT(noisy, 0.0);
+    ++measured;
+  }
+  EXPECT_GT(measured, 20);
+}
+
+TEST(SimulatorTest, NoiseIsMeanOneMultiplicative) {
+  auto env = datagen::MakeImdbEnv(3, 0.02);
+  optimizer::Planner planner(env.db.get(), &env.stats);
+  exec::Executor executor(env.db.get());
+  RuntimeSimulator simulator;
+  workload::QueryGenerator generator(&env,
+                                     workload::TrainingWorkloadConfig(), 11);
+  auto plan = planner.Plan(generator.Next());
+  ASSERT_TRUE(plan.ok());
+  auto result = executor.Execute(&*plan);
+  ASSERT_TRUE(result.ok());
+  double base = simulator.PlanMs(*plan, *result);
+  Rng rng(7);
+  std::vector<double> ratios;
+  for (int i = 0; i < 5000; ++i) {
+    ratios.push_back(simulator.NoisyPlanMs(*plan, *result, &rng) / base);
+  }
+  EXPECT_NEAR(Mean(ratios), 1.0, 0.02);
+  EXPECT_NEAR(StdDev(ratios), simulator.profile().noise_sigma, 0.02);
+}
+
+TEST(SimulatorTest, IndexPlanFasterThanSeqForSelectiveQuery) {
+  // The whole premise of the index experiments: with a selective predicate,
+  // the index plan's simulated runtime beats the sequential plan's.
+  auto env = datagen::MakeImdbEnv(9, 0.2);
+  size_t year_col = *env.db->FindTable("title")->schema().FindColumn(
+      "production_year");
+  plan::QuerySpec query;
+  query.tables = {"title"};
+  query.filters = {plan::FilterSpec{
+      "title", plan::Predicate::Compare(year_col, plan::CompareOp::kEq, 2018)}};
+  query.aggregates = {plan::AggregateSpec{plan::AggFunc::kCount, "", ""}};
+
+  exec::Executor executor(env.db.get());
+  RuntimeSimulator simulator;
+
+  optimizer::PlannerOptions seq_only;
+  seq_only.enable_index_scan = false;
+  optimizer::Planner seq_planner(env.db.get(), &env.stats,
+                                 optimizer::CostParams(), seq_only);
+  auto seq_plan = seq_planner.Plan(query);
+  ASSERT_TRUE(seq_plan.ok());
+  auto seq_result = executor.Execute(&*seq_plan);
+  ASSERT_TRUE(seq_result.ok());
+  double seq_ms = simulator.PlanMs(*seq_plan, *seq_result);
+
+  ASSERT_TRUE(env.db->CreateIndex("title", "production_year").ok());
+  env.RefreshStats();
+  optimizer::Planner idx_planner(env.db.get(), &env.stats);
+  auto idx_plan = idx_planner.Plan(query);
+  ASSERT_TRUE(idx_plan.ok());
+  ASSERT_EQ(idx_plan->root->children[0]->type,
+            plan::PhysicalOpType::kIndexScan);
+  auto idx_result = executor.Execute(&*idx_plan);
+  ASSERT_TRUE(idx_result.ok());
+  double idx_ms = simulator.PlanMs(*idx_plan, *idx_result);
+
+  EXPECT_LT(idx_ms, seq_ms);
+}
+
+}  // namespace
+}  // namespace zerodb::runtime

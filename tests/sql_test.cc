@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace zerodb::sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a.b, 42 FROM t WHERE x >= 3.5 AND y = 'hi';");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 5u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "select");  // lower-cased
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kDot);
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("1 2.5 -3 1e4");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 1.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 2.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, -3.0);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 1e4);
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Tokenize("= <> < <= > >= !=");
+  ASSERT_TRUE(tokens.ok());
+  const char* expected[] = {"=", "<>", "<", "<=", ">", ">=", "<>"};
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kOperator);
+    EXPECT_EQ((*tokens)[i].text, expected[i]);
+  }
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(LexerTest, KeywordRecognition) {
+  EXPECT_TRUE(IsKeyword("select"));
+  EXPECT_TRUE(IsKeyword("group"));
+  EXPECT_FALSE(IsKeyword("title"));
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : env_(datagen::MakeImdbEnv(11, 0.02)) {}
+  datagen::DatabaseEnv env_;
+};
+
+TEST_F(ParserTest, CountStarSingleTable) {
+  auto query = ParseQuery("SELECT COUNT(*) FROM title;", *env_.db);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->tables, std::vector<std::string>{"title"});
+  ASSERT_EQ(query->aggregates.size(), 1u);
+  EXPECT_EQ(query->aggregates[0].func, plan::AggFunc::kCount);
+}
+
+TEST_F(ParserTest, JoinAndPredicates) {
+  auto query = ParseQuery(
+      "SELECT COUNT(*), AVG(title.production_year) FROM title, cast_info "
+      "WHERE cast_info.movie_id = title.id AND title.production_year >= 1990 "
+      "AND cast_info.nr_order < 5",
+      *env_.db);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->tables.size(), 2u);
+  ASSERT_EQ(query->joins.size(), 1u);
+  EXPECT_EQ(query->joins[0].left_table, "cast_info");
+  EXPECT_EQ(query->joins[0].right_column, "id");
+  EXPECT_EQ(query->filters.size(), 2u);
+  EXPECT_EQ(query->aggregates.size(), 2u);
+}
+
+TEST_F(ParserTest, UnqualifiedColumnsResolved) {
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM title WHERE production_year = 2000", *env_.db);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->filters.size(), 1u);
+  EXPECT_EQ(query->filters[0].table, "title");
+}
+
+TEST_F(ParserTest, AmbiguousColumnRejected) {
+  // Both cast_info and movie_info have info-ish columns; "id" exists in all.
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM title, cast_info WHERE "
+      "cast_info.movie_id = title.id AND id = 3",
+      *env_.db);
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(ParserTest, StringLiteralsUseDictionary) {
+  // kind_id is a dictionary-encoded string column; grab a real value.
+  const storage::Table* title = env_.db->FindTable("title");
+  size_t kind_col = *title->schema().FindColumn("kind_id");
+  std::string value = title->column(kind_col).GetValue(0).AsString();
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM title WHERE kind_id = '" + value + "'", *env_.db);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->filters.size(), 1u);
+  auto code = title->column(kind_col).LookupCode(value);
+  EXPECT_DOUBLE_EQ(query->filters[0].predicate.literal(),
+                   static_cast<double>(*code));
+}
+
+TEST_F(ParserTest, UnknownStringMatchesNothing) {
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM title WHERE kind_id = 'no_such_kind'", *env_.db);
+  ASSERT_TRUE(query.ok());
+  EXPECT_DOUBLE_EQ(query->filters[0].predicate.literal(), -1.0);
+}
+
+TEST_F(ParserTest, OrGroups) {
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM title WHERE "
+      "(production_year = 1990 OR production_year = 2000)",
+      *env_.db);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->filters.size(), 1u);
+  EXPECT_EQ(query->filters[0].predicate.kind(), plan::Predicate::Kind::kOr);
+  EXPECT_EQ(query->filters[0].predicate.NumComparisons(), 2u);
+}
+
+TEST_F(ParserTest, CrossTableOrRejected) {
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM title, cast_info WHERE "
+      "cast_info.movie_id = title.id AND "
+      "(title.production_year = 1990 OR cast_info.nr_order = 1)",
+      *env_.db);
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(ParserTest, GroupBy) {
+  auto query = ParseQuery(
+      "SELECT kind_id, COUNT(*) FROM title GROUP BY kind_id", *env_.db);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->group_by.size(), 1u);
+  EXPECT_EQ(query->group_by[0].column, "kind_id");
+}
+
+TEST_F(ParserTest, BareColumnNotGroupedRejected) {
+  auto query =
+      ParseQuery("SELECT production_year, COUNT(*) FROM title", *env_.db);
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(ParserTest, GroupByWithoutAggregatesGetsImplicitCount) {
+  auto query =
+      ParseQuery("SELECT kind_id FROM title GROUP BY kind_id", *env_.db);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->aggregates.size(), 1u);
+  EXPECT_EQ(query->aggregates[0].func, plan::AggFunc::kCount);
+}
+
+TEST_F(ParserTest, SyntaxErrorsReportPosition) {
+  auto query = ParseQuery("SELECT FROM title", *env_.db);
+  ASSERT_FALSE(query.ok());
+  EXPECT_NE(query.status().message().find("position"), std::string::npos);
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) title", *env_.db).ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM ghost", *env_.db).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT COUNT(*) FROM title WHERE production_year", *env_.db)
+          .ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT COUNT(*) FROM title WHERE kind_id < 'abc'", *env_.db)
+          .ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT COUNT(*) FROM title; garbage", *env_.db).ok());
+}
+
+TEST_F(ParserTest, NonEquiJoinRejected) {
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM title, cast_info WHERE "
+      "cast_info.movie_id >= title.id",
+      *env_.db);
+  EXPECT_FALSE(query.ok());
+}
+
+TEST_F(ParserTest, ParsedQueryPlansAndExecutes) {
+  auto query = ParseQuery(
+      "SELECT COUNT(*), MIN(production_year) FROM title, cast_info "
+      "WHERE cast_info.movie_id = title.id AND production_year >= 1950",
+      *env_.db);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  optimizer::Planner planner(env_.db.get(), &env_.stats);
+  auto plan = planner.Plan(*query);
+  ASSERT_TRUE(plan.ok());
+  exec::Executor executor(env_.db.get());
+  auto result = executor.Execute(&*plan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->output.num_rows(), 1u);
+  EXPECT_GE(result->output.columns[0][0], 0.0);   // count
+  EXPECT_GE(result->output.columns[1][0], 1950.0);  // min year respects filter
+}
+
+TEST_F(ParserTest, RoundTripThroughToSql) {
+  // ToSql output of a parsed query parses again to the same structure.
+  auto query = ParseQuery(
+      "SELECT COUNT(*) FROM title, cast_info WHERE "
+      "cast_info.movie_id = title.id AND title.production_year >= 1990",
+      *env_.db);
+  ASSERT_TRUE(query.ok());
+  std::string sql = query->ToSql(*env_.db);
+  auto reparsed = ParseQuery(sql, *env_.db);
+  ASSERT_TRUE(reparsed.ok()) << sql << " -> " << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->tables, query->tables);
+  EXPECT_EQ(reparsed->joins.size(), query->joins.size());
+  EXPECT_EQ(reparsed->filters.size(), query->filters.size());
+}
+
+}  // namespace
+}  // namespace zerodb::sql

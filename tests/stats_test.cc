@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "datagen/generator.h"
+#include "stats/cardinality.h"
+#include "stats/database_stats.h"
+#include "stats/histogram.h"
+
+namespace zerodb::stats {
+namespace {
+
+using catalog::ColumnSchema;
+using catalog::DataType;
+using catalog::TableSchema;
+
+TEST(HistogramTest, EmptyInput) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(0, 10), 0.0);
+}
+
+TEST(HistogramTest, UniformDataSelectivity) {
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i);
+  EquiDepthHistogram h = EquiDepthHistogram::Build(values, 64);
+  EXPECT_EQ(h.row_count(), 10000);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9999.0);
+  EXPECT_NEAR(h.SelectivityLe(4999.5), 0.5, 0.02);
+  EXPECT_NEAR(h.SelectivityRange(2500, 7499), 0.5, 0.03);
+  EXPECT_DOUBLE_EQ(h.SelectivityLe(-1), 0.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityLe(10000), 1.0);
+}
+
+TEST(HistogramTest, SkewedDataAdapts) {
+  // 90% of the mass at small values; an equi-depth histogram should still
+  // place ~90% of selectivity below the knee.
+  std::vector<double> values;
+  for (int i = 0; i < 9000; ++i) values.push_back(i % 10);
+  for (int i = 0; i < 1000; ++i) values.push_back(1000 + i);
+  EquiDepthHistogram h = EquiDepthHistogram::Build(values, 32);
+  EXPECT_NEAR(h.SelectivityLe(100), 0.9, 0.05);
+}
+
+TEST(HistogramTest, InvertedRangeIsZero) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  EquiDepthHistogram h = EquiDepthHistogram::Build(values, 4);
+  EXPECT_DOUBLE_EQ(h.SelectivityRange(4, 2), 0.0);
+}
+
+storage::Database MakeDb() {
+  storage::Database db("stats_test");
+  storage::Table t(
+      TableSchema("t", {ColumnSchema{"id", DataType::kInt64, 8},
+                        ColumnSchema{"k", DataType::kInt64, 8},
+                        ColumnSchema{"v", DataType::kDouble, 8}}));
+  for (int i = 0; i < 1000; ++i) {
+    t.column(0).AppendInt64(i);
+    t.column(1).AppendInt64(i % 10);  // 10 distinct values
+    t.column(2).AppendDouble(static_cast<double>(i));
+  }
+  EXPECT_TRUE(db.AddTable(std::move(t)).ok());
+  return db;
+}
+
+TEST(DatabaseStatsTest, BuildCountsAndDistincts) {
+  storage::Database db = MakeDb();
+  DatabaseStats stats = DatabaseStats::Build(db);
+  const TableStats& t = stats.GetTable("t");
+  EXPECT_EQ(t.num_rows, 1000);
+  EXPECT_GT(t.num_pages, 0);
+  EXPECT_EQ(t.columns.size(), 3u);
+  EXPECT_EQ(t.columns[0].num_distinct, 1000);
+  EXPECT_EQ(t.columns[1].num_distinct, 10);
+  EXPECT_DOUBLE_EQ(t.columns[1].min, 0.0);
+  EXPECT_DOUBLE_EQ(t.columns[1].max, 9.0);
+  EXPECT_EQ(stats.FindTable("ghost"), nullptr);
+}
+
+TEST(CardinalityTest, EqualitySelectivity) {
+  storage::Database db = MakeDb();
+  DatabaseStats stats = DatabaseStats::Build(db);
+  CardinalityEstimator estimator(&db, &stats);
+  // k has 10 distinct values -> eq selectivity 0.1 -> 100 rows.
+  plan::Predicate p = plan::Predicate::Compare(1, plan::CompareOp::kEq, 3);
+  EXPECT_NEAR(estimator.ScanCardinality("t", &p), 100.0, 1.0);
+}
+
+TEST(CardinalityTest, OutOfDomainEqualityIsZeroish) {
+  storage::Database db = MakeDb();
+  DatabaseStats stats = DatabaseStats::Build(db);
+  CardinalityEstimator estimator(&db, &stats);
+  plan::Predicate p = plan::Predicate::Compare(1, plan::CompareOp::kEq, 99);
+  EXPECT_NEAR(estimator.ScanCardinality("t", &p), 1.0, 1e-9);  // floor of 1
+}
+
+TEST(CardinalityTest, RangeSelectivity) {
+  storage::Database db = MakeDb();
+  DatabaseStats stats = DatabaseStats::Build(db);
+  CardinalityEstimator estimator(&db, &stats);
+  plan::Predicate p = plan::Predicate::Compare(2, plan::CompareOp::kLe, 499.0);
+  EXPECT_NEAR(estimator.ScanCardinality("t", &p), 500.0, 30.0);
+}
+
+TEST(CardinalityTest, ConjunctionIndependence) {
+  storage::Database db = MakeDb();
+  DatabaseStats stats = DatabaseStats::Build(db);
+  CardinalityEstimator estimator(&db, &stats);
+  // P(k = 3) * P(v <= 499) ~= 0.1 * 0.5 -> 50 rows.
+  plan::Predicate p = plan::Predicate::And(
+      {plan::Predicate::Compare(1, plan::CompareOp::kEq, 3),
+       plan::Predicate::Compare(2, plan::CompareOp::kLe, 499.0)});
+  EXPECT_NEAR(estimator.ScanCardinality("t", &p), 50.0, 10.0);
+}
+
+TEST(CardinalityTest, DisjunctionInclusionExclusion) {
+  storage::Database db = MakeDb();
+  DatabaseStats stats = DatabaseStats::Build(db);
+  CardinalityEstimator estimator(&db, &stats);
+  // P(k=3 OR k=5) ~= 0.1 + 0.1 - 0.01 = 0.19.
+  plan::Predicate p = plan::Predicate::Or(
+      {plan::Predicate::Compare(1, plan::CompareOp::kEq, 3),
+       plan::Predicate::Compare(1, plan::CompareOp::kEq, 5)});
+  EXPECT_NEAR(estimator.PredicateSelectivity("t", p), 0.19, 0.01);
+}
+
+TEST(CardinalityTest, JoinSelectivityUsesMaxDistinct) {
+  storage::Database db("join_test");
+  storage::Table a(TableSchema("a", {ColumnSchema{"id", DataType::kInt64, 8}}));
+  for (int i = 0; i < 100; ++i) a.column(0).AppendInt64(i);
+  storage::Table b(
+      TableSchema("b", {ColumnSchema{"a_id", DataType::kInt64, 8}}));
+  for (int i = 0; i < 500; ++i) b.column(0).AppendInt64(i % 100);
+  ASSERT_TRUE(db.AddTable(std::move(a)).ok());
+  ASSERT_TRUE(db.AddTable(std::move(b)).ok());
+  DatabaseStats stats = DatabaseStats::Build(db);
+  CardinalityEstimator estimator(&db, &stats);
+  // nd(a.id) = 100, nd(b.a_id) = 100 -> selectivity 1/100.
+  EXPECT_NEAR(estimator.JoinSelectivity("a", 0, "b", 0), 0.01, 1e-9);
+  // Estimated join size = 100 * 500 / 100 = 500 = true PK-FK join size.
+}
+
+TEST(CardinalityTest, GroupCountCappedByInput) {
+  storage::Database db = MakeDb();
+  DatabaseStats stats = DatabaseStats::Build(db);
+  CardinalityEstimator estimator(&db, &stats);
+  std::vector<plan::GroupBySpec> group_by = {{"t", "k"}};
+  EXPECT_DOUBLE_EQ(estimator.GroupCount(group_by, 1000.0), 10.0);
+  EXPECT_DOUBLE_EQ(estimator.GroupCount(group_by, 4.0), 4.0);  // capped
+  EXPECT_DOUBLE_EQ(estimator.GroupCount({}, 1000.0), 1.0);
+}
+
+}  // namespace
+}  // namespace zerodb::stats

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/corpus.h"
+#include "workload/benchmarks.h"
+#include "workload/generator.h"
+
+namespace zerodb::workload {
+namespace {
+
+datagen::DatabaseEnv MakeEnv() { return datagen::MakeImdbEnv(21, 0.03); }
+
+TEST(QueryGeneratorTest, AllQueriesValid) {
+  auto env = MakeEnv();
+  QueryGenerator generator(&env, TrainingWorkloadConfig(), 1);
+  for (int i = 0; i < 100; ++i) {
+    plan::QuerySpec query = generator.Next();
+    EXPECT_TRUE(query.Validate(*env.db).ok()) << query.ToSql(*env.db);
+    EXPECT_GE(query.aggregates.size(), 1u);
+    EXPECT_LE(query.tables.size(), 5u);
+  }
+}
+
+TEST(QueryGeneratorTest, Deterministic) {
+  auto env = MakeEnv();
+  QueryGenerator a(&env, TrainingWorkloadConfig(), 5);
+  QueryGenerator b(&env, TrainingWorkloadConfig(), 5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next().ToSql(*env.db), b.Next().ToSql(*env.db));
+  }
+}
+
+TEST(QueryGeneratorTest, JoinCountVaries) {
+  auto env = MakeEnv();
+  QueryGenerator generator(&env, TrainingWorkloadConfig(), 3);
+  std::set<size_t> table_counts;
+  for (int i = 0; i < 200; ++i) {
+    table_counts.insert(generator.Next().tables.size());
+  }
+  EXPECT_GE(table_counts.size(), 3u);  // at least 3 distinct join sizes
+  EXPECT_TRUE(table_counts.count(1) > 0);
+}
+
+TEST(QueryGeneratorTest, JoinsFollowForeignKeys) {
+  auto env = MakeEnv();
+  QueryGenerator generator(&env, TrainingWorkloadConfig(), 9);
+  for (int i = 0; i < 50; ++i) {
+    plan::QuerySpec query = generator.Next();
+    for (const plan::JoinSpec& join : query.joins) {
+      // On the IMDB schema every join is satellite.movie_id = title.id.
+      EXPECT_EQ(join.left_column, "movie_id");
+      EXPECT_EQ(join.right_table, "title");
+      EXPECT_EQ(join.right_column, "id");
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, MultiTableQueriesGetPredicates) {
+  auto env = MakeEnv();
+  WorkloadConfig config = TrainingWorkloadConfig();
+  config.min_predicates = 0;
+  config.max_predicates = 0;  // only forced predicates can appear
+  config.force_predicate_on_joins = true;
+  QueryGenerator generator(&env, config, 13);
+  for (int i = 0; i < 50; ++i) {
+    plan::QuerySpec query = generator.Next();
+    if (query.tables.size() > 1) {
+      EXPECT_GE(query.filters.size(), 1u) << query.ToSql(*env.db);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, HubTableForcesStarJoins) {
+  auto env = MakeEnv();
+  WorkloadConfig config;
+  config.min_tables = 2;
+  config.max_tables = 4;
+  config.hub_table = "title";
+  QueryGenerator generator(&env, config, 4);
+  for (int i = 0; i < 30; ++i) {
+    plan::QuerySpec query = generator.Next();
+    EXPECT_EQ(query.tables[0], "title");
+  }
+}
+
+TEST(QueryGeneratorTest, CountStarOnly) {
+  auto env = MakeEnv();
+  WorkloadConfig config;
+  config.count_star_only = true;
+  QueryGenerator generator(&env, config, 8);
+  for (int i = 0; i < 30; ++i) {
+    plan::QuerySpec query = generator.Next();
+    ASSERT_EQ(query.aggregates.size(), 1u);
+    EXPECT_EQ(query.aggregates[0].func, plan::AggFunc::kCount);
+    EXPECT_TRUE(query.aggregates[0].table.empty());
+    EXPECT_TRUE(query.group_by.empty());
+  }
+}
+
+TEST(BenchmarksTest, Names) {
+  EXPECT_STREQ(BenchmarkWorkloadName(BenchmarkWorkload::kScale), "scale");
+  EXPECT_STREQ(BenchmarkWorkloadName(BenchmarkWorkload::kSynthetic),
+               "synthetic");
+  EXPECT_STREQ(BenchmarkWorkloadName(BenchmarkWorkload::kJobLight),
+               "job-light");
+}
+
+TEST(BenchmarksTest, ScaleSweepsJoinCounts) {
+  auto env = MakeEnv();
+  auto queries = MakeBenchmark(BenchmarkWorkload::kScale, env, 50, 31);
+  ASSERT_EQ(queries.size(), 50u);
+  std::set<size_t> table_counts;
+  for (const auto& query : queries) table_counts.insert(query.tables.size());
+  // Buckets of 1..5 tables, all represented.
+  EXPECT_EQ(table_counts.size(), 5u);
+}
+
+TEST(BenchmarksTest, JobLightShape) {
+  auto env = MakeEnv();
+  auto queries = MakeBenchmark(BenchmarkWorkload::kJobLight, env, 40, 33);
+  size_t range_leaves = 0;
+  size_t total_leaves = 0;
+  for (const auto& query : queries) {
+    EXPECT_GE(query.tables.size(), 2u);
+    EXPECT_EQ(query.tables[0], "title");
+    ASSERT_EQ(query.aggregates.size(), 1u);
+    EXPECT_EQ(query.aggregates[0].func, plan::AggFunc::kCount);
+    for (const auto& filter : query.filters) {
+      std::vector<const plan::Predicate*> leaves;
+      filter.predicate.CollectLeaves(&leaves);
+      for (const plan::Predicate* leaf : leaves) {
+        ++total_leaves;
+        if (leaf->op() != plan::CompareOp::kEq &&
+            leaf->op() != plan::CompareOp::kNe) {
+          ++range_leaves;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total_leaves, 0u);
+  // "rarely contain range predicates"
+  EXPECT_LT(static_cast<double>(range_leaves) / total_leaves, 0.35);
+}
+
+TEST(BenchmarksTest, SyntheticMatchesTrainingShape) {
+  auto env = MakeEnv();
+  auto queries = MakeBenchmark(BenchmarkWorkload::kSynthetic, env, 30, 35);
+  EXPECT_EQ(queries.size(), 30u);
+  for (const auto& query : queries) {
+    EXPECT_TRUE(query.Validate(*env.db).ok());
+  }
+}
+
+TEST(BenchmarksTest, WorksOnGeneratedTrainingDatabases) {
+  auto corpus = datagen::MakeTrainingCorpus(77, 2, 0.02);
+  for (const auto& env : corpus) {
+    QueryGenerator generator(&env, TrainingWorkloadConfig(), 55);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(generator.Next().Validate(*env.db).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zerodb::workload

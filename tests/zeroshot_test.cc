@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+#include <cmath>
+#include <set>
+
+#include "datagen/corpus.h"
+#include "train/metrics.h"
+#include "whatif/index_advisor.h"
+#include "workload/benchmarks.h"
+#include "zeroshot/estimator.h"
+
+namespace zerodb::zeroshot {
+namespace {
+
+// One corpus + trained estimator shared across the suite (training is the
+// expensive part).
+class ZeroShotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<datagen::DatabaseEnv>(
+        datagen::MakeTrainingCorpus(42, 6, 0.12));
+    imdb_ = new datagen::DatabaseEnv(datagen::MakeImdbEnv(7, 0.12));
+    ZeroShotConfig config;
+    config.queries_per_database = 150;
+    config.trainer.max_epochs = 25;
+    estimator_ = new ZeroShotEstimator(ZeroShotEstimator::Train(*corpus_, config));
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    delete imdb_;
+    delete corpus_;
+    estimator_ = nullptr;
+    imdb_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static std::vector<datagen::DatabaseEnv>* corpus_;
+  static datagen::DatabaseEnv* imdb_;
+  static ZeroShotEstimator* estimator_;
+};
+
+std::vector<datagen::DatabaseEnv>* ZeroShotTest::corpus_ = nullptr;
+datagen::DatabaseEnv* ZeroShotTest::imdb_ = nullptr;
+ZeroShotEstimator* ZeroShotTest::estimator_ = nullptr;
+
+TEST_F(ZeroShotTest, TrainingCollectedFromAllDatabases) {
+  const auto& records = estimator_->training_records();
+  ASSERT_FALSE(records.empty());
+  std::set<std::string> db_names;
+  for (const auto& record : records) db_names.insert(record.db_name);
+  EXPECT_EQ(db_names.size(), corpus_->size());
+  // The unseen database never appears in training.
+  EXPECT_EQ(db_names.count("imdb"), 0u);
+}
+
+TEST_F(ZeroShotTest, GeneralizesToUnseenDatabase) {
+  // The headline claim: accurate runtime prediction on a database the model
+  // never saw, without executing a single training query on it.
+  auto queries = workload::MakeBenchmark(workload::BenchmarkWorkload::kSynthetic,
+                                         *imdb_, 100, 5);
+  auto eval = train::CollectRecords(*imdb_, queries, train::CollectOptions());
+  ASSERT_GE(eval.size(), 60u);
+  auto predictions = estimator_->PredictMs(train::MakeView(eval));
+  std::vector<double> truth;
+  for (const auto& record : eval) truth.push_back(record.runtime_ms);
+  train::QErrorStats stats = train::ComputeQErrors(predictions, truth);
+  EXPECT_LT(stats.median, 1.8) << stats.ToString();
+  EXPECT_LT(stats.p95, 15.0) << stats.ToString();
+}
+
+TEST_F(ZeroShotTest, EstimateQueryWithoutExecution) {
+  workload::QueryGenerator generator(
+      imdb_, workload::TrainingWorkloadConfig(), 17);
+  for (int i = 0; i < 5; ++i) {
+    auto ms = estimator_->EstimateQueryMs(*imdb_, generator.Next());
+    ASSERT_TRUE(ms.ok());
+    EXPECT_GT(*ms, 0.0);
+    EXPECT_TRUE(std::isfinite(*ms));
+  }
+}
+
+TEST_F(ZeroShotTest, WhatIfChangesPrediction) {
+  // Build a selective single-table query; declaring a hypothetical index on
+  // the filtered column must lower (or at least change) the prediction via
+  // the changed plan.
+  size_t votes_col =
+      *imdb_->db->FindTable("title")->schema().FindColumn("votes");
+  plan::QuerySpec query;
+  query.tables = {"title"};
+  query.filters = {plan::FilterSpec{
+      "title", plan::Predicate::Compare(votes_col, plan::CompareOp::kEq,
+                                        12345)}};
+  query.aggregates = {plan::AggregateSpec{plan::AggFunc::kCount, "", ""}};
+
+  auto without = estimator_->EstimateQueryMs(*imdb_, query);
+  ASSERT_TRUE(without.ok());
+
+  optimizer::PlannerOptions with_index;
+  with_index.hypothetical_indexes = {
+      optimizer::HypotheticalIndex{"title", votes_col}};
+  auto with = estimator_->EstimateQueryMs(*imdb_, query, with_index);
+  ASSERT_TRUE(with.ok());
+  EXPECT_LT(*with, *without);
+}
+
+TEST_F(ZeroShotTest, AdvisorRecommendsUsefulIndexes) {
+  // Workload dominated by selective predicates on title.votes: the advisor
+  // should discover that indexing helps, using only what-if predictions.
+  size_t votes_col =
+      *imdb_->db->FindTable("title")->schema().FindColumn("votes");
+  std::vector<plan::QuerySpec> queries;
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    plan::QuerySpec query;
+    query.tables = {"title"};
+    query.filters = {plan::FilterSpec{
+        "title",
+        plan::Predicate::Compare(votes_col, plan::CompareOp::kEq,
+                                 static_cast<double>(rng.UniformInt(1, 30000)))}};
+    query.aggregates = {plan::AggregateSpec{plan::AggFunc::kCount, "", ""}};
+    queries.push_back(query);
+  }
+  whatif::IndexAdvisor advisor(estimator_);
+  auto candidates = advisor.EnumerateCandidates(*imdb_, queries);
+  ASSERT_FALSE(candidates.empty());
+  whatif::AdvisorResult result = advisor.Recommend(*imdb_, queries);
+  ASSERT_FALSE(result.chosen.empty());
+  EXPECT_EQ(result.chosen[0].table, "title");
+  EXPECT_EQ(result.chosen[0].column, "votes");
+  EXPECT_LT(result.final_total_ms, result.baseline_total_ms);
+}
+
+TEST_F(ZeroShotTest, AdvisorSkipsExistingIndexes) {
+  size_t votes_col =
+      *imdb_->db->FindTable("title")->schema().FindColumn("votes");
+  plan::QuerySpec query;
+  query.tables = {"title"};
+  query.filters = {plan::FilterSpec{
+      "title", plan::Predicate::Compare(votes_col, plan::CompareOp::kEq, 5.0)}};
+  whatif::IndexAdvisor advisor(estimator_);
+  ASSERT_TRUE(imdb_->db->CreateIndex("title", "votes").ok());
+  auto candidates = advisor.EnumerateCandidates(*imdb_, {query});
+  for (const auto& candidate : candidates) {
+    EXPECT_FALSE(candidate.table == "title" && candidate.column == "votes");
+  }
+  imdb_->db->DropAllIndexes();
+}
+
+TEST_F(ZeroShotTest, ExactModeRejectsEstimateQuery) {
+  ZeroShotConfig config;
+  config.queries_per_database = 40;
+  config.trainer.max_epochs = 2;
+  config.model.cardinality_mode = featurize::CardinalityMode::kExact;
+  std::vector<datagen::DatabaseEnv> tiny_corpus =
+      datagen::MakeTrainingCorpus(5, 2, 0.05);
+  ZeroShotEstimator exact = ZeroShotEstimator::Train(tiny_corpus, config);
+  workload::QueryGenerator generator(
+      imdb_, workload::TrainingWorkloadConfig(), 21);
+  auto result = exact.EstimateQueryMs(*imdb_, generator.Next());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerodb::zeroshot
