@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cardquality.dir/bench_ablation_cardquality.cc.o"
+  "CMakeFiles/bench_ablation_cardquality.dir/bench_ablation_cardquality.cc.o.d"
+  "bench_ablation_cardquality"
+  "bench_ablation_cardquality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cardquality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_numdbs.dir/bench_ablation_numdbs.cc.o"
+  "CMakeFiles/bench_ablation_numdbs.dir/bench_ablation_numdbs.cc.o.d"
+  "bench_ablation_numdbs"
+  "bench_ablation_numdbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_numdbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_queryopt.dir/bench_ext_queryopt.cc.o"
+  "CMakeFiles/bench_ext_queryopt.dir/bench_ext_queryopt.cc.o.d"
+  "bench_ext_queryopt"
+  "bench_ext_queryopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_queryopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_uncertainty.dir/bench_ext_uncertainty.cc.o"
+  "CMakeFiles/bench_ext_uncertainty.dir/bench_ext_uncertainty.cc.o.d"
+  "bench_ext_uncertainty"
+  "bench_ext_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_joblight.dir/bench_fig4_joblight.cc.o"
+  "CMakeFiles/bench_fig4_joblight.dir/bench_fig4_joblight.cc.o.d"
+  "bench_fig4_joblight"
+  "bench_fig4_joblight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_joblight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

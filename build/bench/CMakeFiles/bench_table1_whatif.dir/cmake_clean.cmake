@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_whatif.dir/bench_table1_whatif.cc.o"
+  "CMakeFiles/bench_table1_whatif.dir/bench_table1_whatif.cc.o.d"
+  "bench_table1_whatif"
+  "bench_table1_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

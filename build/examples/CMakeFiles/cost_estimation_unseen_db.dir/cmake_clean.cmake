@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_estimation_unseen_db.dir/cost_estimation_unseen_db.cpp.o"
+  "CMakeFiles/cost_estimation_unseen_db.dir/cost_estimation_unseen_db.cpp.o.d"
+  "cost_estimation_unseen_db"
+  "cost_estimation_unseen_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_estimation_unseen_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cost_estimation_unseen_db.
+# This may be replaced when dependencies are built.

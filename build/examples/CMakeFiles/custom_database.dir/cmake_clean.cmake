@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_database.dir/custom_database.cpp.o"
+  "CMakeFiles/custom_database.dir/custom_database.cpp.o.d"
+  "custom_database"
+  "custom_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/featurization_demo.dir/featurization_demo.cpp.o"
+  "CMakeFiles/featurization_demo.dir/featurization_demo.cpp.o.d"
+  "featurization_demo"
+  "featurization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/featurization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

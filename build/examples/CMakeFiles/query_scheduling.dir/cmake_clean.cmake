@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_scheduling.dir/query_scheduling.cpp.o"
+  "CMakeFiles/query_scheduling.dir/query_scheduling.cpp.o.d"
+  "query_scheduling"
+  "query_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

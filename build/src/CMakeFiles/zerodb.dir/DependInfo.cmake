@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/zerodb.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/types.cc" "src/CMakeFiles/zerodb.dir/catalog/types.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/catalog/types.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/zerodb.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "src/CMakeFiles/zerodb.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/zerodb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/zerodb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/zerodb.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/common/string_util.cc.o.d"
+  "/root/repo/src/datagen/corpus.cc" "src/CMakeFiles/zerodb.dir/datagen/corpus.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/datagen/corpus.cc.o.d"
+  "/root/repo/src/datagen/distributions.cc" "src/CMakeFiles/zerodb.dir/datagen/distributions.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/datagen/distributions.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/CMakeFiles/zerodb.dir/datagen/generator.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/datagen/generator.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/zerodb.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/exec/executor.cc.o.d"
+  "/root/repo/src/featurize/e2e_featurizer.cc" "src/CMakeFiles/zerodb.dir/featurize/e2e_featurizer.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/featurize/e2e_featurizer.cc.o.d"
+  "/root/repo/src/featurize/mscn_featurizer.cc" "src/CMakeFiles/zerodb.dir/featurize/mscn_featurizer.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/featurize/mscn_featurizer.cc.o.d"
+  "/root/repo/src/featurize/normalization.cc" "src/CMakeFiles/zerodb.dir/featurize/normalization.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/featurize/normalization.cc.o.d"
+  "/root/repo/src/featurize/plan_graph.cc" "src/CMakeFiles/zerodb.dir/featurize/plan_graph.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/featurize/plan_graph.cc.o.d"
+  "/root/repo/src/featurize/zeroshot_featurizer.cc" "src/CMakeFiles/zerodb.dir/featurize/zeroshot_featurizer.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/featurize/zeroshot_featurizer.cc.o.d"
+  "/root/repo/src/models/e2e_model.cc" "src/CMakeFiles/zerodb.dir/models/e2e_model.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/models/e2e_model.cc.o.d"
+  "/root/repo/src/models/mscn_model.cc" "src/CMakeFiles/zerodb.dir/models/mscn_model.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/models/mscn_model.cc.o.d"
+  "/root/repo/src/models/scaled_cost_model.cc" "src/CMakeFiles/zerodb.dir/models/scaled_cost_model.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/models/scaled_cost_model.cc.o.d"
+  "/root/repo/src/models/tree_model.cc" "src/CMakeFiles/zerodb.dir/models/tree_model.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/models/tree_model.cc.o.d"
+  "/root/repo/src/models/zeroshot_model.cc" "src/CMakeFiles/zerodb.dir/models/zeroshot_model.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/models/zeroshot_model.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/zerodb.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/lr_schedule.cc" "src/CMakeFiles/zerodb.dir/nn/lr_schedule.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/nn/lr_schedule.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/zerodb.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/zerodb.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/zerodb.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/zerodb.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/zerodb.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/zerodb.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "src/CMakeFiles/zerodb.dir/plan/expr.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/plan/expr.cc.o.d"
+  "/root/repo/src/plan/physical.cc" "src/CMakeFiles/zerodb.dir/plan/physical.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/plan/physical.cc.o.d"
+  "/root/repo/src/plan/query.cc" "src/CMakeFiles/zerodb.dir/plan/query.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/plan/query.cc.o.d"
+  "/root/repo/src/runtime/simulator.cc" "src/CMakeFiles/zerodb.dir/runtime/simulator.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/runtime/simulator.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/zerodb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/zerodb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/stats/cardinality.cc" "src/CMakeFiles/zerodb.dir/stats/cardinality.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/stats/cardinality.cc.o.d"
+  "/root/repo/src/stats/database_stats.cc" "src/CMakeFiles/zerodb.dir/stats/database_stats.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/stats/database_stats.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/zerodb.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/zerodb.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/zerodb.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/zerodb.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/zerodb.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/zerodb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/zerodb.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/storage/value.cc.o.d"
+  "/root/repo/src/train/dataset.cc" "src/CMakeFiles/zerodb.dir/train/dataset.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/train/dataset.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "src/CMakeFiles/zerodb.dir/train/metrics.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/train/metrics.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/zerodb.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/train/trainer.cc.o.d"
+  "/root/repo/src/whatif/index_advisor.cc" "src/CMakeFiles/zerodb.dir/whatif/index_advisor.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/whatif/index_advisor.cc.o.d"
+  "/root/repo/src/workload/benchmarks.cc" "src/CMakeFiles/zerodb.dir/workload/benchmarks.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/workload/benchmarks.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/zerodb.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/workload/generator.cc.o.d"
+  "/root/repo/src/zeroshot/ensemble.cc" "src/CMakeFiles/zerodb.dir/zeroshot/ensemble.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/zeroshot/ensemble.cc.o.d"
+  "/root/repo/src/zeroshot/estimator.cc" "src/CMakeFiles/zerodb.dir/zeroshot/estimator.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/zeroshot/estimator.cc.o.d"
+  "/root/repo/src/zeroshot/plan_selection.cc" "src/CMakeFiles/zerodb.dir/zeroshot/plan_selection.cc.o" "gcc" "src/CMakeFiles/zerodb.dir/zeroshot/plan_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

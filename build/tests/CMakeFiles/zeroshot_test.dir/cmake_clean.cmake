@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroshot_test.dir/zeroshot_test.cc.o"
+  "CMakeFiles/zeroshot_test.dir/zeroshot_test.cc.o.d"
+  "zeroshot_test"
+  "zeroshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
