@@ -36,7 +36,7 @@ std::vector<train::QueryRecord> CorruptEstimates(
   return corrupted;
 }
 
-int Run() {
+int Run(const BenchOptions& options) {
   ExperimentContext context =
       BuildContext(/*need_exact_model=*/true, /*need_baseline_pool=*/false);
   std::fprintf(stderr, "[eval] synthetic workload...\n");
@@ -77,10 +77,16 @@ int Run() {
   std::printf("Expectation: graceful degradation — accuracy decays smoothly "
               "with worse\ncardinalities instead of collapsing (separation "
               "of concerns pays off).\n");
-  return 0;
+
+  return MaybeWriteBenchMetrics(
+      options, "bench_ablation_cardquality", context.scale.name, context.imdb,
+      {{"zero_shot_estimated", &context.zero_shot_estimated->train_result()},
+       {"zero_shot_exact", &context.zero_shot_exact->train_result()}});
 }
 
 }  // namespace
 }  // namespace zerodb::bench
 
-int main() { return zerodb::bench::Run(); }
+int main(int argc, char** argv) {
+  return zerodb::bench::Run(zerodb::bench::ParseBenchArgs(argc, argv));
+}

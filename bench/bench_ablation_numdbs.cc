@@ -7,7 +7,7 @@
 namespace zerodb::bench {
 namespace {
 
-int Run() {
+int Run(const BenchOptions& options) {
   SetLogLevel(LogLevel::kWarning);
   ScaleConfig scale = GetScaleConfig();
   std::fprintf(stderr, "[setup] corpus + eval workload...\n");
@@ -34,6 +34,7 @@ int Run() {
               "p95", "max");
   PrintRule(56);
 
+  train::TrainResult last_train_result;
   for (size_t num_dbs : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
                          scale.num_training_dbs}) {
     if (num_dbs > corpus.size()) break;
@@ -58,6 +59,7 @@ int Run() {
     zeroshot::ZeroShotEstimator estimator =
         zeroshot::ZeroShotEstimator::TrainFromRecords(std::move(subset),
                                                       config);
+    last_train_result = estimator.train_result();
     train::QErrorStats stats =
         train::ComputeQErrors(estimator.PredictMs(eval_view), truth);
     std::printf("%8zu %12zu %10.2f %10.2f %10.2f\n", num_dbs, record_count,
@@ -67,10 +69,15 @@ int Run() {
   std::printf("Expectation (paper): accuracy improves and stabilizes as "
               "databases are added;\na handful of diverse databases already "
               "generalizes.\n");
-  return 0;
+
+  return MaybeWriteBenchMetrics(options, "bench_ablation_numdbs", scale.name,
+                                imdb, {{"zero_shot_all_dbs",
+                                        &last_train_result}});
 }
 
 }  // namespace
 }  // namespace zerodb::bench
 
-int main() { return zerodb::bench::Run(); }
+int main(int argc, char** argv) {
+  return zerodb::bench::Run(zerodb::bench::ParseBenchArgs(argc, argv));
+}

@@ -10,16 +10,112 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "datagen/corpus.h"
+#include "exec/executor.h"
 #include "models/e2e_model.h"
 #include "models/mscn_model.h"
 #include "models/scaled_cost_model.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizer/optimizer.h"
 #include "train/dataset.h"
 #include "train/metrics.h"
 #include "train/trainer.h"
 #include "workload/benchmarks.h"
+#include "workload/generator.h"
 #include "zeroshot/estimator.h"
 
 namespace zerodb::bench {
+
+/// Command-line options shared by every bench_* binary.
+struct BenchOptions {
+  /// When non-empty, the bench writes one JSON metrics artifact here on
+  /// exit: global registry counters/histograms, a per-operator span tree of
+  /// a sample query, and per-epoch loss curves of any model trained.
+  std::string metrics_out;
+};
+
+/// Parses bench flags (currently --metrics_out=<path>), exiting with usage
+/// on unknown arguments. Requesting a metrics artifact enables the global
+/// MetricsRegistry so the instrumented layers start recording.
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  const std::string prefix = "--metrics_out=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      options.metrics_out = arg.substr(prefix.size());
+    } else if (arg == "--metrics_out" && i + 1 < argc) {
+      options.metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\nusage: %s [--metrics_out=<path>]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  return options;
+}
+
+/// Plans + executes one generated query on `env` under a QueryTracer and
+/// returns the resulting span tree (one span per physical operator).
+inline StatusOr<obs::Span> TraceSampleQuery(const datagen::DatabaseEnv& env,
+                                            uint64_t seed = 20220101) {
+  workload::QueryGenerator generator(&env, workload::TrainingWorkloadConfig(),
+                                     seed);
+  optimizer::Planner planner(env.db.get(), &env.stats);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    plan::QuerySpec query = generator.Next();
+    auto plan = planner.Plan(query);
+    if (!plan.ok()) continue;
+    obs::QueryTracer tracer;
+    exec::ExecutorOptions exec_options;
+    exec_options.tracer = &tracer;
+    exec::Executor executor(env.db.get(), exec_options);
+    auto result = executor.Execute(&*plan);
+    if (!result.ok() || tracer.roots().empty()) continue;
+    return tracer.roots().front();
+  }
+  return Status::Internal("no executable sample query found on " +
+                          env.db->name());
+}
+
+/// One named training run to embed in the artifact (pointer may be null).
+using NamedTrainResult = std::pair<std::string, const train::TrainResult*>;
+
+/// Writes the bench's metrics artifact if --metrics_out was given: registry
+/// dump + sample-query trace on `env` + the given training loss curves.
+/// Returns the process exit code (0, or 1 when the write failed), so mains
+/// can `return MaybeWriteBenchMetrics(...)`.
+inline int MaybeWriteBenchMetrics(
+    const BenchOptions& options, const std::string& bench_name,
+    const char* scale_name, const datagen::DatabaseEnv& env,
+    const std::vector<NamedTrainResult>& training_runs = {}) {
+  if (options.metrics_out.empty()) return 0;
+  obs::MetricsArtifact artifact(bench_name);
+  artifact.AddLabel("scale", scale_name);
+  artifact.SetRegistry(&obs::MetricsRegistry::Global());
+  StatusOr<obs::Span> trace = TraceSampleQuery(env);
+  if (trace.ok()) {
+    artifact.AddTrace("sample_query:" + env.db->name(), std::move(*trace));
+  } else {
+    std::fprintf(stderr, "[metrics] sample trace failed: %s\n",
+                 trace.status().ToString().c_str());
+  }
+  for (const auto& [name, result] : training_runs) {
+    if (result != nullptr) artifact.AddTrainingRun(name, result->history);
+  }
+  Status status = artifact.WriteTo(options.metrics_out);
+  if (status.ok()) {
+    std::fprintf(stderr, "[metrics] wrote %s\n", options.metrics_out.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "[metrics] write failed: %s\n",
+               status.ToString().c_str());
+  return 1;
+}
 
 /// Experiment scale, selected by the ZERODB_SCALE environment variable
 /// ("small" default, "full"). The paper used 19 databases x 5,000 queries

@@ -12,7 +12,7 @@
 namespace zerodb::bench {
 namespace {
 
-int Run() {
+int Run(const BenchOptions& options) {
   ExperimentContext context =
       BuildContext(/*need_exact_model=*/false, /*need_baseline_pool=*/false);
   datagen::DatabaseEnv& imdb = context.imdb;
@@ -104,10 +104,15 @@ int Run() {
               "strictly better: %zu; ties: %zu\n",
               model_beats_optimizer, optimizer_beats_model,
               queries - model_beats_optimizer - optimizer_beats_model);
-  return 0;
+
+  return MaybeWriteBenchMetrics(
+      options, "bench_ext_queryopt", context.scale.name, imdb,
+      {{"zero_shot_estimated", &context.zero_shot_estimated->train_result()}});
 }
 
 }  // namespace
 }  // namespace zerodb::bench
 
-int main() { return zerodb::bench::Run(); }
+int main(int argc, char** argv) {
+  return zerodb::bench::Run(zerodb::bench::ParseBenchArgs(argc, argv));
+}

@@ -10,7 +10,7 @@
 namespace zerodb::bench {
 namespace {
 
-int Run() {
+int Run(const BenchOptions& options) {
   SetLogLevel(LogLevel::kWarning);
   ScaleConfig scale = GetScaleConfig();
   std::fprintf(stderr, "[setup] corpus and ensemble (3 members)...\n");
@@ -75,10 +75,20 @@ int Run() {
   std::printf("Expectation: low thresholds keep only confident predictions "
               "(tighter retained\ntails); uncertain queries fall back to the "
               "classical heuristic.\n");
-  return 0;
+
+  std::vector<NamedTrainResult> training_runs;
+  const auto& member_results = ensemble.train_results();
+  for (size_t m = 0; m < member_results.size(); ++m) {
+    training_runs.emplace_back("ensemble_member_" + std::to_string(m),
+                               &member_results[m]);
+  }
+  return MaybeWriteBenchMetrics(options, "bench_ext_uncertainty", scale.name,
+                                imdb, training_runs);
 }
 
 }  // namespace
 }  // namespace zerodb::bench
 
-int main() { return zerodb::bench::Run(); }
+int main(int argc, char** argv) {
+  return zerodb::bench::Run(zerodb::bench::ParseBenchArgs(argc, argv));
+}

@@ -4,6 +4,7 @@
 
 #include "fig4_common.h"
 
-int main() {
-  return zerodb::bench::RunFigure4(zerodb::workload::BenchmarkWorkload::kScale);
+int main(int argc, char** argv) {
+  return zerodb::bench::RunFigure4(zerodb::workload::BenchmarkWorkload::kScale,
+                                   zerodb::bench::ParseBenchArgs(argc, argv));
 }

@@ -4,7 +4,8 @@
 
 #include "fig4_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return zerodb::bench::RunFigure4(
-      zerodb::workload::BenchmarkWorkload::kSynthetic);
+      zerodb::workload::BenchmarkWorkload::kSynthetic,
+      zerodb::bench::ParseBenchArgs(argc, argv));
 }

@@ -5,12 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/logging.h"
 #include "datagen/corpus.h"
 #include "nn/optimizer.h"
 #include "featurize/zeroshot_featurizer.h"
 #include "models/zeroshot_model.h"
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "stats/histogram.h"
 #include "train/dataset.h"
@@ -25,6 +28,7 @@ struct MicroState {
   datagen::DatabaseEnv env = datagen::MakeImdbEnv(3, 0.1);
   std::vector<train::QueryRecord> records;
   std::unique_ptr<models::ZeroShotCostModel> model;
+  train::TrainResult train_result;
 
   MicroState() {
     SetLogLevel(LogLevel::kWarning);
@@ -36,7 +40,8 @@ struct MicroState {
     model = std::make_unique<models::ZeroShotCostModel>(options);
     train::TrainerOptions trainer;
     trainer.max_epochs = 3;
-    train::TrainModel(model.get(), train::MakeView(records), trainer);
+    train_result =
+        train::TrainModel(model.get(), train::MakeView(records), trainer);
   }
 };
 
@@ -156,6 +161,40 @@ void BM_ZeroShotTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ZeroShotTrainStep);
 
+// Quantifies the instrumentation cost claimed in obs/metrics.h: the same
+// scan executed with a disabled registry (mode 0, the default state — cost
+// should be a relaxed load + branch per operator), an enabled registry
+// (mode 1) and an enabled registry plus a query tracer (mode 2).
+void BM_ExecutorMetricsOverhead(benchmark::State& state) {
+  MicroState& micro = State();
+  const int64_t mode = state.range(0);
+  obs::MetricsRegistry registry;
+  registry.set_enabled(mode >= 1);
+  obs::QueryTracer tracer;
+  exec::ExecutorOptions options;
+  options.metrics = &registry;
+  if (mode == 2) options.tracer = &tracer;
+  exec::Executor executor(micro.env.db.get(), options);
+  size_t year_col = *micro.env.db->FindTable("title")->schema().FindColumn(
+      "production_year");
+  for (auto _ : state) {
+    tracer.Clear();
+    plan::PhysicalPlan plan(plan::MakeSeqScan(
+        "title",
+        plan::Predicate::Compare(year_col, plan::CompareOp::kGe, 1960)));
+    auto result = executor.Execute(&plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(micro.env.db->FindTable("title")->num_rows()));
+}
+BENCHMARK(BM_ExecutorMetricsOverhead)
+    ->ArgName("disabled0_enabled1_traced2")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(5);
@@ -175,4 +214,36 @@ BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
 }  // namespace
 }  // namespace zerodb
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags it
+// does not know, so --metrics_out is stripped from argv before Initialize.
+int main(int argc, char** argv) {
+  zerodb::bench::BenchOptions options;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics_out=", 0) == 0) {
+      options.metrics_out = arg.substr(std::string("--metrics_out=").size());
+    } else if (arg == "--metrics_out" && i + 1 < argc) {
+      options.metrics_out = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    zerodb::obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (options.metrics_out.empty()) return 0;
+  zerodb::MicroState& micro = zerodb::State();
+  return zerodb::bench::MaybeWriteBenchMetrics(
+      options, "bench_micro", "micro", micro.env,
+      {{"micro_model", &micro.train_result}});
+}

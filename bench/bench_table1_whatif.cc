@@ -69,7 +69,7 @@ std::vector<train::QueryRecord> CollectIndexWorkload(
   return train::CollectRecords(imdb, queries, train::CollectOptions());
 }
 
-int Run() {
+int Run(const BenchOptions& options) {
   ExperimentContext context =
       BuildContext(/*need_exact_model=*/true, /*need_baseline_pool=*/false);
 
@@ -106,10 +106,16 @@ int Run() {
                 row.estimated.max, row.exact.count);
   }
   PrintRule(92);
-  return 0;
+
+  return MaybeWriteBenchMetrics(
+      options, "bench_table1_whatif", context.scale.name, context.imdb,
+      {{"zero_shot_estimated", &context.zero_shot_estimated->train_result()},
+       {"zero_shot_exact", &context.zero_shot_exact->train_result()}});
 }
 
 }  // namespace
 }  // namespace zerodb::bench
 
-int main() { return zerodb::bench::Run(); }
+int main(int argc, char** argv) {
+  return zerodb::bench::Run(zerodb::bench::ParseBenchArgs(argc, argv));
+}

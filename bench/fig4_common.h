@@ -10,7 +10,8 @@ namespace zerodb::bench {
 /// optimizer cost) as a function of the number of IMDB training queries,
 /// against the flat zero-shot lines (estimated / exact cardinalities) that
 /// used no IMDB queries at all.
-inline int RunFigure4(workload::BenchmarkWorkload which) {
+inline int RunFigure4(workload::BenchmarkWorkload which,
+                      const BenchOptions& options = BenchOptions()) {
   ExperimentContext context = BuildContext();
   std::fprintf(stderr, "[setup] collecting evaluation workload...\n");
   std::vector<train::QueryRecord> eval = CollectEvalWorkload(context, which);
@@ -65,7 +66,13 @@ inline int RunFigure4(workload::BenchmarkWorkload which) {
   std::printf("zero-shot (estimated card.): %s\n",
               zs_estimated.ToString().c_str());
   std::printf("zero-shot (exact card.):     %s\n", zs_exact.ToString().c_str());
-  return 0;
+
+  return MaybeWriteBenchMetrics(
+      options,
+      std::string("bench_fig4_") + workload::BenchmarkWorkloadName(which),
+      context.scale.name, context.imdb,
+      {{"zero_shot_estimated", &context.zero_shot_estimated->train_result()},
+       {"zero_shot_exact", &context.zero_shot_exact->train_result()}});
 }
 
 }  // namespace zerodb::bench

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Sanitized build + test run. Usage:
+#   scripts/check.sh            # address sanitizer (default)
+#   scripts/check.sh thread     # thread sanitizer
+#   scripts/check.sh ""         # plain build, no sanitizer
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1-address}"
+BUILD_DIR="build-check${SANITIZER:+-$SANITIZER}"
+
+cmake -B "$BUILD_DIR" -S . -DZERODB_SANITIZE="$SANITIZER" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

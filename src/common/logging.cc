@@ -1,11 +1,28 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace zerodb {
 
 namespace {
+
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Guards sink emission AND sink replacement, so a line in flight can never
+// race with SetLogSink or interleave with another thread's line.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -20,11 +37,54 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+// Small dense per-thread ids (t1, t2, ...) beat the unreadable 15-digit
+// native handles in log prefixes.
+int ThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = ++next_id;
+  return id;
+}
+
+// ISO-8601 UTC with millisecond precision: 2026-08-06T12:34:56.789Z
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis);
+}
+
+void Emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(line);
+    return;
+  }
+  std::string with_newline = line;
+  with_newline.push_back('\n');
+  std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
+  std::fflush(stderr);
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
 
 namespace internal_logging {
 
@@ -35,12 +95,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') basename = p + 1;
     }
-    stream_ << "[" << LevelTag(level) << " " << basename << ":" << line << "] ";
+    char timestamp[32];
+    FormatTimestamp(timestamp, sizeof(timestamp));
+    stream_ << "[" << LevelTag(level) << " " << timestamp << " t"
+            << ThreadId() << " " << basename << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (enabled_) Emit(stream_.str());
 }
 
 }  // namespace internal_logging

@@ -1,7 +1,7 @@
 #ifndef ZERODB_COMMON_LOGGING_H_
 #define ZERODB_COMMON_LOGGING_H_
 
-#include <iostream>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,9 +14,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Receives one fully formatted log line (no trailing newline). Sinks are
+/// invoked under the logging mutex, one whole line per call — never
+/// interleaved fragments. Pass nullptr to restore the default stderr sink.
+/// Used by tests to capture output and by embedders to redirect it.
+using LogSink = std::function<void(const std::string& line)>;
+void SetLogSink(LogSink sink);
+
 namespace internal_logging {
 
-/// Buffers one log line and emits it (with level tag) on destruction.
+/// Buffers one log line and emits it atomically on destruction with a
+/// `[<level> <ISO-8601 UTC time> t<thread> <file>:<line>]` prefix. Safe to
+/// use concurrently from many threads: each line reaches the sink (default
+/// stderr) as a single write.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

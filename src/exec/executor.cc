@@ -90,6 +90,23 @@ struct DoubleHash {
 
 }  // namespace
 
+// Mirrors every work counter of one operator onto its trace span.
+void AttachStats(obs::SpanScope* span, const OperatorStats& stats) {
+  span->AddAttribute("input_rows_left", static_cast<double>(stats.input_rows_left));
+  span->AddAttribute("input_rows_right", static_cast<double>(stats.input_rows_right));
+  span->AddAttribute("output_rows", static_cast<double>(stats.output_rows));
+  span->AddAttribute("rows_scanned", static_cast<double>(stats.rows_scanned));
+  span->AddAttribute("pages_read", static_cast<double>(stats.pages_read));
+  span->AddAttribute("index_probes", static_cast<double>(stats.index_probes));
+  span->AddAttribute("index_entries", static_cast<double>(stats.index_entries));
+  span->AddAttribute("predicate_evals", static_cast<double>(stats.predicate_evals));
+  span->AddAttribute("hash_build_rows", static_cast<double>(stats.hash_build_rows));
+  span->AddAttribute("hash_probe_rows", static_cast<double>(stats.hash_probe_rows));
+  span->AddAttribute("sort_rows", static_cast<double>(stats.sort_rows));
+  span->AddAttribute("group_count", static_cast<double>(stats.group_count));
+  span->AddAttribute("output_bytes", static_cast<double>(stats.output_bytes));
+}
+
 const OperatorStats& ExecutionResult::StatsFor(
     const plan::PhysicalNode& node) const {
   auto it = stats.find(&node);
@@ -100,10 +117,19 @@ const OperatorStats& ExecutionResult::StatsFor(
 Executor::Executor(const storage::Database* db, ExecutorOptions options)
     : db_(db), options_(options) {
   ZDB_CHECK(db != nullptr);
+  registry_ = options_.metrics != nullptr ? options_.metrics
+                                          : &obs::MetricsRegistry::Global();
+  queries_executed_ = registry_->GetCounter("exec.queries");
+  operators_executed_ = registry_->GetCounter("exec.operators");
+  rows_produced_ = registry_->GetCounter("exec.rows_produced");
+  operator_us_ = registry_->GetHistogram("exec.operator_us");
+  query_us_ = registry_->GetHistogram("exec.query_us");
 }
 
 StatusOr<ExecutionResult> Executor::Execute(plan::PhysicalPlan* plan) {
   ZDB_CHECK(plan != nullptr && plan->root != nullptr);
+  queries_executed_->Add(1);
+  obs::ScopedTimer timer(registry_->enabled() ? query_us_ : nullptr);
   ExecutionResult result;
   ZDB_ASSIGN_OR_RETURN(result.output, ExecuteNode(plan->root.get(), &result));
   return result;
@@ -111,6 +137,10 @@ StatusOr<ExecutionResult> Executor::Execute(plan::PhysicalPlan* plan) {
 
 StatusOr<RowBatch> Executor::ExecuteNode(PhysicalNode* node,
                                          ExecutionResult* result) {
+  // The span opens before the child recursion in the switch, so child spans
+  // nest underneath; span and histogram time covers the whole subtree.
+  obs::SpanScope span(options_.tracer, plan::PhysicalOpName(node->type));
+  obs::ScopedTimer timer(registry_->enabled() ? operator_us_ : nullptr);
   OperatorStats stats;
   StatusOr<RowBatch> batch_or = [&]() -> StatusOr<RowBatch> {
     switch (node->type) {
@@ -167,6 +197,13 @@ StatusOr<RowBatch> Executor::ExecuteNode(PhysicalNode* node,
   stats.output_bytes = stats.output_rows * node->OutputWidthBytes(*db_);
   node->true_cardinality = static_cast<double>(stats.output_rows);
   result->stats[node] = stats;
+  operators_executed_->Add(1);
+  rows_produced_->Add(stats.output_rows);
+  if (span.active()) {
+    if (!node->table_name.empty()) span.SetDetail(node->table_name);
+    span.AddAttribute("est_cardinality", node->est_cardinality);
+    AttachStats(&span, stats);
+  }
   return batch;
 }
 

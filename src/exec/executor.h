@@ -6,6 +6,8 @@
 
 #include "common/status.h"
 #include "exec/batch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/physical.h"
 #include "storage/database.h"
 
@@ -24,6 +26,13 @@ struct ExecutionResult {
 /// collector draws a replacement).
 struct ExecutorOptions {
   int64_t max_intermediate_rows = 2'000'000;
+  /// When set, every executed plan records a span tree mirroring the plan:
+  /// one span per operator carrying wall time plus its OperatorStats.
+  obs::QueryTracer* tracer = nullptr;
+  /// Registry for executor counters/latency histograms; nullptr = the
+  /// process-global registry (disabled by default, so the only cost is a
+  /// branch per operator).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Executes physical plans against an in-memory database. Operators
@@ -61,6 +70,14 @@ class Executor {
 
   const storage::Database* db_;
   ExecutorOptions options_;
+
+  // Cached registry metrics (owned by the registry; see ExecutorOptions).
+  obs::MetricsRegistry* registry_;
+  obs::Counter* queries_executed_;
+  obs::Counter* operators_executed_;
+  obs::Counter* rows_produced_;
+  obs::Histogram* operator_us_;
+  obs::Histogram* query_us_;
 };
 
 }  // namespace zerodb::exec

@@ -1,0 +1,46 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace zerodb::obs {
+
+JsonValue MetricsArtifact::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", name_);
+  if (!labels_.empty()) {
+    JsonValue labels = JsonValue::Object();
+    for (const auto& [key, value] : labels_) labels.Set(key, value);
+    out.Set("labels", std::move(labels));
+  }
+  if (registry_ != nullptr) out.Set("metrics", registry_->ToJson());
+  if (!traces_.empty()) {
+    JsonValue traces = JsonValue::Object();
+    for (const auto& [name, root] : traces_) traces.Set(name, root.ToJson());
+    out.Set("traces", std::move(traces));
+  }
+  if (!training_.empty()) {
+    JsonValue training = JsonValue::Object();
+    for (const auto& [name, history] : training_) {
+      training.Set(name, TrainTelemetry::HistoryToJson(history));
+    }
+    out.Set("training", std::move(training));
+  }
+  return out;
+}
+
+Status MetricsArtifact::WriteTo(const std::string& path) const {
+  std::string text = ToJson().Dump(/*indent=*/2);
+  text.push_back('\n');
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  int close_result = std::fclose(file);
+  if (written != text.size() || close_result != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status();
+}
+
+}  // namespace zerodb::obs

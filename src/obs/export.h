@@ -1,0 +1,58 @@
+#ifndef ZERODB_OBS_EXPORT_H_
+#define ZERODB_OBS_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace zerodb::obs {
+
+/// One run's observability output, assembled by benches (--metrics_out) and
+/// any other caller that wants a single machine-readable artifact: registry
+/// metrics + query traces + training loss curves + free-form labels.
+///
+/// Layout:
+/// {
+///   "name": "...", "labels": {...},
+///   "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
+///   "traces": {"<trace name>": <span tree>, ...},
+///   "training": {"<run name>": [{epoch,...}, ...], ...}
+/// }
+class MetricsArtifact {
+ public:
+  explicit MetricsArtifact(std::string name) : name_(std::move(name)) {}
+
+  void AddLabel(std::string key, std::string value) {
+    labels_.emplace_back(std::move(key), std::move(value));
+  }
+  /// The registry whose metrics are dumped (nullptr = omit section).
+  void SetRegistry(const MetricsRegistry* registry) { registry_ = registry; }
+  void AddTrace(std::string name, Span root) {
+    traces_.emplace_back(std::move(name), std::move(root));
+  }
+  void AddTrainingRun(std::string name, std::vector<EpochStat> history) {
+    training_.emplace_back(std::move(name), std::move(history));
+  }
+
+  JsonValue ToJson() const;
+
+  /// Serializes (pretty-printed) to `path`, overwriting.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> labels_;
+  const MetricsRegistry* registry_ = nullptr;
+  std::vector<std::pair<std::string, Span>> traces_;
+  std::vector<std::pair<std::string, std::vector<EpochStat>>> training_;
+};
+
+}  // namespace zerodb::obs
+
+#endif  // ZERODB_OBS_EXPORT_H_

@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include "common/check.h"
+
+namespace zerodb::obs {
+
+double Span::Attribute(const std::string& key, double fallback) const {
+  for (const auto& [name, value] : attributes) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+size_t Span::TreeSize() const {
+  size_t size = 1;
+  for (const Span& child : children) size += child.TreeSize();
+  return size;
+}
+
+JsonValue Span::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", name);
+  if (!detail.empty()) out.Set("detail", detail);
+  out.Set("duration_ms", duration_ms);
+  if (!attributes.empty()) {
+    JsonValue attrs = JsonValue::Object();
+    for (const auto& [key, value] : attributes) attrs.Set(key, value);
+    out.Set("attributes", std::move(attrs));
+  }
+  if (!children.empty()) {
+    JsonValue kids = JsonValue::Array();
+    for (const Span& child : children) kids.Append(child.ToJson());
+    out.Set("children", std::move(kids));
+  }
+  return out;
+}
+
+StatusOr<Span> Span::FromJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("span JSON must be an object");
+  }
+  const JsonValue* name = value.Find("name");
+  if (name == nullptr || !name->is_string()) {
+    return Status::InvalidArgument("span JSON missing string 'name'");
+  }
+  Span span;
+  span.name = name->AsString();
+  if (const JsonValue* detail = value.Find("detail"); detail != nullptr) {
+    if (!detail->is_string()) {
+      return Status::InvalidArgument("span 'detail' must be a string");
+    }
+    span.detail = detail->AsString();
+  }
+  if (const JsonValue* duration = value.Find("duration_ms");
+      duration != nullptr) {
+    if (!duration->is_number()) {
+      return Status::InvalidArgument("span 'duration_ms' must be a number");
+    }
+    span.duration_ms = duration->AsDouble();
+  }
+  if (const JsonValue* attrs = value.Find("attributes"); attrs != nullptr) {
+    if (!attrs->is_object()) {
+      return Status::InvalidArgument("span 'attributes' must be an object");
+    }
+    for (const auto& [key, attr] : attrs->members()) {
+      if (!attr.is_number()) {
+        return Status::InvalidArgument("span attribute '" + key +
+                                       "' must be a number");
+      }
+      span.AddAttribute(key, attr.AsDouble());
+    }
+  }
+  if (const JsonValue* children = value.Find("children"); children != nullptr) {
+    if (!children->is_array()) {
+      return Status::InvalidArgument("span 'children' must be an array");
+    }
+    for (size_t i = 0; i < children->size(); ++i) {
+      ZDB_ASSIGN_OR_RETURN(Span child, FromJson(children->at(i)));
+      span.children.push_back(std::move(child));
+    }
+  }
+  return span;
+}
+
+Span* QueryTracer::BeginSpan(std::string name) {
+  // The span lives in its parent's children vector (or roots_). Ancestor
+  // pointers in open_ stay valid: while a span is open no sibling can be
+  // appended next to it, so no vector containing an open span reallocates.
+  std::vector<Span>* siblings =
+      open_.empty() ? &roots_ : &open_.back()->children;
+  siblings->emplace_back();
+  Span* span = &siblings->back();
+  span->name = std::move(name);
+  open_.push_back(span);
+  start_times_.push_back(std::chrono::steady_clock::now());
+  return span;
+}
+
+void QueryTracer::EndSpan() {
+  ZDB_CHECK(!open_.empty()) << "EndSpan without matching BeginSpan";
+  Span* span = open_.back();
+  span->duration_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() -
+                          start_times_.back())
+                          .count();
+  open_.pop_back();
+  start_times_.pop_back();
+}
+
+void QueryTracer::Clear() {
+  ZDB_CHECK(open_.empty()) << "Clear with open spans";
+  roots_.clear();
+}
+
+JsonValue QueryTracer::ToJson() const {
+  JsonValue out = JsonValue::Array();
+  for (const Span& root : roots_) out.Append(root.ToJson());
+  return out;
+}
+
+}  // namespace zerodb::obs

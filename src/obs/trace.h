@@ -1,0 +1,101 @@
+#ifndef ZERODB_OBS_TRACE_H_
+#define ZERODB_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace zerodb::obs {
+
+/// One timed region of a query's execution. The executor records one span
+/// per physical operator, so a finished trace is a tree mirroring the
+/// physical plan: span children = operator children, attributes = the
+/// operator's work counters (rows in/out, pages, probes, ...), wall time in
+/// milliseconds. `detail` carries a short free-form annotation such as the
+/// scanned table's name.
+struct Span {
+  std::string name;
+  std::string detail;
+  double duration_ms = 0.0;
+  std::vector<std::pair<std::string, double>> attributes;
+  std::vector<Span> children;
+
+  void AddAttribute(std::string key, double value) {
+    attributes.emplace_back(std::move(key), value);
+  }
+  /// Returns the attribute value or `fallback` when absent.
+  double Attribute(const std::string& key, double fallback = 0.0) const;
+
+  /// Nodes in this subtree (including this one).
+  size_t TreeSize() const;
+
+  JsonValue ToJson() const;
+  static StatusOr<Span> FromJson(const JsonValue& value);
+};
+
+/// Records a tree of spans for one (or several) query executions. Not
+/// thread-safe: a tracer belongs to one executing thread, mirroring the
+/// executor's single-threaded plan walk. Pass nullptr wherever a tracer is
+/// accepted to disable tracing entirely.
+class QueryTracer {
+ public:
+  QueryTracer() = default;
+
+  QueryTracer(const QueryTracer&) = delete;
+  QueryTracer& operator=(const QueryTracer&) = delete;
+
+  /// Opens a span as a child of the innermost open span (or a new root).
+  /// Returns the span; valid until the tracer is cleared or destroyed, but
+  /// siblings may relocate it — use inside the matching Begin/End pair only
+  /// via SpanScope below.
+  Span* BeginSpan(std::string name);
+  void EndSpan();
+
+  /// Finished root spans (one per traced query execution).
+  const std::vector<Span>& roots() const { return roots_; }
+  bool has_open_span() const { return !open_.empty(); }
+  void Clear();
+
+  /// Array of root span trees.
+  JsonValue ToJson() const;
+
+ private:
+  std::vector<Span> roots_;
+  std::vector<Span*> open_;  ///< innermost last; see BeginSpan for validity
+  std::vector<std::chrono::steady_clock::time_point> start_times_;
+};
+
+/// RAII Begin/End pair tolerant of a null tracer, so instrumented code needs
+/// no branching: `obs::SpanScope scope(options_.tracer, "HashJoin");`.
+class SpanScope {
+ public:
+  SpanScope(QueryTracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) span_ = tracer_->BeginSpan(std::move(name));
+  }
+  ~SpanScope() {
+    if (tracer_ != nullptr) tracer_->EndSpan();
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool active() const { return span_ != nullptr; }
+  void SetDetail(std::string detail) {
+    if (span_ != nullptr) span_->detail = std::move(detail);
+  }
+  void AddAttribute(std::string key, double value) {
+    if (span_ != nullptr) span_->AddAttribute(std::move(key), value);
+  }
+
+ private:
+  QueryTracer* tracer_;
+  Span* span_ = nullptr;
+};
+
+}  // namespace zerodb::obs
+
+#endif  // ZERODB_OBS_TRACE_H_

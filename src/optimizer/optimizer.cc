@@ -68,6 +68,12 @@ Planner::Planner(const storage::Database* db,
       options_(std::move(options)) {
   ZDB_CHECK(db != nullptr);
   ZDB_CHECK(stats != nullptr);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  plans_planned_ = registry.GetCounter("optimizer.plans");
+  join_candidates_ = registry.GetCounter("optimizer.join_candidates");
+  join_candidates_pruned_ =
+      registry.GetCounter("optimizer.join_candidates_pruned");
+  plan_us_ = registry.GetHistogram("optimizer.plan_us");
 }
 
 bool Planner::HasIndex(const std::string& table, size_t column_index) const {
@@ -158,6 +164,9 @@ Planner::AccessPath Planner::PlanScan(const std::string& table,
 }
 
 StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query) const {
+  plans_planned_->Add(1);
+  obs::ScopedTimer timer(
+      obs::MetricsRegistry::Global().enabled() ? plan_us_ : nullptr);
   ZDB_RETURN_NOT_OK(query.Validate(*db_));
   const size_t num_tables = query.tables.size();
   if (num_tables > 12) {
@@ -282,11 +291,19 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query) const {
       const size_t rest_column =
           sub_has_left ? crossing->right_column : crossing->left_column;
 
+      // Tallies one DP join candidate; rejected ones count as pruned.
+      auto consider = [&](double total) {
+        join_candidates_->Add(1);
+        bool accepted = total < dp[mask].cost;
+        if (!accepted) join_candidates_pruned_->Add(1);
+        return accepted;
+      };
+
       // Candidate 1: hash join, build = sub side, probe = rest side.
       {
         double step = cost_model_.HashJoinCost(sub_card, rest_card, out_card);
         double total = dp[sub].cost + dp[rest].cost + step;
-        if (total < dp[mask].cost) {
+        if (consider(total)) {
           auto left = dp[sub].node->Clone();
           auto right = dp[rest].node->Clone();
           size_t left_slot =
@@ -309,7 +326,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query) const {
         double step =
             cost_model_.NestedLoopJoinCost(sub_card, rest_card, out_card);
         double total = dp[sub].cost + dp[rest].cost + step;
-        if (total < dp[mask].cost) {
+        if (consider(total)) {
           auto left = dp[sub].node->Clone();
           auto right = dp[rest].node->Clone();
           size_t left_slot =
@@ -347,7 +364,7 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query) const {
             sub_card, IndexHeight(rest_table), matched, residual_leaves,
             out_card);
         double total = dp[sub].cost + step;  // inner scan cost not paid
-        if (total < dp[mask].cost) {
+        if (consider(total)) {
           auto outer = dp[sub].node->Clone();
           size_t outer_slot =
               FindSlot(outer->OutputSchema(*db_), sub_table, sub_column);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "optimizer/cost_model.h"
 #include "plan/physical.h"
 #include "plan/query.h"
@@ -73,6 +74,14 @@ class Planner {
   stats::CardinalityEstimator estimator_;
   CostModel cost_model_;
   PlannerOptions options_;
+
+  // Planning telemetry, cached from the global MetricsRegistry (no-ops
+  // while it is disabled): plans produced, DP join candidates considered /
+  // rejected, and planning latency.
+  obs::Counter* plans_planned_;
+  obs::Counter* join_candidates_;
+  obs::Counter* join_candidates_pruned_;
+  obs::Histogram* plan_us_;
 };
 
 /// Finds the slot of (table, column_index) in an output schema; CHECK-fails

@@ -4,9 +4,9 @@
 #include <limits>
 
 #include "common/check.h"
-#include "common/logging.h"
 #include "nn/lr_schedule.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 
 namespace zerodb::train {
 
@@ -68,10 +68,18 @@ TrainResult TrainModel(models::NeuralCostModel* model,
       break;
   }
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* epochs_counter = registry.GetCounter("train.epochs");
+  obs::Counter* batches_counter = registry.GetCounter("train.batches");
+  obs::Histogram* epoch_us = registry.GetHistogram("train.epoch_us");
+
   for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
-    optimizer.set_learning_rate(schedule->RateForEpoch(epoch));
+    obs::ScopedTimer epoch_timer(registry.enabled() ? epoch_us : nullptr);
+    const float learning_rate = schedule->RateForEpoch(epoch);
+    optimizer.set_learning_rate(learning_rate);
     rng.Shuffle(&training);
     double epoch_loss = 0.0;
+    double grad_norm_sum = 0.0;
     size_t batches = 0;
     for (size_t start = 0; start < training.size();
          start += options.batch_size) {
@@ -81,13 +89,15 @@ TrainResult TrainModel(models::NeuralCostModel* model,
       nn::Tensor loss = model->LossOnBatch(batch, /*training=*/true, &rng);
       optimizer.ZeroGrad();
       loss.Backward();
-      optimizer.ClipGradNorm(options.grad_clip_norm);
+      grad_norm_sum += optimizer.ClipGradNorm(options.grad_clip_norm);
       optimizer.Step();
       epoch_loss += loss.item();
       ++batches;
     }
     result.final_train_loss = epoch_loss / std::max<size_t>(batches, 1);
     result.epochs_run = epoch + 1;
+    epochs_counter->Add(1);
+    batches_counter->Add(static_cast<int64_t>(batches));
 
     // Validation (falls back to train loss when no validation split).
     double val_loss = result.final_train_loss;
@@ -95,10 +105,19 @@ TrainResult TrainModel(models::NeuralCostModel* model,
       val_loss =
           model->LossOnBatch(validation, /*training=*/false, nullptr).item();
     }
-    if (options.verbose) {
-      ZDB_LOG(Info) << model->Name() << " epoch " << epoch + 1
-                    << " train=" << result.final_train_loss
-                    << " val=" << val_loss;
+
+    obs::EpochStat stat;
+    stat.epoch = epoch + 1;
+    stat.train_loss = result.final_train_loss;
+    stat.val_loss = val_loss;
+    stat.learning_rate = learning_rate;
+    stat.grad_norm = grad_norm_sum / std::max<size_t>(batches, 1);
+    result.history.push_back(stat);
+    if (options.telemetry != nullptr) {
+      // The sink controls its own logging (log_epochs).
+      options.telemetry->RecordEpoch(stat);
+    } else if (options.verbose) {
+      obs::TrainTelemetry::LogEpoch(model->Name(), stat);
     }
     if (val_loss < best_val - 1e-6) {
       best_val = val_loss;

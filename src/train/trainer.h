@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "models/cost_predictor.h"
+#include "obs/telemetry.h"
 #include "train/dataset.h"
 
 namespace zerodb::train {
@@ -24,7 +25,13 @@ struct TrainerOptions {
   double validation_fraction = 0.1;
   size_t early_stop_patience = 10;  ///< epochs without val improvement
   uint64_t seed = 99;
+  /// Logs one line per epoch (via the telemetry sink when one is attached,
+  /// else through obs::TrainTelemetry::LogEpoch → ZDB_LOG).
   bool verbose = false;
+  /// Optional external sink receiving every epoch's EpochStat as it is
+  /// produced (the per-epoch history also always lands in
+  /// TrainResult::history).
+  obs::TrainTelemetry* telemetry = nullptr;
 };
 
 struct TrainResult {
@@ -32,6 +39,8 @@ struct TrainResult {
   double final_train_loss = 0.0;
   double best_validation_loss = 0.0;
   bool early_stopped = false;
+  /// One entry per epoch run: train/val loss, learning rate, gradient norm.
+  std::vector<obs::EpochStat> history;
 };
 
 /// Mini-batch Adam training with validation-based early stopping and

@@ -22,7 +22,8 @@ EnsembleEstimator EnsembleEstimator::TrainFromRecords(
     auto model = std::make_unique<models::ZeroShotCostModel>(model_options);
     train::TrainerOptions trainer = config.base.trainer;
     trainer.seed = config.base.trainer.seed + 77 * (member + 1);
-    train::TrainModel(model.get(), view, trainer);
+    ensemble.train_results_.push_back(
+        train::TrainModel(model.get(), view, trainer));
     ensemble.members_.push_back(std::move(model));
   }
   return ensemble;

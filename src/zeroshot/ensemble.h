@@ -57,6 +57,10 @@ class EnsembleEstimator {
 
   size_t size() const { return members_.size(); }
   const EnsembleConfig& config() const { return config_; }
+  /// Per-member training outcomes (loss curves etc.), parallel to members.
+  const std::vector<train::TrainResult>& train_results() const {
+    return train_results_;
+  }
 
  private:
   EnsembleEstimator() = default;
@@ -64,6 +68,7 @@ class EnsembleEstimator {
   EnsembleConfig config_;
   std::vector<train::QueryRecord> records_;
   std::vector<std::unique_ptr<models::ZeroShotCostModel>> members_;
+  std::vector<train::TrainResult> train_results_;
 };
 
 }  // namespace zerodb::zeroshot

@@ -2,8 +2,34 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace zerodb::zeroshot {
+
+namespace {
+
+// Inference-side telemetry: how often the zero-shot "central brain" is
+// consulted and what each call costs. Function-local statics keep the
+// registry lookups off the hot path.
+struct EstimatorMetrics {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* predict_calls = registry.GetCounter("zeroshot.predict_calls");
+  obs::Counter* predictions = registry.GetCounter("zeroshot.predictions");
+  obs::Counter* estimate_query_calls =
+      registry.GetCounter("zeroshot.estimate_query_calls");
+  obs::Counter* training_records =
+      registry.GetCounter("zeroshot.training_records_collected");
+  obs::Histogram* predict_us = registry.GetHistogram("zeroshot.predict_us");
+  obs::Histogram* plan_us =
+      registry.GetHistogram("zeroshot.estimate_plan_us");
+
+  static EstimatorMetrics& Get() {
+    static EstimatorMetrics* metrics = new EstimatorMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 std::vector<train::QueryRecord> CollectCorpusRecords(
     const std::vector<datagen::DatabaseEnv>& corpus,
@@ -22,6 +48,8 @@ std::vector<train::QueryRecord> CollectCorpusRecords(
       records.push_back(std::move(record));
     }
   }
+  EstimatorMetrics::Get().training_records->Add(
+      static_cast<int64_t>(records.size()));
   return records;
 }
 
@@ -47,6 +75,11 @@ ZeroShotEstimator ZeroShotEstimator::TrainFromRecords(
 std::vector<double> ZeroShotEstimator::PredictMs(
     const std::vector<const train::QueryRecord*>& records) {
   ZDB_CHECK(model_ != nullptr);
+  EstimatorMetrics& metrics = EstimatorMetrics::Get();
+  metrics.predict_calls->Add(1);
+  metrics.predictions->Add(static_cast<int64_t>(records.size()));
+  obs::ScopedTimer timer(metrics.registry.enabled() ? metrics.predict_us
+                                                    : nullptr);
   return model_->PredictMs(records);
 }
 
@@ -59,9 +92,16 @@ StatusOr<double> ZeroShotEstimator::EstimateQueryMs(
         "EstimateQueryMs requires an estimated-cardinality model (exact "
         "cardinalities only exist after execution)");
   }
+  EstimatorMetrics& metrics = EstimatorMetrics::Get();
+  metrics.estimate_query_calls->Add(1);
   optimizer::Planner planner(env.db.get(), &env.stats, optimizer::CostParams(),
                              planner_options);
-  ZDB_ASSIGN_OR_RETURN(plan::PhysicalPlan plan, planner.Plan(query));
+  plan::PhysicalPlan plan;
+  {
+    obs::ScopedTimer timer(metrics.registry.enabled() ? metrics.plan_us
+                                                      : nullptr);
+    ZDB_ASSIGN_OR_RETURN(plan, planner.Plan(query));
+  }
   train::QueryRecord record;
   record.env = &env;
   record.db_name = env.db->name();

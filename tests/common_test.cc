@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <mutex>
+#include <regex>
 #include <set>
+#include <thread>
 
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -245,6 +249,84 @@ TEST(StringTest, Padding) {
   EXPECT_EQ(PadLeft("ab", 5), "   ab");
   EXPECT_EQ(PadRight("ab", 5), "ab   ");
   EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+// Captures log lines via SetLogSink, restoring defaults on destruction.
+class LogCapture {
+ public:
+  LogCapture() {
+    previous_level_ = GetLogLevel();
+    SetLogLevel(LogLevel::kDebug);
+    SetLogSink([this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.push_back(line);
+    });
+  }
+  ~LogCapture() {
+    SetLogSink(nullptr);
+    SetLogLevel(previous_level_);
+  }
+
+  std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  LogLevel previous_level_;
+  std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST(LoggingTest, PrefixFormat) {
+  LogCapture capture;
+  ZDB_LOG(Info) << "hello " << 42;
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  // [I 2026-08-06T12:34:56.789Z t1 common_test.cc:NNN] hello 42
+  std::regex prefix(
+      R"(^\[I \d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z t\d+ )"
+      R"(common_test\.cc:\d+\] hello 42$)");
+  EXPECT_TRUE(std::regex_match(lines[0], prefix)) << lines[0];
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kWarning);
+  ZDB_LOG(Info) << "dropped";
+  ZDB_LOG(Warning) << "kept";
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("kept"), std::string::npos);
+}
+
+TEST(LoggingTest, ConcurrentWritersProduceWholeLines) {
+  LogCapture capture;
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        ZDB_LOG(Info) << "writer=" << t << " line=" << i << " payload="
+                      << std::string(64, 'x');
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kLines));
+  // Every captured line is exactly one writer's message — interleaved
+  // fragments would break the trailing payload or duplicate prefixes.
+  std::regex body(R"(^\[I .*\] writer=\d+ line=\d+ payload=x{64}$)");
+  std::set<std::string> distinct;
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(std::regex_match(line, body)) << line;
+    distinct.insert(line.substr(line.find(']')));
+  }
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kThreads * kLines));
 }
 
 }  // namespace

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "plan/physical.h"
+#include "storage/database.h"
+
+namespace zerodb::obs {
+namespace {
+
+using catalog::ColumnSchema;
+using catalog::DataType;
+using catalog::TableSchema;
+
+// ---------------------------------------------------------------------------
+// JSON
+
+TEST(JsonTest, DumpPrimitives) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(int64_t{42}).Dump(), "42");
+  EXPECT_EQ(JsonValue(-7).Dump(), "-7");
+  EXPECT_EQ(JsonValue(1.5).Dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi \"there\"\n").Dump(), "\"hi \\\"there\\\"\\n\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndSetOverwrites) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zebra", 1);
+  object.Set("apple", 2);
+  object.Set("zebra", 3);
+  EXPECT_EQ(object.Dump(), "{\"zebra\":3,\"apple\":2}");
+  ASSERT_NE(object.Find("apple"), nullptr);
+  EXPECT_EQ(object.Find("apple")->AsInt(), 2);
+  EXPECT_EQ(object.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  JsonValue object = JsonValue::Object();
+  object.Set("name", "q\u00e9ry");
+  object.Set("count", int64_t{123});
+  object.Set("ratio", 0.25);
+  object.Set("flag", true);
+  object.Set("nothing", JsonValue());
+  JsonValue array = JsonValue::Array();
+  array.Append(1);
+  array.Append("two");
+  array.Append(3.5);
+  object.Set("list", std::move(array));
+
+  for (int indent : {0, 2}) {
+    auto parsed = JsonValue::Parse(object.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Dump(), object.Dump());
+  }
+}
+
+TEST(JsonTest, ParseDistinguishesIntAndDouble) {
+  auto parsed = JsonValue::Parse("[3, 3.0, 1e2]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at(0).kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(parsed->at(1).kind(), JsonValue::Kind::kDouble);
+  EXPECT_EQ(parsed->at(2).kind(), JsonValue::Kind::kDouble);
+  EXPECT_EQ(parsed->at(0).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(parsed->at(2).AsDouble(), 100.0);
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  auto parsed = JsonValue::Parse("\"a\\u00e9b\\ud83d\\ude00c\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(),
+            "a\xc3\xa9"
+            "b\xf0\x9f\x98\x80"
+            "c");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("'single'").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(MetricsTest, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry;  // disabled by default
+  Counter* counter = registry.GetCounter("c");
+  Histogram* histogram = registry.GetHistogram("h");
+  Gauge* gauge = registry.GetGauge("g");
+  counter->Add(5);
+  histogram->Observe(1.0);
+  gauge->Set(9.0);
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_EQ(histogram->count(), 0);
+  EXPECT_EQ(gauge->value(), 0.0);
+
+  registry.set_enabled(true);
+  counter->Add(5);
+  histogram->Observe(1.0);
+  gauge->Set(9.0);
+  EXPECT_EQ(counter->value(), 5);
+  EXPECT_EQ(histogram->count(), 1);
+  EXPECT_EQ(gauge->value(), 9.0);
+}
+
+TEST(MetricsTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry(/*enabled=*/true);
+  EXPECT_EQ(registry.GetCounter("x"), registry.GetCounter("x"));
+  EXPECT_NE(registry.GetCounter("x"), registry.GetCounter("y"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(MetricsTest, ConcurrentWriters) {
+  MetricsRegistry registry(/*enabled=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Metric lookup races with other threads' lookups and writes.
+      Counter* counter = registry.GetCounter("shared.counter");
+      Counter* own = registry.GetCounter("own." + std::to_string(t));
+      Histogram* histogram = registry.GetHistogram("shared.histogram");
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Add(1);
+        own->Add(1);
+        histogram->Observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("shared.counter")->value(),
+            kThreads * kIterations);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.GetCounter("own." + std::to_string(t))->value(),
+              kIterations);
+  }
+  Histogram* histogram = registry.GetHistogram("shared.histogram");
+  EXPECT_EQ(histogram->count(), kThreads * kIterations);
+  EXPECT_EQ(histogram->min(), 0.0);
+  EXPECT_EQ(histogram->max(), 99.0);
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  MetricsRegistry registry(/*enabled=*/true);
+  Histogram* histogram =
+      registry.GetHistogram("h", {10.0, 20.0, 30.0, 40.0, 50.0});
+  for (int i = 1; i <= 100; ++i) histogram->Observe(static_cast<double>(i) / 2);
+  EXPECT_EQ(histogram->count(), 100);
+  EXPECT_DOUBLE_EQ(histogram->min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram->max(), 50.0);
+  // Values are uniform on (0, 50]; interpolated quantiles should be close.
+  EXPECT_NEAR(histogram->Quantile(0.5), 25.0, 5.0);
+  EXPECT_NEAR(histogram->Quantile(0.95), 47.5, 5.0);
+  EXPECT_LE(histogram->Quantile(1.0), histogram->max());
+  EXPECT_GE(histogram->Quantile(0.0), histogram->min() - 1e-9);
+}
+
+TEST(MetricsTest, RegistryToJson) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.GetCounter("b.counter")->Add(3);
+  registry.GetCounter("a.counter")->Add(1);
+  registry.GetGauge("gauge")->Set(2.5);
+  registry.GetHistogram("hist")->Observe(7.0);
+  JsonValue json = registry.ToJson();
+  // Names are sorted for stable artifacts.
+  const JsonValue* counters = json.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->members().size(), 2u);
+  EXPECT_EQ(counters->members()[0].first, "a.counter");
+  EXPECT_EQ(counters->members()[1].first, "b.counter");
+  EXPECT_EQ(counters->Find("b.counter")->AsInt(), 3);
+  EXPECT_DOUBLE_EQ(json.Find("gauges")->Find("gauge")->AsDouble(), 2.5);
+  const JsonValue* hist = json.Find("histograms")->Find("hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->AsInt(), 1);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->AsDouble(), 7.0);
+}
+
+TEST(MetricsTest, ScopedTimerRecords) {
+  MetricsRegistry registry(/*enabled=*/true);
+  Histogram* histogram = registry.GetHistogram("timer_us");
+  Counter* total = registry.GetCounter("timer_total_us");
+  { ScopedTimer timer(histogram, total); }
+  EXPECT_EQ(histogram->count(), 1);
+  EXPECT_GE(histogram->sum(), 0.0);
+  { ScopedTimer noop(nullptr, nullptr); }
+  EXPECT_EQ(histogram->count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+// users(id, age) x orders(id, user_id, amt) — small, deterministic.
+storage::Database MakeDb() {
+  storage::Database db("obs_test");
+  storage::Table users(
+      TableSchema("users", {ColumnSchema{"id", DataType::kInt64, 8},
+                            ColumnSchema{"age", DataType::kInt64, 8}}));
+  for (int i = 0; i < 5; ++i) {
+    users.column(0).AppendInt64(i);
+    users.column(1).AppendInt64(20 + i);
+  }
+  storage::Table orders(
+      TableSchema("orders", {ColumnSchema{"id", DataType::kInt64, 8},
+                             ColumnSchema{"user_id", DataType::kInt64, 8},
+                             ColumnSchema{"amt", DataType::kDouble, 8}}));
+  for (int i = 0; i < 8; ++i) {
+    orders.column(0).AppendInt64(i);
+    orders.column(1).AppendInt64(i % 5);
+    orders.column(2).AppendDouble(10.0 * i);
+  }
+  EXPECT_TRUE(db.AddTable(std::move(users)).ok());
+  EXPECT_TRUE(db.AddTable(std::move(orders)).ok());
+  return db;
+}
+
+TEST(TraceTest, NestedSpans) {
+  QueryTracer tracer;
+  {
+    SpanScope root(&tracer, "root");
+    root.AddAttribute("k", 1.0);
+    { SpanScope child_a(&tracer, "a"); }
+    {
+      SpanScope child_b(&tracer, "b");
+      { SpanScope grandchild(&tracer, "b1"); }
+    }
+  }
+  EXPECT_FALSE(tracer.has_open_span());
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const Span& root = tracer.roots()[0];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.Attribute("k"), 1.0);
+  EXPECT_EQ(root.Attribute("missing", -1.0), -1.0);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "a");
+  EXPECT_EQ(root.children[1].name, "b");
+  ASSERT_EQ(root.children[1].children.size(), 1u);
+  EXPECT_EQ(root.children[1].children[0].name, "b1");
+  EXPECT_EQ(root.TreeSize(), 4u);
+  EXPECT_GE(root.duration_ms, root.children[1].duration_ms);
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.roots().empty());
+}
+
+TEST(TraceTest, NullTracerIsSafe) {
+  SpanScope scope(nullptr, "ignored");
+  EXPECT_FALSE(scope.active());
+  scope.SetDetail("d");
+  scope.AddAttribute("k", 1.0);
+}
+
+// The executor must produce a span tree whose shape mirrors the physical
+// plan: SimpleAggregate -> HashJoin -> {SeqScan(users), SeqScan(orders)}.
+TEST(TraceTest, ExecutorSpanTreeMirrorsPlan) {
+  storage::Database db = MakeDb();
+  QueryTracer tracer;
+  exec::ExecutorOptions options;
+  options.tracer = &tracer;
+  exec::Executor executor(&db, options);
+
+  plan::PhysicalPlan plan(plan::MakeSimpleAggregate(
+      plan::MakeHashJoin(plan::MakeSeqScan("users", std::nullopt),
+                         plan::MakeSeqScan("orders", std::nullopt),
+                         /*left_key_slot=*/0, /*right_key_slot=*/1),
+      {plan::AggregateExpr{plan::AggFunc::kCount, std::nullopt}}));
+  auto result = executor.Execute(&plan);
+  ASSERT_TRUE(result.ok());
+
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const Span& root = tracer.roots()[0];
+  EXPECT_EQ(root.name, "SimpleAggregate");
+  EXPECT_EQ(root.TreeSize(), 4u);
+  ASSERT_EQ(root.children.size(), 1u);
+  const Span& join = root.children[0];
+  EXPECT_EQ(join.name, "HashJoin");
+  ASSERT_EQ(join.children.size(), 2u);
+  EXPECT_EQ(join.children[0].name, "SeqScan");
+  EXPECT_EQ(join.children[0].detail, "users");
+  EXPECT_EQ(join.children[1].name, "SeqScan");
+  EXPECT_EQ(join.children[1].detail, "orders");
+
+  // Attributes mirror the recorded OperatorStats.
+  EXPECT_EQ(join.children[0].Attribute("output_rows"), 5.0);
+  EXPECT_EQ(join.children[1].Attribute("output_rows"), 8.0);
+  EXPECT_EQ(join.Attribute("output_rows"), 8.0);
+  EXPECT_EQ(join.Attribute("hash_build_rows"), 5.0);
+  EXPECT_EQ(root.Attribute("output_rows"), 1.0);
+  // A parent's wall time covers its children.
+  EXPECT_GE(root.duration_ms, join.duration_ms);
+}
+
+TEST(TraceTest, ExecutorCountersAndSpanJsonRoundTrip) {
+  storage::Database db = MakeDb();
+  MetricsRegistry registry(/*enabled=*/true);
+  QueryTracer tracer;
+  exec::ExecutorOptions options;
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  exec::Executor executor(&db, options);
+
+  plan::PhysicalPlan plan(plan::MakeSeqScan("users", std::nullopt));
+  ASSERT_TRUE(executor.Execute(&plan).ok());
+  EXPECT_EQ(registry.GetCounter("exec.queries")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("exec.operators")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("exec.rows_produced")->value(), 5);
+
+  // Span JSON round-trip through Dump + Parse + FromJson.
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const Span& original = tracer.roots()[0];
+  auto parsed = JsonValue::Parse(original.ToJson().Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto restored = Span::FromJson(*parsed);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->name, original.name);
+  EXPECT_EQ(restored->detail, original.detail);
+  EXPECT_DOUBLE_EQ(restored->duration_ms, original.duration_ms);
+  EXPECT_EQ(restored->attributes, original.attributes);
+  EXPECT_EQ(restored->children.size(), original.children.size());
+  EXPECT_EQ(restored->ToJson().Dump(), original.ToJson().Dump());
+}
+
+// ---------------------------------------------------------------------------
+// Training telemetry + artifact
+
+TEST(TelemetryTest, RecordsEpochsAndSerializes) {
+  TrainTelemetry telemetry("run");
+  telemetry.RecordEpoch({1, 2.0, 2.5, 1e-3, 0.7});
+  telemetry.RecordEpoch({2, 1.5, 2.0, 1e-3, 0.6});
+  ASSERT_EQ(telemetry.epochs().size(), 2u);
+  EXPECT_EQ(telemetry.epochs()[1].epoch, 2u);
+
+  JsonValue json = telemetry.ToJson();
+  const JsonValue* epochs = json.Find("epochs");
+  ASSERT_NE(epochs, nullptr);
+  ASSERT_EQ(epochs->size(), 2u);
+  EXPECT_DOUBLE_EQ(epochs->at(0).Find("train_loss")->AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(epochs->at(1).Find("val_loss")->AsDouble(), 2.0);
+}
+
+TEST(ArtifactTest, WriteToProducesParseableJson) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.GetCounter("events")->Add(4);
+
+  QueryTracer tracer;
+  { SpanScope scope(&tracer, "SeqScan"); }
+
+  MetricsArtifact artifact("unit_test");
+  artifact.AddLabel("scale", "tiny");
+  artifact.SetRegistry(&registry);
+  artifact.AddTrace("query", tracer.roots()[0]);
+  artifact.AddTrainingRun("model", {{1, 2.0, 2.5, 1e-3, 0.7}});
+
+  std::string path = ::testing::TempDir() + "/obs_artifact.json";
+  ASSERT_TRUE(artifact.WriteTo(path).ok());
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("name")->AsString(), "unit_test");
+  EXPECT_EQ(parsed->Find("labels")->Find("scale")->AsString(), "tiny");
+  EXPECT_EQ(
+      parsed->Find("metrics")->Find("counters")->Find("events")->AsInt(), 4);
+  ASSERT_NE(parsed->Find("traces")->Find("query"), nullptr);
+  const JsonValue* run = parsed->Find("training")->Find("model");
+  ASSERT_NE(run, nullptr);
+  ASSERT_EQ(run->size(), 1u);
+  EXPECT_EQ(run->at(0).Find("epoch")->AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace zerodb::obs
