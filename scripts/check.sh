@@ -2,6 +2,7 @@
 # Sanitized build + test run. Usage:
 #   scripts/check.sh            # address sanitizer (default)
 #   scripts/check.sh thread     # thread sanitizer
+#   scripts/check.sh undefined  # UBSan, -fno-sanitize-recover (UB aborts)
 #   scripts/check.sh ""         # plain build, no sanitizer
 set -euo pipefail
 
@@ -10,7 +11,10 @@ cd "$(dirname "$0")/.."
 SANITIZER="${1-address}"
 BUILD_DIR="build-check${SANITIZER:+-$SANITIZER}"
 
+# Release here is the repo's own -O2 -g *without* NDEBUG (see CMakeLists):
+# the debug-time plan/tensor validators stay live, so every sanitized test
+# run is also an invariant-verification run.
 cmake -B "$BUILD_DIR" -S . -DZERODB_SANITIZE="$SANITIZER" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

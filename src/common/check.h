@@ -52,11 +52,28 @@ class CheckFailureStream {
 #define ZDB_CHECK_GT(a, b) ZDB_CHECK((a) > (b))
 #define ZDB_CHECK_GE(a, b) ZDB_CHECK((a) >= (b))
 
-/// Debug-only check; compiled out in NDEBUG builds for hot paths.
+/// Debug-only checks; compiled out in NDEBUG builds for hot paths.
+///
+/// The NDEBUG stub must keep its operands *unevaluated* (no runtime cost)
+/// yet *referenced*: `while (false && cond)` short-circuits away the
+/// evaluation and the optimizer deletes the dead loop, but the operands are
+/// still odr-used, so variables only consumed by DCHECKs don't trip
+/// -Wunused-variable under -Werror, and the expression keeps type-checking
+/// in release builds. Streamed context compiles (and is discarded) the same
+/// way: the loop body never runs.
 #ifdef NDEBUG
-#define ZDB_DCHECK(condition) ZDB_CHECK(true || (condition))
+#define ZDB_DCHECK(condition)                          \
+  while (false && static_cast<bool>(condition))        \
+  ::zerodb::internal_check::CheckFailureStream(#condition, __FILE__, __LINE__)
 #else
 #define ZDB_DCHECK(condition) ZDB_CHECK(condition)
 #endif
+
+#define ZDB_DCHECK_EQ(a, b) ZDB_DCHECK((a) == (b))
+#define ZDB_DCHECK_NE(a, b) ZDB_DCHECK((a) != (b))
+#define ZDB_DCHECK_LT(a, b) ZDB_DCHECK((a) < (b))
+#define ZDB_DCHECK_LE(a, b) ZDB_DCHECK((a) <= (b))
+#define ZDB_DCHECK_GT(a, b) ZDB_DCHECK((a) > (b))
+#define ZDB_DCHECK_GE(a, b) ZDB_DCHECK((a) >= (b))
 
 #endif  // ZERODB_COMMON_CHECK_H_

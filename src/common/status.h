@@ -117,6 +117,25 @@ class StatusOr {
   std::variant<T, Status> repr_;
 };
 
+/// Aborts (with the status message) if `expr` does not evaluate to an OK
+/// Status. Lives here rather than check.h because it needs the Status type.
+/// Supports streaming extra context like the rest of the CHECK family.
+#define ZDB_CHECK_OK(expr)                                                   \
+  for (::zerodb::Status zdb_check_status = (expr); !zdb_check_status.ok();   \
+       zdb_check_status = ::zerodb::Status::OK())                            \
+  ::zerodb::internal_check::CheckFailureStream(#expr, __FILE__, __LINE__)    \
+      << zdb_check_status.ToString() << " "
+
+/// Debug-only ZDB_CHECK_OK: the validator expression is *not evaluated* in
+/// NDEBUG builds (the dead `while` swallows it, see ZDB_DCHECK), so
+/// expensive invariant walks vanish from release hot paths.
+#ifdef NDEBUG
+#define ZDB_DCHECK_OK(expr) \
+  while (false) ZDB_CHECK_OK(expr)
+#else
+#define ZDB_DCHECK_OK(expr) ZDB_CHECK_OK(expr)
+#endif
+
 /// Propagates a non-OK status to the caller.
 #define ZDB_RETURN_NOT_OK(expr)                 \
   do {                                          \

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "plan/validate.h"
 
 namespace zerodb::exec {
 
@@ -128,10 +129,17 @@ Executor::Executor(const storage::Database* db, ExecutorOptions options)
 
 StatusOr<ExecutionResult> Executor::Execute(plan::PhysicalPlan* plan) {
   ZDB_CHECK(plan != nullptr && plan->root != nullptr);
+  // Open-path invariant gate: schemas, slot references and expression types
+  // must be consistent before any operator touches data.
+  ZDB_DCHECK_OK(plan::ValidatePlan(*plan->root, *db_));
   queries_executed_->Add(1);
   obs::ScopedTimer timer(registry_->enabled() ? query_us_ : nullptr);
   ExecutionResult result;
   ZDB_ASSIGN_OR_RETURN(result.output, ExecuteNode(plan->root.get(), &result));
+  // Post-condition: the true cardinalities just recorded must respect the
+  // relational bounds (filters shrink, sorts preserve, joins stay under the
+  // cross product), so every query execution doubles as a verification run.
+  ZDB_DCHECK_OK(plan::ValidatePlan(*plan->root, *db_));
   return result;
 }
 

@@ -39,6 +39,9 @@ void FeatureNorm::Apply(std::vector<float>* row) const {
   ZDB_CHECK_EQ(row->size(), mean_.size());
   for (size_t d = 0; d < row->size(); ++d) {
     (*row)[d] = ((*row)[d] - mean_[d]) / std_[d];
+    // Fit() clamps std below 1e-6, so a non-finite output means the raw
+    // feature was already NaN/Inf — flag it at the first normalization.
+    ZDB_DCHECK(std::isfinite((*row)[d]));
   }
 }
 
@@ -64,6 +67,7 @@ void TargetNorm::Fit(const std::vector<double>& values) {
 
 double TargetNorm::Normalize(double value) const {
   ZDB_CHECK(fitted_);
+  ZDB_DCHECK(std::isfinite(value));
   return (value - mean_) / std_;
 }
 

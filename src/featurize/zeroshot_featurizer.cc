@@ -181,11 +181,28 @@ size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
   return index;
 }
 
+namespace {
+
+// Debug-only sweep: a NaN/Inf in any node feature would silently poison the
+// whole message-passing pass downstream; catch it where it is produced.
+bool FeaturesAreFinite(const PlanGraph& graph) {
+  for (const PlanGraphNode& node : graph.nodes) {
+    for (float value : node.features) {
+      if (!std::isfinite(value)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 PlanGraph ZeroShotFeaturizer::Featurize(const PhysicalNode& root,
                                         const datagen::DatabaseEnv& env) const {
   PlanGraph graph;
   AddNode(root, env, &graph);
   graph.ComputeLevels();
+  ZDB_DCHECK(!graph.nodes.empty());
+  ZDB_DCHECK(FeaturesAreFinite(graph));
   return graph;
 }
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "nn/ops.h"
+#include "nn/validate.h"
 #include "nn/serialize.h"
 
 namespace zerodb::models {
@@ -215,7 +216,11 @@ nn::Tensor TreeMessagePassingModel::Forward(
 
   // Root readout.
   nn::Tensor roots = nn::RowGather(hidden_states, root_ids);
-  return readout_.Forward(roots, training, rng);
+  nn::Tensor predictions = readout_.Forward(roots, training, rng);
+  ZDB_DCHECK_OK(
+      nn::ValidateShape(predictions, graphs.size(), 1, "tree model readout"));
+  ZDB_DCHECK_OK(nn::ValidateFinite(predictions, "tree model readout"));
+  return predictions;
 }
 
 nn::Tensor TreeMessagePassingModel::LossOnBatch(

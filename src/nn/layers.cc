@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "nn/validate.h"
 
 namespace zerodb::nn {
 
@@ -43,6 +44,9 @@ Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
 }
 
 Tensor Linear::Forward(const Tensor& x) const {
+  ZDB_DCHECK_OK(ValidateFeatureDim(x, in_features_, "Linear::Forward input"));
+  ZDB_DCHECK_OK(ValidateShape(weight_, in_features_, out_features_,
+                              "Linear::Forward weight"));
   ZDB_CHECK_EQ(x.cols(), in_features_);
   return AddBias(MatMul(x, weight_), bias_);
 }
@@ -60,6 +64,7 @@ Mlp::Mlp(const MlpConfig& config, Rng* rng) : config_(config) {
 
 Tensor Mlp::Forward(const Tensor& x, bool training, Rng* rng) const {
   ZDB_CHECK(!layers_.empty()) << "Mlp used before initialization";
+  ZDB_DCHECK_OK(ValidateFinite(x, "Mlp::Forward input"));
   Tensor current = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
     current = layers_[i].Forward(current);
@@ -74,6 +79,7 @@ Tensor Mlp::Forward(const Tensor& x, bool training, Rng* rng) const {
       }
     }
   }
+  ZDB_DCHECK_OK(ValidateFinite(current, "Mlp::Forward output"));
   return current;
 }
 

@@ -5,8 +5,8 @@
 namespace zerodb::obs {
 
 double Span::Attribute(const std::string& key, double fallback) const {
-  for (const auto& [name, value] : attributes) {
-    if (name == key) return value;
+  for (const auto& [attr_key, value] : attributes) {
+    if (attr_key == key) return value;
   }
   return fallback;
 }

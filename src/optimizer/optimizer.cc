@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "plan/validate.h"
 
 namespace zerodb::optimizer {
 
@@ -428,6 +429,9 @@ StatusOr<PhysicalPlan> Planner::Plan(const QuerySpec& query) const {
     }
   }
 
+  // Emission gate: every plan the optimizer hands out satisfies the schema,
+  // typing and cardinality invariants (debug builds abort on violation).
+  ZDB_DCHECK_OK(plan::ValidatePlan(*root, *db_));
   return PhysicalPlan(std::move(root));
 }
 

@@ -1,0 +1,377 @@
+#include "plan/validate.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace zerodb::plan {
+
+namespace {
+
+using catalog::DataType;
+
+// Per-slot column types of one base table.
+StatusOr<std::vector<DataType>> TableSlotTypes(const storage::Database& db,
+                                               const std::string& table_name,
+                                               const char* op_name) {
+  const storage::Table* table = db.FindTable(table_name);
+  if (table == nullptr) {
+    return Status::InvalidArgument(StrFormat(
+        "%s references unknown table '%s'", op_name, table_name.c_str()));
+  }
+  std::vector<DataType> types;
+  types.reserve(table->num_columns());
+  for (const catalog::ColumnSchema& column : table->schema().columns()) {
+    types.push_back(column.type);
+  }
+  return types;
+}
+
+Status ValidateChildCount(const PhysicalNode& node, size_t expected) {
+  if (node.children.size() != expected) {
+    return Status::InvalidArgument(StrFormat(
+        "%s must have %zu child(ren), has %zu", PhysicalOpName(node.type),
+        expected, node.children.size()));
+  }
+  return Status::OK();
+}
+
+Status ValidateSlot(size_t slot, size_t schema_size, const char* op_name,
+                    const char* role) {
+  if (slot >= schema_size) {
+    return Status::InvalidArgument(
+        StrFormat("%s %s slot %zu out of range (input schema has %zu slots)",
+                  op_name, role, slot, schema_size));
+  }
+  return Status::OK();
+}
+
+Status ValidateAnnotations(const PhysicalNode& node) {
+  const char* op_name = PhysicalOpName(node.type);
+  if (!std::isfinite(node.est_cardinality) || node.est_cardinality < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("%s has invalid est_cardinality %f", op_name,
+                  node.est_cardinality));
+  }
+  if (!std::isfinite(node.est_cost) || node.est_cost < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("%s has invalid est_cost %f", op_name, node.est_cost));
+  }
+  const double t = node.true_cardinality;
+  if (!(t == -1.0 || (std::isfinite(t) && t >= 0.0))) {
+    return Status::InvalidArgument(
+        StrFormat("%s has invalid true_cardinality %f (-1 or >= 0)", op_name,
+                  t));
+  }
+  return Status::OK();
+}
+
+// Relational bounds on executor-recorded cardinalities. Unknown (-1) values
+// on either side of a bound disable that bound.
+Status ValidateTrueCardinality(const PhysicalNode& node,
+                               const storage::Database& db) {
+  const double t = node.true_cardinality;
+  if (t < 0.0) return Status::OK();
+  const char* op_name = PhysicalOpName(node.type);
+  auto child_card = [&](size_t i) {
+    return node.children[i]->true_cardinality;
+  };
+  switch (node.type) {
+    case PhysicalOpType::kSeqScan:
+    case PhysicalOpType::kIndexScan: {
+      const storage::Table* table = db.FindTable(node.table_name);
+      if (table != nullptr &&
+          t > static_cast<double>(table->num_rows())) {
+        return Status::InvalidArgument(StrFormat(
+            "%s output %f exceeds table '%s' cardinality %zu", op_name, t,
+            node.table_name.c_str(), table->num_rows()));
+      }
+      break;
+    }
+    case PhysicalOpType::kFilter:
+      if (child_card(0) >= 0.0 && t > child_card(0)) {
+        return Status::InvalidArgument(
+            StrFormat("%s output %f exceeds input %f", op_name, t,
+                      child_card(0)));
+      }
+      break;
+    case PhysicalOpType::kSort:
+      if (child_card(0) >= 0.0 && t != child_card(0)) {
+        return Status::InvalidArgument(
+            StrFormat("%s must preserve cardinality: output %f, input %f",
+                      op_name, t, child_card(0)));
+      }
+      break;
+    case PhysicalOpType::kHashJoin:
+    case PhysicalOpType::kNestedLoopJoin:
+      if (child_card(0) >= 0.0 && child_card(1) >= 0.0 &&
+          t > child_card(0) * child_card(1)) {
+        return Status::InvalidArgument(StrFormat(
+            "%s output %f exceeds cross product %f x %f", op_name, t,
+            child_card(0), child_card(1)));
+      }
+      break;
+    case PhysicalOpType::kIndexNLJoin: {
+      const storage::Table* inner = db.FindTable(node.table_name);
+      if (child_card(0) >= 0.0 && inner != nullptr &&
+          t > child_card(0) * static_cast<double>(inner->num_rows())) {
+        return Status::InvalidArgument(StrFormat(
+            "%s output %f exceeds outer %f x inner table %zu", op_name, t,
+            child_card(0), inner->num_rows()));
+      }
+      break;
+    }
+    case PhysicalOpType::kHashAggregate:
+      if (child_card(0) >= 0.0 && t > child_card(0)) {
+        return Status::InvalidArgument(StrFormat(
+            "%s emits %f groups from %f input rows", op_name, t,
+            child_card(0)));
+      }
+      break;
+    case PhysicalOpType::kSimpleAggregate:
+      if (t != 1.0) {
+        return Status::InvalidArgument(StrFormat(
+            "%s must emit exactly one row, recorded %f", op_name, t));
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Status ValidateAggregates(const PhysicalNode& node,
+                          const std::vector<DataType>& child_types) {
+  const char* op_name = PhysicalOpName(node.type);
+  if (node.aggregates.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("%s has no aggregate expressions", op_name));
+  }
+  for (const AggregateExpr& agg : node.aggregates) {
+    if (!agg.input_slot.has_value()) {
+      if (agg.func != AggFunc::kCount) {
+        return Status::InvalidArgument(
+            StrFormat("%s: %s requires an input slot (only COUNT(*) may "
+                      "omit it)",
+                      op_name, AggFuncName(agg.func)));
+      }
+      continue;
+    }
+    ZDB_RETURN_NOT_OK(
+        ValidateSlot(*agg.input_slot, child_types.size(), op_name,
+                     "aggregate input"));
+    if (agg.func != AggFunc::kCount &&
+        child_types[*agg.input_slot] == DataType::kString) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: %s over dictionary-encoded string slot %zu is not "
+          "meaningful",
+          op_name, AggFuncName(agg.func), *agg.input_slot));
+    }
+  }
+  return Status::OK();
+}
+
+// Validates one node against its children (already validated) and returns
+// the node's output slot types.
+StatusOr<std::vector<DataType>> ValidateNode(const PhysicalNode& node,
+                                             const storage::Database& db) {
+  const char* op_name = PhysicalOpName(node.type);
+
+  // Children first, bottom-up, collecting their output types.
+  std::vector<std::vector<DataType>> child_types;
+  child_types.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    if (child == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("%s has a null child", op_name));
+    }
+    ZDB_ASSIGN_OR_RETURN(std::vector<DataType> types,
+                         ValidateNode(*child, db));
+    child_types.push_back(std::move(types));
+  }
+
+  ZDB_RETURN_NOT_OK(ValidateAnnotations(node));
+
+  switch (node.type) {
+    case PhysicalOpType::kSeqScan:
+    case PhysicalOpType::kIndexScan: {
+      ZDB_RETURN_NOT_OK(ValidateChildCount(node, 0));
+      ZDB_ASSIGN_OR_RETURN(std::vector<DataType> types,
+                           TableSlotTypes(db, node.table_name, op_name));
+      if (node.type == PhysicalOpType::kIndexScan) {
+        ZDB_RETURN_NOT_OK(ValidateSlot(node.index_column, types.size(),
+                                       op_name, "index column"));
+        // lo > hi is allowed: contradictory predicates legitimately compile
+        // to an empty key range. NaN bounds never are.
+        if ((node.range_lo.has_value() && std::isnan(*node.range_lo)) ||
+            (node.range_hi.has_value() && std::isnan(*node.range_hi))) {
+          return Status::InvalidArgument(
+              StrFormat("%s has NaN key range bound", op_name));
+        }
+      }
+      if (node.predicate.has_value()) {
+        ZDB_RETURN_NOT_OK(ValidatePredicate(*node.predicate, types));
+      }
+      ZDB_RETURN_NOT_OK(ValidateTrueCardinality(node, db));
+      return types;
+    }
+    case PhysicalOpType::kFilter: {
+      ZDB_RETURN_NOT_OK(ValidateChildCount(node, 1));
+      if (!node.predicate.has_value()) {
+        return Status::InvalidArgument("Filter has no predicate");
+      }
+      ZDB_RETURN_NOT_OK(ValidatePredicate(*node.predicate, child_types[0]));
+      ZDB_RETURN_NOT_OK(ValidateTrueCardinality(node, db));
+      return child_types[0];
+    }
+    case PhysicalOpType::kHashJoin:
+    case PhysicalOpType::kNestedLoopJoin: {
+      ZDB_RETURN_NOT_OK(ValidateChildCount(node, 2));
+      ZDB_RETURN_NOT_OK(ValidateSlot(node.left_key_slot,
+                                     child_types[0].size(), op_name,
+                                     "left key"));
+      ZDB_RETURN_NOT_OK(ValidateSlot(node.right_key_slot,
+                                     child_types[1].size(), op_name,
+                                     "right key"));
+      const bool left_string =
+          child_types[0][node.left_key_slot] == DataType::kString;
+      const bool right_string =
+          child_types[1][node.right_key_slot] == DataType::kString;
+      if (left_string != right_string) {
+        return Status::InvalidArgument(StrFormat(
+            "%s equi-join compares a string column against a numeric one "
+            "(slots %zu, %zu)",
+            op_name, node.left_key_slot, node.right_key_slot));
+      }
+      ZDB_RETURN_NOT_OK(ValidateTrueCardinality(node, db));
+      std::vector<DataType> types = child_types[0];
+      types.insert(types.end(), child_types[1].begin(), child_types[1].end());
+      return types;
+    }
+    case PhysicalOpType::kIndexNLJoin: {
+      ZDB_RETURN_NOT_OK(ValidateChildCount(node, 1));
+      ZDB_ASSIGN_OR_RETURN(std::vector<DataType> inner_types,
+                           TableSlotTypes(db, node.table_name, op_name));
+      ZDB_RETURN_NOT_OK(ValidateSlot(node.left_key_slot,
+                                     child_types[0].size(), op_name,
+                                     "outer key"));
+      ZDB_RETURN_NOT_OK(ValidateSlot(node.index_column, inner_types.size(),
+                                     op_name, "inner key column"));
+      const bool outer_string =
+          child_types[0][node.left_key_slot] == DataType::kString;
+      const bool inner_string =
+          inner_types[node.index_column] == DataType::kString;
+      if (outer_string != inner_string) {
+        return Status::InvalidArgument(StrFormat(
+            "%s equi-join compares a string column against a numeric one",
+            op_name));
+      }
+      if (node.predicate.has_value()) {
+        // Residual predicate slots index the *inner* table's columns.
+        ZDB_RETURN_NOT_OK(ValidatePredicate(*node.predicate, inner_types));
+      }
+      ZDB_RETURN_NOT_OK(ValidateTrueCardinality(node, db));
+      std::vector<DataType> types = child_types[0];
+      types.insert(types.end(), inner_types.begin(), inner_types.end());
+      return types;
+    }
+    case PhysicalOpType::kSort: {
+      ZDB_RETURN_NOT_OK(ValidateChildCount(node, 1));
+      if (node.sort_slots.empty()) {
+        return Status::InvalidArgument("Sort has no sort keys");
+      }
+      for (size_t slot : node.sort_slots) {
+        ZDB_RETURN_NOT_OK(
+            ValidateSlot(slot, child_types[0].size(), op_name, "sort key"));
+      }
+      ZDB_RETURN_NOT_OK(ValidateTrueCardinality(node, db));
+      return child_types[0];
+    }
+    case PhysicalOpType::kHashAggregate:
+    case PhysicalOpType::kSimpleAggregate: {
+      ZDB_RETURN_NOT_OK(ValidateChildCount(node, 1));
+      if (node.type == PhysicalOpType::kHashAggregate &&
+          node.group_by_slots.empty()) {
+        return Status::InvalidArgument(
+            "HashAggregate has no group-by slots (use SimpleAggregate)");
+      }
+      if (node.type == PhysicalOpType::kSimpleAggregate &&
+          !node.group_by_slots.empty()) {
+        return Status::InvalidArgument(
+            "SimpleAggregate must not have group-by slots");
+      }
+      for (size_t slot : node.group_by_slots) {
+        ZDB_RETURN_NOT_OK(
+            ValidateSlot(slot, child_types[0].size(), op_name, "group-by"));
+      }
+      ZDB_RETURN_NOT_OK(ValidateAggregates(node, child_types[0]));
+      ZDB_RETURN_NOT_OK(ValidateTrueCardinality(node, db));
+      std::vector<DataType> types;
+      types.reserve(node.group_by_slots.size() + node.aggregates.size());
+      for (size_t slot : node.group_by_slots) {
+        types.push_back(child_types[0][slot]);
+      }
+      // Aggregate results are synthetic numeric columns.
+      for (size_t i = 0; i < node.aggregates.size(); ++i) {
+        types.push_back(DataType::kDouble);
+      }
+      return types;
+    }
+  }
+  return Status::Internal(StrFormat("unknown operator kind %d",
+                                    static_cast<int>(node.type)));
+}
+
+}  // namespace
+
+Status ValidatePredicate(const Predicate& predicate,
+                         const std::vector<DataType>& slot_types) {
+  switch (predicate.kind()) {
+    case Predicate::Kind::kCompare: {
+      if (predicate.slot() >= slot_types.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "predicate slot %zu out of range (schema has %zu slots)",
+            predicate.slot(), slot_types.size()));
+      }
+      if (std::isnan(predicate.literal())) {
+        return Status::InvalidArgument(
+            StrFormat("predicate on slot %zu compares against NaN",
+                      predicate.slot()));
+      }
+      if (slot_types[predicate.slot()] == DataType::kString &&
+          predicate.op() != CompareOp::kEq &&
+          predicate.op() != CompareOp::kNe) {
+        return Status::InvalidArgument(StrFormat(
+            "predicate applies range operator %s to dictionary-encoded "
+            "string slot %zu",
+            CompareOpName(predicate.op()), predicate.slot()));
+      }
+      return Status::OK();
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      if (predicate.children().empty()) {
+        return Status::InvalidArgument(
+            "AND/OR predicate must have at least one child");
+      }
+      for (const Predicate& child : predicate.children()) {
+        ZDB_RETURN_NOT_OK(ValidatePredicate(child, slot_types));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+Status ValidatePlan(const PhysicalNode& root, const storage::Database& db) {
+  return ValidateNode(root, db).status();
+}
+
+Status ValidatePlan(const PhysicalPlan& plan, const storage::Database& db) {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("physical plan has no root node");
+  }
+  return ValidatePlan(*plan.root, db);
+}
+
+}  // namespace zerodb::plan

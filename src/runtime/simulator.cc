@@ -86,6 +86,9 @@ double RuntimeSimulator::PlanMs(const plan::PhysicalPlan& plan,
     total += OperatorMs(node.type, result.StatsFor(node),
                         node.aggregates.size());
   });
+  // Ground-truth runtimes feed straight into training targets; a NaN or a
+  // negative runtime here would corrupt every model trained on the record.
+  ZDB_DCHECK(std::isfinite(total) && total >= 0.0);
   return total;
 }
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "nn/lr_schedule.h"
 #include "nn/optimizer.h"
+#include "nn/validate.h"
 #include "obs/metrics.h"
 
 namespace zerodb::train {
@@ -87,14 +88,20 @@ TrainResult TrainModel(models::NeuralCostModel* model,
       std::vector<const QueryRecord*> batch(training.begin() + start,
                                             training.begin() + end);
       nn::Tensor loss = model->LossOnBatch(batch, /*training=*/true, &rng);
+      ZDB_DCHECK_OK(
+          nn::ValidateShape(loss, 1, 1, "trainer forward: batch loss"));
+      ZDB_DCHECK_OK(nn::ValidateFinite(loss, "trainer forward: batch loss"));
       optimizer.ZeroGrad();
       loss.Backward();
+      ZDB_DCHECK_OK(nn::ValidateFiniteGradients(model->Parameters(),
+                                                "trainer backward"));
       grad_norm_sum += optimizer.ClipGradNorm(options.grad_clip_norm);
       optimizer.Step();
       epoch_loss += loss.item();
       ++batches;
     }
-    result.final_train_loss = epoch_loss / std::max<size_t>(batches, 1);
+    result.final_train_loss =
+        epoch_loss / static_cast<double>(std::max<size_t>(batches, 1));
     result.epochs_run = epoch + 1;
     epochs_counter->Add(1);
     batches_counter->Add(static_cast<int64_t>(batches));
@@ -111,7 +118,8 @@ TrainResult TrainModel(models::NeuralCostModel* model,
     stat.train_loss = result.final_train_loss;
     stat.val_loss = val_loss;
     stat.learning_rate = learning_rate;
-    stat.grad_norm = grad_norm_sum / std::max<size_t>(batches, 1);
+    stat.grad_norm =
+        grad_norm_sum / static_cast<double>(std::max<size_t>(batches, 1));
     result.history.push_back(stat);
     if (options.telemetry != nullptr) {
       // The sink controls its own logging (log_epochs).
