@@ -88,7 +88,8 @@ int main() {
               result.baseline_total_ms /
                   std::max(result.final_total_ms, 1e-9));
 
-  // Verify by actually creating the chosen indexes.
+  // Verify by actually creating the chosen indexes. AlreadyExists is fine
+  // here (the advisor may pick a column that already has one); ignore it.
   for (const auto& index : result.chosen) {
     (void)imdb.db->CreateIndex(index.table, index.column);
   }

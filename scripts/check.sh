@@ -1,20 +1,52 @@
 #!/usr/bin/env bash
-# Sanitized build + test run. Usage:
-#   scripts/check.sh            # address sanitizer (default)
-#   scripts/check.sh thread     # thread sanitizer
+# Lint + sanitized build + test runs. Usage:
+#   scripts/check.sh            # zerodb-lint, then ASan AND TSan runs
+#   scripts/check.sh address    # one sanitizer: address
+#   scripts/check.sh thread     # one sanitizer: thread (TSan)
 #   scripts/check.sh undefined  # UBSan, -fno-sanitize-recover (UB aborts)
+#   scripts/check.sh all        # address + thread + undefined
 #   scripts/check.sh ""         # plain build, no sanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZER="${1-address}"
-BUILD_DIR="build-check${SANITIZER:+-$SANITIZER}"
+# Repo-invariant lint gates every check run (fails on violations; only
+# skipped when python3 itself is missing).
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/zerodb_lint.py --self-test
+  python3 scripts/zerodb_lint.py
+else
+  echo "check.sh: zerodb-lint SKIPPED (python3 not installed)" >&2
+fi
 
-# Release here is the repo's own -O2 -g *without* NDEBUG (see CMakeLists):
-# the debug-time plan/tensor validators stay live, so every sanitized test
-# run is also an invariant-verification run.
-cmake -B "$BUILD_DIR" -S . -DZERODB_SANITIZE="$SANITIZER" \
-  -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+run_one() {
+  local sanitizer="$1"
+  local build_dir="build-check${sanitizer:+-$sanitizer}"
+  # Release here is the repo's own -O2 -g *without* NDEBUG (see CMakeLists):
+  # the debug-time plan/tensor validators stay live, so every sanitized test
+  # run is also an invariant-verification run.
+  cmake -B "$build_dir" -S . -DZERODB_SANITIZE="$sanitizer" \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j "$(nproc)"
+  # Sanitizers slow tests 10-20x (TSan especially); ctest's default 600 s
+  # per-test timeout is calibrated for plain builds, so raise it here.
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+    --timeout 2400
+}
+
+case "${1-__default__}" in
+  __default__)
+    # The default covers memory errors AND data races: the concurrency
+    # layer (common/sync, obs) must stay TSan-clean, not just ASan-clean.
+    run_one address
+    run_one thread
+    ;;
+  all)
+    run_one address
+    run_one thread
+    run_one undefined
+    ;;
+  *)
+    run_one "$1"
+    ;;
+esac

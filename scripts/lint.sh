@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Static-analysis runner. Usage:
-#   scripts/lint.sh             # clang-tidy over all of src/ (.clang-tidy config)
+#   scripts/lint.sh             # zerodb-lint + clang-tidy over src/
 #   scripts/lint.sh --format    # clang-format verify-only pass (no rewrites)
-#   scripts/lint.sh src/nn      # clang-tidy over one subtree
+#   scripts/lint.sh src/nn      # zerodb-lint + clang-tidy over one subtree
 #
-# Exits non-zero on any finding. When the required tool is not installed
-# (e.g. minimal containers that only ship gcc), prints a SKIPPED notice and
-# exits 0 so the rest of the verification pipeline (`-Werror` build, UBSan,
-# debug validators) still gates the tree; CI installs the tools and runs the
-# real thing.
+# Exits non-zero on any finding. When an *optional external* tool is not
+# installed (clang-tidy/clang-format in minimal containers that only ship
+# gcc), prints a SKIPPED notice and exits 0 so the rest of the verification
+# pipeline (`-Werror` build, UBSan, debug validators) still gates the tree;
+# CI installs the tools and runs the real thing. zerodb_lint.py is NOT
+# optional: it needs only python3, and findings always fail the run.
+#
+# scripts/lint_fixtures/ (known-bad zerodb-lint snippets) is exempt from
+# tidy and format: the tidy/format file globs below cover only
+# src/tests/bench/examples, and the fixture directory carries its own
+# .clang-tidy disabling every check.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,6 +48,18 @@ if [[ "${1-}" == "--format" ]]; then
   "$FORMATTER" --dry-run --Werror "${files[@]}"
   echo "lint.sh: formatting clean"
   exit 0
+fi
+
+# --- zerodb-lint: repo invariants (raw-mutex, stdout-io, naked-new,
+# discarded-status, include-hygiene). Self-test first so a broken linter
+# can't silently pass the tree.
+if command -v python3 > /dev/null 2>&1; then
+  echo "lint.sh: zerodb-lint self-test"
+  python3 scripts/zerodb_lint.py --self-test
+  echo "lint.sh: zerodb-lint tree scan"
+  python3 scripts/zerodb_lint.py
+else
+  echo "lint.sh: zerodb-lint SKIPPED (python3 not installed)" >&2
 fi
 
 if ! TIDY="$(find_tool clang-tidy)"; then

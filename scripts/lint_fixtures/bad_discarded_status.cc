@@ -1,0 +1,22 @@
+// Fixture: (void)-discarding a [[nodiscard]] call with no justification.
+// Correct code handles the Status, wraps it in ZDB_CHECK_OK, or casts to
+// void with a nearby comment saying why ignoring the error is sound.
+
+namespace fixture {
+
+struct [[nodiscard]] Status {
+  bool ok = true;
+};
+
+Status DoWork();
+Status Cleanup();
+
+void Run() {
+  (void)DoWork();  // expect-lint: discarded-status
+
+  // Best-effort teardown: the object is going away either way, and there
+  // is no caller to report to — a justified discard is not flagged.
+  (void)Cleanup();
+}
+
+}  // namespace fixture

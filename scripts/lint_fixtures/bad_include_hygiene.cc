@@ -1,0 +1,20 @@
+// Fixture: uses thread-safety annotation macros and the annotated sync
+// types without directly including common/thread_annotations.h or
+// common/sync.h. Transitive includes don't count for locking primitives:
+// the contract must be visible in the file that states it.
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    MutexLock lock(&mu_);  // expect-lint: include-hygiene
+    total_ += delta;
+  }
+
+ private:
+  Mutex mu_;
+  int total_ ZDB_GUARDED_BY(mu_) = 0;  // expect-lint: include-hygiene
+};
+
+}  // namespace fixture

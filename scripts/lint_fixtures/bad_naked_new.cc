@@ -1,0 +1,28 @@
+// Fixture: `new` without immediate smart-pointer ownership. Correct code
+// uses std::make_unique, or the `static X* x = new X` leak-singleton idiom
+// for process-lifetime objects, or a suppression with a reason.
+#include <memory>
+
+namespace fixture {
+
+struct Node {
+  int value = 0;
+};
+
+Node* Make() {
+  return new Node();  // expect-lint: naked-new
+}
+
+void Ok() {
+  auto owned = std::unique_ptr<Node>(new Node());  // owned: not flagged
+  auto made = std::make_unique<Node>();
+  static Node* singleton = new Node();  // leak-singleton idiom: not flagged
+  // zerodb-lint: allow(naked-new) — exercising the suppression path.
+  Node* suppressed = new Node();
+  delete suppressed;
+  (void)owned;  // keep -Wunused quiet in fixture-land
+  (void)made;
+  (void)singleton;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: raw standard-library sync primitives outside src/common/sync.
+// Correct code uses zerodb::Mutex / MutexLock / CondVar (common/sync.h).
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Queue {
+ public:
+  void Push() {
+    std::lock_guard<std::mutex> lock(mu_);  // expect-lint: raw-mutex
+    cv_.notify_one();
+  }
+
+  void Pop() {
+    std::unique_lock<std::mutex> lock(mu_);  // expect-lint: raw-mutex
+    cv_.wait(lock);
+  }
+
+ private:
+  std::mutex mu_;               // expect-lint: raw-mutex
+  std::condition_variable cv_;  // expect-lint: raw-mutex
+};
+
+}  // namespace fixture

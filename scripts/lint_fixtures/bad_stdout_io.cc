@@ -1,0 +1,21 @@
+// Fixture: direct stdout/stderr I/O in library code. Correct code logs
+// through ZDB_LOG so sink redirection, levels and line atomicity hold.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void Report(int rows) {
+  std::cout << "rows=" << rows << "\n";     // expect-lint: stdout-io
+  std::cerr << "done\n";                    // expect-lint: stdout-io
+  printf("rows=%d\n", rows);                // expect-lint: stdout-io
+  fprintf(stderr, "rows=%d\n", rows);       // expect-lint: stdout-io
+  // snprintf formats into a buffer — not output, must NOT be flagged:
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%d", rows);
+  // Mentioning std::cout in a comment or "printf(" in a string is fine:
+  const char* s = "printf(";
+  (void)s;  // silence unused warning; string content must not be linted
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Fixture: fully conformant locking code — zero findings expected. This
+// pins the linter's precision: every rule must stay quiet here.
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sync.h"
+
+namespace fixture {
+
+class EventLog {
+ public:
+  void Append(int event) {
+    MutexLock lock(&mu_);
+    events_.push_back(event);
+    if (events_.size() % 1000 == 0) {
+      ZDB_LOG(Info) << "events: " << events_.size();
+    }
+  }
+
+  bool WaitNonEmpty(double timeout_ms) {
+    MutexLock lock(&mu_);
+    while (events_.empty()) {
+      if (!cv_.WaitFor(&mu_, timeout_ms)) return false;
+    }
+    return true;
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<int> events_ ZDB_GUARDED_BY(mu_);
+};
+
+EventLog* GlobalLog() {
+  // Process-lifetime singleton, deliberately leaked (destruction-order
+  // safety); `static ... = new` is the sanctioned idiom.
+  static EventLog* log = new EventLog();
+  return log;
+}
+
+}  // namespace fixture

@@ -18,6 +18,9 @@ class CheckFailureStream {
             << " ";
   }
   [[noreturn]] ~CheckFailureStream() {
+    // The process is aborting: write straight to stderr, bypassing the log
+    // sink (whose machinery may be the broken invariant).
+    // zerodb-lint: allow(stdout-io)
     std::cerr << stream_.str() << std::endl;
     std::abort();
   }

@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace zerodb {
 
@@ -14,14 +15,22 @@ std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
 // Guards sink emission AND sink replacement, so a line in flight can never
 // race with SetLogSink or interleave with another thread's line.
-std::mutex& SinkMutex() {
-  static std::mutex* mutex = new std::mutex();
-  return *mutex;
-}
+// Constexpr-constructed, so it is usable from static initializers of other
+// translation units.
+Mutex g_sink_mutex;
 
-LogSink& SinkSlot() {
-  static LogSink* sink = new LogSink();
-  return *sink;
+// The installed sink. Lazily heap-allocated and intentionally never freed
+// so threads logging during static destruction cannot touch a destroyed
+// std::function.
+LogSink* g_sink ZDB_GUARDED_BY(g_sink_mutex)
+    ZDB_PT_GUARDED_BY(g_sink_mutex) = nullptr;
+
+LogSink& SinkSlot() ZDB_REQUIRES(g_sink_mutex) {
+  if (g_sink == nullptr) {
+    // zerodb-lint: allow(naked-new) — intentional leak, see comment above.
+    g_sink = new LogSink();
+  }
+  return *g_sink;
 }
 
 const char* LevelTag(LogLevel level) {
@@ -60,18 +69,18 @@ void FormatTimestamp(char* buf, size_t size) {
   // The modulo bounds let the compiler prove the fixed field widths, so the
   // formatted length is provably < 32 bytes (-Wformat-truncation under
   // -Werror needs the proof; the values never actually wrap).
-  std::snprintf(buf, size, "%04u-%02u-%02uT%02u:%02u:%02u.%03uZ",
-                static_cast<unsigned>(utc.tm_year + 1900) % 10000u,
-                static_cast<unsigned>(utc.tm_mon + 1) % 100u,
-                static_cast<unsigned>(utc.tm_mday) % 100u,
-                static_cast<unsigned>(utc.tm_hour) % 100u,
-                static_cast<unsigned>(utc.tm_min) % 100u,
-                static_cast<unsigned>(utc.tm_sec) % 100u,
-                static_cast<unsigned>(millis) % 1000u);
+  (void)std::snprintf(buf, size, "%04u-%02u-%02uT%02u:%02u:%02u.%03uZ",
+                      static_cast<unsigned>(utc.tm_year + 1900) % 10000u,
+                      static_cast<unsigned>(utc.tm_mon + 1) % 100u,
+                      static_cast<unsigned>(utc.tm_mday) % 100u,
+                      static_cast<unsigned>(utc.tm_hour) % 100u,
+                      static_cast<unsigned>(utc.tm_min) % 100u,
+                      static_cast<unsigned>(utc.tm_sec) % 100u,
+                      static_cast<unsigned>(millis) % 1000u);
 }
 
 void Emit(const std::string& line) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(&g_sink_mutex);
   LogSink& sink = SinkSlot();
   if (sink) {
     sink(line);
@@ -79,8 +88,10 @@ void Emit(const std::string& line) {
   }
   std::string with_newline = line;
   with_newline.push_back('\n');
-  std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
-  std::fflush(stderr);
+  // Best-effort: a full stderr pipe must not take the process down
+  // with it, and there is nowhere left to report a write failure to.
+  (void)std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
+  (void)std::fflush(stderr);
 }
 
 }  // namespace
@@ -90,7 +101,7 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(&g_sink_mutex);
   SinkSlot() = std::move(sink);
 }
 

@@ -27,7 +27,12 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error result for operations with no payload.
-class Status {
+///
+/// [[nodiscard]] on the class makes silently dropping any returned Status a
+/// compile error tree-wide (-Werror): handle it, ZDB_CHECK_OK it, or cast
+/// to void with a comment saying why the discard is sound
+/// (scripts/zerodb_lint.py rule discarded-status audits the casts).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -76,8 +81,10 @@ class Status {
 
 /// Holds either a value of type T or an error Status. Accessing the value of
 /// an errored StatusOr aborts (programming error), matching absl::StatusOr.
+/// [[nodiscard]] for the same reason as Status: an ignored StatusOr is an
+/// ignored error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value / from error, so `return value;` and
   /// `return Status::...;` both work inside functions returning StatusOr<T>.

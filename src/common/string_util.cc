@@ -40,7 +40,9 @@ std::string StrFormat(const char* format, ...) {
   std::string result;
   if (needed > 0) {
     result.resize(static_cast<size_t>(needed));
-    std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+    // Return value already known: the sizing pass above measured it.
+    (void)std::vsnprintf(result.data(), result.size() + 1, format,
+                         args_copy);
   }
   va_end(args_copy);
   return result;

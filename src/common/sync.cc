@@ -1,0 +1,30 @@
+#include "common/sync.h"
+
+#include <chrono>
+
+namespace zerodb {
+
+// The adopt/release dance hands the already-held std::mutex to a
+// std::unique_lock for the duration of the wait (std::condition_variable's
+// required lock form) without a second acquisition, then detaches so the
+// caller's MutexLock remains the owner.
+
+void CondVar::Wait(Mutex* mu) {
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::WaitFor(Mutex* mu, double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const std::cv_status status =
+      cv_.wait_for(lock, std::chrono::duration<double, std::milli>(timeout_ms));
+  lock.release();
+  return status == std::cv_status::no_timeout;
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace zerodb

@@ -1,0 +1,77 @@
+#ifndef ZERODB_COMMON_THREAD_ANNOTATIONS_H_
+#define ZERODB_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes behind ZDB_ macros, so locking
+/// contracts are stated in code and checked at compile time wherever the
+/// tree builds with clang (-Wthread-safety -Wthread-safety-beta, promoted
+/// to errors under -Werror; see the thread-safety-clang CI job). Under GCC
+/// the macros expand to nothing and only document intent.
+///
+/// Usage rules (see DESIGN.md "Concurrency discipline"):
+///  - every member a lock protects is tagged ZDB_GUARDED_BY(mu_),
+///  - every private helper expecting the lock held is tagged
+///    ZDB_REQUIRES(mu_),
+///  - public methods that take the lock themselves are tagged
+///    ZDB_EXCLUDES(mu_) when re-entry would deadlock.
+/// Use the annotated zerodb::Mutex / MutexLock / CondVar from
+/// common/sync.h — raw std::mutex outside src/common/sync is rejected by
+/// scripts/zerodb_lint.py (rule raw-mutex).
+
+#if defined(__clang__)
+#define ZDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ZDB_THREAD_ANNOTATION_(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define ZDB_CAPABILITY(x) ZDB_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases
+/// a capability.
+#define ZDB_SCOPED_CAPABILITY ZDB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data members: readable/writable only while holding `x`.
+#define ZDB_GUARDED_BY(x) ZDB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer members: the *pointee* is protected by `x` (the pointer itself
+/// is not).
+#define ZDB_PT_GUARDED_BY(x) ZDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function precondition: caller must hold the capability (exclusively /
+/// shared).
+#define ZDB_REQUIRES(...) \
+  ZDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ZDB_REQUIRES_SHARED(...) \
+  ZDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function precondition: caller must NOT hold the capability (the function
+/// acquires it itself; calling with it held would deadlock).
+#define ZDB_EXCLUDES(...) ZDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function effect: acquires / releases the capability.
+#define ZDB_ACQUIRE(...) \
+  ZDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ZDB_ACQUIRE_SHARED(...) \
+  ZDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define ZDB_RELEASE(...) \
+  ZDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ZDB_RELEASE_SHARED(...) \
+  ZDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function effect: acquires the capability when returning `ret`.
+#define ZDB_TRY_ACQUIRE(ret, ...) \
+  ZDB_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Runtime assertion (e.g. Mutex::AssertHeld) the analysis trusts.
+#define ZDB_ASSERT_CAPABILITY(x) \
+  ZDB_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define ZDB_RETURN_CAPABILITY(x) ZDB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis. Each use needs a comment saying why.
+#define ZDB_NO_THREAD_SAFETY_ANALYSIS \
+  ZDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // ZERODB_COMMON_THREAD_ANNOTATIONS_H_

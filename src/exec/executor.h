@@ -40,6 +40,15 @@ struct ExecutorOptions {
 /// OperatorStats and writes its true output cardinality into the plan node
 /// (`true_cardinality`), which is how "exact cardinality" featurization gets
 /// its inputs.
+///
+/// Thread-compatible, not thread-safe (DESIGN.md "Concurrency discipline"):
+/// one Executor serves one thread at a time — Execute mutates the plan in
+/// place and the options' tracer is thread-confined. Distinct Executor
+/// instances over the same (immutable) Database are safe concurrently: the
+/// shared MetricsRegistry is internally synchronized and the cached metric
+/// pointers below are written only in the constructor. A future parallel
+/// executor parallelizes *within* Execute (operator trees), keeping this
+/// external contract.
 class Executor {
  public:
   explicit Executor(const storage::Database* db,

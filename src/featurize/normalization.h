@@ -10,6 +10,12 @@ namespace zerodb::featurize {
 /// and applied at train and inference time. For the zero-shot model the fit
 /// spans all 19 training databases — the statistics themselves are
 /// database-independent aggregates.
+///
+/// Fit-then-freeze concurrency contract (DESIGN.md "Concurrency
+/// discipline"): Fit/Set are thread-compatible (single writer, before
+/// publication); after that, Apply and the accessors are safe from any
+/// number of threads because they only read the frozen statistics. Batched
+/// inference relies on this — no lock is needed, and none should be added.
 class FeatureNorm {
  public:
   FeatureNorm() = default;
@@ -33,7 +39,9 @@ class FeatureNorm {
   std::vector<float> std_;
 };
 
-/// Scalar standardization for the regression target (log runtime).
+/// Scalar standardization for the regression target (log runtime). Same
+/// fit-then-freeze contract as FeatureNorm: concurrent Normalize /
+/// Denormalize calls are safe once fitted.
 class TargetNorm {
  public:
   void Fit(const std::vector<double>& values);

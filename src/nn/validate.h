@@ -20,7 +20,8 @@ namespace zerodb::nn {
 
 /// The tensor handle refers to a node (defined()), and rows/cols match the
 /// value buffer.
-inline Status ValidateTensor(const Tensor& t, const char* context) {
+[[nodiscard]] inline Status ValidateTensor(const Tensor& t,
+                                           const char* context) {
   if (!t.defined()) {
     return Status::InvalidArgument(
         StrFormat("%s: tensor is undefined (null handle)", context));
@@ -34,8 +35,8 @@ inline Status ValidateTensor(const Tensor& t, const char* context) {
 }
 
 /// Exact shape agreement.
-inline Status ValidateShape(const Tensor& t, size_t rows, size_t cols,
-                            const char* context) {
+[[nodiscard]] inline Status ValidateShape(const Tensor& t, size_t rows,
+                                          size_t cols, const char* context) {
   ZDB_RETURN_NOT_OK(ValidateTensor(t, context));
   if (t.rows() != rows || t.cols() != cols) {
     return Status::InvalidArgument(
@@ -46,16 +47,18 @@ inline Status ValidateShape(const Tensor& t, size_t rows, size_t cols,
 }
 
 /// Same shape on both tensors (elementwise-op precondition).
-inline Status ValidateSameShape(const Tensor& a, const Tensor& b,
-                                const char* context) {
+[[nodiscard]] inline Status ValidateSameShape(const Tensor& a,
+                                              const Tensor& b,
+                                              const char* context) {
   ZDB_RETURN_NOT_OK(ValidateTensor(a, context));
   return ValidateShape(b, a.rows(), a.cols(), context);
 }
 
 /// Column count agreement: `t` feeds a consumer expecting `features`
 /// columns (e.g. a Linear layer's in_features).
-inline Status ValidateFeatureDim(const Tensor& t, size_t features,
-                                 const char* context) {
+[[nodiscard]] inline Status ValidateFeatureDim(const Tensor& t,
+                                               size_t features,
+                                               const char* context) {
   ZDB_RETURN_NOT_OK(ValidateTensor(t, context));
   if (t.cols() != features) {
     return Status::InvalidArgument(
@@ -66,7 +69,8 @@ inline Status ValidateFeatureDim(const Tensor& t, size_t features,
 }
 
 /// No NaN/Inf anywhere in the values.
-inline Status ValidateFinite(const Tensor& t, const char* context) {
+[[nodiscard]] inline Status ValidateFinite(const Tensor& t,
+                                           const char* context) {
   ZDB_RETURN_NOT_OK(ValidateTensor(t, context));
   const std::vector<float>& values = t.data();
   for (size_t i = 0; i < values.size(); ++i) {
@@ -81,8 +85,8 @@ inline Status ValidateFinite(const Tensor& t, const char* context) {
 
 /// No NaN/Inf anywhere in the gradient buffers of `params` (post-backward
 /// guard: one exploding batch otherwise corrupts the weights for good).
-inline Status ValidateFiniteGradients(const std::vector<Tensor>& params,
-                                      const char* context) {
+[[nodiscard]] inline Status ValidateFiniteGradients(
+    const std::vector<Tensor>& params, const char* context) {
   for (size_t p = 0; p < params.size(); ++p) {
     const std::vector<float>& grad = params[p].grad();
     for (size_t i = 0; i < grad.size(); ++i) {

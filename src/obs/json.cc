@@ -90,7 +90,8 @@ std::string JsonEscape(const std::string& text) {
       default:
         if (c < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          // Cannot truncate: 6 chars + NUL always fit in 8.
+          (void)std::snprintf(buf, sizeof(buf), "\\u%04x", c);
           out += buf;
         } else {
           out += static_cast<char>(c);
@@ -109,7 +110,8 @@ void AppendNumber(std::string* out, double value) {
     return;
   }
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Cannot truncate: %.17g of a finite double is at most 24 chars.
+  (void)std::snprintf(buf, sizeof(buf), "%.17g", value);
   // Ensure the token re-parses as a double (keep a '.', 'e' or similar).
   if (std::strpbrk(buf, ".eEnN") == nullptr) std::strcat(buf, ".0");
   *out += buf;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/sync.h"
 
 namespace zerodb::obs {
 
@@ -139,7 +140,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& entry : counters_) {
     if (entry.name == name) return entry.metric.get();
   }
@@ -149,7 +150,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& entry : gauges_) {
     if (entry.name == name) return entry.metric.get();
   }
@@ -159,7 +160,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& entry : histograms_) {
     if (entry.name == name) return entry.metric.get();
   }
@@ -170,7 +171,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 JsonValue MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto sorted_names = [](const auto& entries) {
     std::vector<size_t> order(entries.size());
     for (size_t i = 0; i < entries.size(); ++i) order[i] = i;

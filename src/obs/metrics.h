@@ -5,10 +5,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace zerodb::obs {
@@ -117,16 +118,16 @@ class MetricsRegistry {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) ZDB_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) ZDB_EXCLUDES(mu_);
   /// `bounds` applies only on first creation; empty = default exponential
   /// microsecond bounds.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bounds = {});
+                          std::vector<double> bounds = {}) ZDB_EXCLUDES(mu_);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
   /// sorted for stable artifacts.
-  JsonValue ToJson() const;
+  JsonValue ToJson() const ZDB_EXCLUDES(mu_);
 
  private:
   template <typename T>
@@ -136,10 +137,13 @@ class MetricsRegistry {
   };
 
   std::atomic<bool> enabled_;
-  mutable std::mutex mu_;
-  std::vector<Entry<Counter>> counters_;
-  std::vector<Entry<Gauge>> gauges_;
-  std::vector<Entry<Histogram>> histograms_;
+  // Guards the name→metric maps only. The metric objects themselves are
+  // lock-free (atomics); Get* hands out stable pointers that outlive the
+  // lock because entries are never erased and the metrics are heap-owned.
+  mutable Mutex mu_;
+  std::vector<Entry<Counter>> counters_ ZDB_GUARDED_BY(mu_);
+  std::vector<Entry<Gauge>> gauges_ ZDB_GUARDED_BY(mu_);
+  std::vector<Entry<Histogram>> histograms_ ZDB_GUARDED_BY(mu_);
 };
 
 /// RAII wall-clock timer: records the scope's duration (microseconds) into

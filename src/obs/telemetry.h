@@ -21,6 +21,10 @@ struct EpochStat {
 /// Sink for per-epoch training telemetry. The trainer appends one EpochStat
 /// per epoch; with `log_epochs` the sink also emits an info log line per
 /// epoch — the structured replacement for the old `verbose` prints.
+///
+/// Thread-compatible: owned by the single training thread that feeds it
+/// (DESIGN.md "Concurrency discipline"); epochs_ becomes ZDB_GUARDED_BY a
+/// mutex if trainers ever share a sink.
 class TrainTelemetry {
  public:
   explicit TrainTelemetry(std::string run_name = "train",

@@ -37,10 +37,15 @@ struct Span {
   static StatusOr<Span> FromJson(const JsonValue& value);
 };
 
-/// Records a tree of spans for one (or several) query executions. Not
-/// thread-safe: a tracer belongs to one executing thread, mirroring the
-/// executor's single-threaded plan walk. Pass nullptr wherever a tracer is
-/// accepted to disable tracing entirely.
+/// Records a tree of spans for one (or several) query executions.
+///
+/// Thread-compatible, not thread-safe (DESIGN.md "Concurrency discipline"):
+/// a tracer is confined to one executing thread, mirroring the executor's
+/// single-threaded plan walk — concurrent executions each own a tracer
+/// (tests/sync_test.cc stresses exactly that confinement under TSan). When
+/// the parallel executor lands, roots_/open_/start_times_ become
+/// ZDB_GUARDED_BY a tracer mutex or stay per-worker and merge on join.
+/// Pass nullptr wherever a tracer is accepted to disable tracing entirely.
 class QueryTracer {
  public:
   QueryTracer() = default;

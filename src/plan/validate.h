@@ -26,17 +26,20 @@ namespace zerodb::plan {
 ///    bounds — a Filter never outputs more rows than its input, Sort
 ///    preserves cardinality, SimpleAggregate emits exactly one row, a join
 ///    emits at most the cross product, a scan at most the table.
-Status ValidatePlan(const PhysicalNode& root, const storage::Database& db);
+[[nodiscard]] Status ValidatePlan(const PhysicalNode& root,
+                                  const storage::Database& db);
 
 /// Convenience overload; fails if the plan has no root.
-Status ValidatePlan(const PhysicalPlan& plan, const storage::Database& db);
+[[nodiscard]] Status ValidatePlan(const PhysicalPlan& plan,
+                                  const storage::Database& db);
 
 /// Validates a predicate tree against an input schema given as per-slot
 /// column types (kCompare leaves must reference valid slots, string slots
 /// only with kEq/kNe, literals must not be NaN; kAnd/kOr need children).
 /// Exposed for reuse by featurizers and tests.
-Status ValidatePredicate(const Predicate& predicate,
-                         const std::vector<catalog::DataType>& slot_types);
+[[nodiscard]] Status ValidatePredicate(
+    const Predicate& predicate,
+    const std::vector<catalog::DataType>& slot_types);
 
 }  // namespace zerodb::plan
 

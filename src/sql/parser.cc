@@ -44,6 +44,7 @@ class Parser {
       ZDB_RETURN_NOT_OK(ExpectKeyword("by"));
       ZDB_RETURN_NOT_OK(ParseGroupBy());
     }
+    // Trailing semicolon is optional; absence is not an error.
     (void)Accept(TokenType::kSemicolon);
     if (Peek().type != TokenType::kEnd) {
       return ErrorHere("trailing input");

@@ -45,6 +45,12 @@ struct TrainResult {
 
 /// Mini-batch Adam training with validation-based early stopping and
 /// best-weights restoration — the standard recipe the paper's models use.
+///
+/// Thread-compatible, not thread-safe (DESIGN.md "Concurrency discipline"):
+/// the model, the records and the telemetry sink must not be touched by
+/// other threads for the duration of the call. Training runs over disjoint
+/// models are safe concurrently (logging and the global metrics registry,
+/// the only shared state reached from here, are thread-safe).
 TrainResult TrainModel(models::NeuralCostModel* model,
                        const std::vector<const QueryRecord*>& records,
                        const TrainerOptions& options = TrainerOptions());

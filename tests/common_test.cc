@@ -1,12 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <mutex>
 #include <regex>
 #include <set>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -258,7 +258,7 @@ class LogCapture {
     previous_level_ = GetLogLevel();
     SetLogLevel(LogLevel::kDebug);
     SetLogSink([this](const std::string& line) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       lines_.push_back(line);
     });
   }
@@ -268,14 +268,14 @@ class LogCapture {
   }
 
   std::vector<std::string> lines() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return lines_;
   }
 
  private:
   LogLevel previous_level_;
-  std::mutex mu_;
-  std::vector<std::string> lines_;
+  Mutex mu_;
+  std::vector<std::string> lines_ ZDB_GUARDED_BY(mu_);
 };
 
 TEST(LoggingTest, PrefixFormat) {

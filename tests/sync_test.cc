@@ -1,0 +1,250 @@
+// Semantics of the annotated sync primitives (common/sync.h) plus
+// multi-threaded stress on the classes the concurrency layer migrated:
+// MetricsRegistry (thread-safe, shared across 8 threads) and QueryTracer
+// (thread-compatible, one per thread). Run under ZERODB_SANITIZE=thread
+// (scripts/check.sh thread) these tests prove the migration kept the
+// annotated state race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zerodb {
+namespace {
+
+TEST(MutexTest, LockUnlockRoundTrip) {
+  Mutex mu;
+  mu.Lock();
+  mu.AssertHeld();
+  mu.Unlock();
+  // Relockable after Unlock (a recursive attempt would deadlock instead).
+  mu.Lock();
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  // Branch directly on TryLock(): that is the pattern clang's try-acquire
+  // analysis tracks (and the style the tree should copy).
+  Mutex mu;
+  if (!mu.TryLock()) {
+    FAIL() << "TryLock on an uncontended mutex must succeed";
+    return;
+  }
+  // A second owner must be refused while we hold it. (TryLock on the same
+  // thread is UB for std::mutex, so probe from another thread.)
+  bool acquired = false;
+  std::thread probe([&mu, &acquired] {
+    if (mu.TryLock()) {
+      mu.Unlock();
+      acquired = true;
+    }
+  });
+  probe.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+
+  std::thread probe_after([&mu, &acquired] {
+    if (mu.TryLock()) {
+      mu.Unlock();
+      acquired = true;
+    }
+  });
+  probe_after.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(MutexTest, MutexLockGuardsCriticalSection) {
+  // 8 writers x 10k increments on a ZDB_GUARDED_BY counter: any lost
+  // update (or TSan report) means MutexLock does not actually exclude.
+  struct Guarded {
+    Mutex mu;
+    int64_t value ZDB_GUARDED_BY(mu) = 0;
+  } state;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&state] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&state.mu);
+        ++state.value;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  MutexLock lock(&state.mu);
+  EXPECT_EQ(state.value, int64_t{kThreads} * kIncrements);
+}
+
+TEST(CondVarTest, NotifyWakesWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();  // completes only if the wakeup arrived
+  MutexLock lock(&mu);
+  EXPECT_TRUE(ready);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.WaitFor(&mu, /*timeout_ms=*/5.0));
+}
+
+TEST(CondVarTest, NotifyAllReleasesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woken = 0;
+  constexpr int kWaiters = 8;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++woken;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& waiter : waiters) waiter.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(woken, kWaiters);
+}
+
+TEST(CondVarTest, ProducerConsumerHandsOffInOrder) {
+  // Single-slot mailbox: producer publishes 1..N, consumer must read each
+  // exactly once, strictly ordered. Exercises Wait's release-reacquire on
+  // both sides.
+  Mutex mu;
+  CondVar cv;
+  int slot = 0;        // 0 = empty
+  int consumed = 0;    // last value consumed
+  constexpr int kItems = 1'000;
+  std::thread producer([&] {
+    for (int i = 1; i <= kItems; ++i) {
+      MutexLock lock(&mu);
+      while (slot != 0) cv.Wait(&mu);
+      slot = i;
+      cv.NotifyAll();
+    }
+  });
+  std::thread consumer([&] {
+    for (int i = 1; i <= kItems; ++i) {
+      MutexLock lock(&mu);
+      while (slot == 0) cv.Wait(&mu);
+      EXPECT_EQ(slot, consumed + 1);
+      consumed = slot;
+      slot = 0;
+      cv.NotifyAll();
+    }
+  });
+  producer.join();
+  consumer.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(consumed, kItems);
+}
+
+TEST(SyncStressTest, MetricsRegistrySharedAcrossEightThreads) {
+  // All threads hammer the SAME metric names, so Get* races on the name
+  // map and the writes race on the metric internals — exactly what the
+  // ZDB_GUARDED_BY(mu_) map plus lock-free metric atomics must absorb.
+  // One thread concurrently exports ToJson to race reads against writes.
+  obs::MetricsRegistry registry(/*enabled=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5'000;
+  std::atomic<bool> stop{false};
+  std::thread exporter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.ToJson();  // result discarded: racing, not asserting
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kOps; ++i) {
+        registry.GetCounter("stress.ops")->Add(1);
+        registry.GetGauge("stress.level")->Set(static_cast<double>(t));
+        registry.GetHistogram("stress.latency_us")
+            ->Observe(static_cast<double>(i % 100));
+        // A name unique to this thread interleaves map growth with the
+        // shared-name lookups above.
+        registry.GetCounter("stress.thread." + std::to_string(t))->Add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  exporter.join();
+
+  EXPECT_EQ(registry.GetCounter("stress.ops")->value(),
+            int64_t{kThreads} * kOps);
+  EXPECT_EQ(registry.GetHistogram("stress.latency_us")->count(),
+            int64_t{kThreads} * kOps);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.GetCounter("stress.thread." + std::to_string(t))
+                  ->value(),
+              kOps);
+  }
+}
+
+TEST(SyncStressTest, ThreadConfinedTracersWithSharedRegistry) {
+  // The documented discipline for thread-compatible classes: one
+  // QueryTracer per thread (no sharing), while all threads report to one
+  // thread-safe MetricsRegistry. TSan verifies the confinement claim.
+  obs::MetricsRegistry registry(/*enabled=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kQueries = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::vector<size_t> span_counts(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &span_counts, t] {
+      obs::QueryTracer tracer;  // thread-confined
+      for (int q = 0; q < kQueries; ++q) {
+        obs::Span* root = tracer.BeginSpan("query");
+        root->AddAttribute("thread", static_cast<double>(t));
+        tracer.BeginSpan("scan");
+        registry.GetCounter("trace.spans")->Add(2);
+        tracer.EndSpan();
+        tracer.EndSpan();
+      }
+      size_t spans = 0;
+      for (const obs::Span& root : tracer.roots()) {
+        spans += root.TreeSize();
+      }
+      span_counts[static_cast<size_t>(t)] = spans;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(span_counts[static_cast<size_t>(t)], size_t{2} * kQueries);
+  }
+  EXPECT_EQ(registry.GetCounter("trace.spans")->value(),
+            int64_t{2} * kThreads * kQueries);
+}
+
+}  // namespace
+}  // namespace zerodb
