@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "datagen/corpus.h"
 #include "exec/executor.h"
 #include "models/e2e_model.h"
@@ -33,22 +34,46 @@ struct BenchOptions {
   /// exit: global registry counters/histograms, a per-operator span tree of
   /// a sample query, and per-epoch loss curves of any model trained.
   std::string metrics_out;
+  /// Global-pool size (--threads=N). 0 keeps the default (ZERODB_THREADS
+  /// env, else hardware_concurrency).
+  size_t threads = 0;
 };
 
-/// Parses bench flags (currently --metrics_out=<path>), exiting with usage
-/// on unknown arguments. Requesting a metrics artifact enables the global
-/// MetricsRegistry so the instrumented layers start recording.
+/// Parses one --threads value and installs it as the global-pool size.
+/// Must run before the first ThreadPool::Global() use, i.e. before any
+/// corpus/collection/training work.
+inline size_t ApplyThreadsFlag(const std::string& value) {
+  size_t threads =
+      static_cast<size_t>(std::strtoul(value.c_str(), nullptr, 10));
+  if (threads == 0) {
+    std::fprintf(stderr, "invalid --threads value: %s\n", value.c_str());
+    std::exit(2);
+  }
+  ThreadPool::SetGlobalThreads(threads);
+  return threads;
+}
+
+/// Parses bench flags (--metrics_out=<path>, --threads=<N>), exiting with
+/// usage on unknown arguments. Requesting a metrics artifact enables the
+/// global MetricsRegistry so the instrumented layers start recording.
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions options;
   const std::string prefix = "--metrics_out=";
+  const std::string threads_prefix = "--threads=";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
       options.metrics_out = arg.substr(prefix.size());
     } else if (arg == "--metrics_out" && i + 1 < argc) {
       options.metrics_out = argv[++i];
+    } else if (arg.rfind(threads_prefix, 0) == 0) {
+      options.threads = ApplyThreadsFlag(arg.substr(threads_prefix.size()));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = ApplyThreadsFlag(argv[++i]);
     } else {
-      std::fprintf(stderr, "unknown argument: %s\nusage: %s [--metrics_out=<path>]\n",
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--metrics_out=<path>] "
+                   "[--threads=<N>]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }

@@ -50,6 +50,30 @@ MicroState& State() {
   return *state;
 }
 
+// The tentpole's headline number: the 19-database corpus pipeline on 1
+// vs 4 threads. Generation fans out per database onto a local pool, so the
+// serial/parallel pair shares nothing but the (bit-identical) output.
+void BM_CorpusGeneration(benchmark::State& state) {
+  SetLogLevel(LogLevel::kWarning);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  const size_t kDatabases = 8;
+  for (auto _ : state) {
+    auto corpus =
+        datagen::MakeTrainingCorpus(42, kDatabases, /*scale=*/0.05, pool.get());
+    benchmark::DoNotOptimize(corpus.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kDatabases));
+}
+BENCHMARK(BM_CorpusGeneration)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_HistogramBuild(benchmark::State& state) {
   Rng rng(1);
   std::vector<double> values(static_cast<size_t>(state.range(0)));
@@ -215,7 +239,8 @@ BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
 }  // namespace zerodb
 
 // Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags it
-// does not know, so --metrics_out is stripped from argv before Initialize.
+// does not know, so --metrics_out and --threads are stripped from argv
+// before Initialize.
 int main(int argc, char** argv) {
   zerodb::bench::BenchOptions options;
   std::vector<char*> passthrough;
@@ -226,6 +251,11 @@ int main(int argc, char** argv) {
       options.metrics_out = arg.substr(std::string("--metrics_out=").size());
     } else if (arg == "--metrics_out" && i + 1 < argc) {
       options.metrics_out = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = zerodb::bench::ApplyThreadsFlag(
+          arg.substr(std::string("--threads=").size()));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = zerodb::bench::ApplyThreadsFlag(argv[++i]);
     } else {
       passthrough.push_back(argv[i]);
     }

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Convert bench outputs into the repo-root BENCH_micro.json summary.
+
+Inputs
+  --micro <path>       google-benchmark JSON (bench_micro --benchmark_out=...)
+  --metrics name=path  a bench --metrics_out artifact to mine for pool.*
+                       utilization (repeatable)
+  --wall name=seconds  whole-bench wall-clock measured by the caller
+                       (repeatable)
+  --out <path>         where to write the summary (default BENCH_micro.json)
+  --commit <sha>       recorded verbatim (default $GITHUB_SHA, else "local")
+
+Output schema (schema_version 1), validated before writing — an invalid
+summary exits non-zero so CI fails instead of uploading garbage:
+
+  {
+    "schema_version": 1,
+    "commit": str,
+    "host": {"threads": int},
+    "benchmarks": [
+      {"name": str, "real_time_ms": float, "cpu_time_ms": float,
+       "iterations": int}            # median across repeated entries
+    ],
+    "speedups": {                    # serial-vs-parallel pairs, by family
+      "BM_CorpusGeneration": {"serial_ms": float, "parallel_ms": float,
+                               "threads": int, "speedup": float}
+    },
+    "wall_clock_s": {str: float},
+    "pool": {str: {"tasks_scheduled": int, "tasks_run": int,
+                    "parallel_for_calls": int,
+                    "steal_latency_us_p50": float | None}}
+  }
+
+The perf trajectory lives in this one committed file: CI regenerates it on
+every push and uploads it as an artifact, so regressions show up as diffs.
+"""
+
+import argparse
+import json
+import os
+import re
+import statistics
+import sys
+
+SCHEMA_VERSION = 1
+
+_TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def fail(message):
+    print(f"bench_summary: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot read {path}: {error}")
+
+
+def summarize_micro(micro):
+    """Median-aggregates google-benchmark entries by benchmark name."""
+    entries = micro.get("benchmarks")
+    if not isinstance(entries, list) or not entries:
+        fail("google-benchmark JSON has no 'benchmarks' entries")
+    by_name = {}
+    for entry in entries:
+        # Skip explicit aggregates (mean/median/stddev rows from
+        # --benchmark_repetitions); we aggregate iterations ourselves.
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name")
+        unit = entry.get("time_unit", "ns")
+        if name is None or unit not in _TIME_UNIT_TO_MS:
+            fail(f"malformed benchmark entry: {entry!r}")
+        scale = _TIME_UNIT_TO_MS[unit]
+        by_name.setdefault(name, []).append(
+            {
+                "real_time_ms": float(entry["real_time"]) * scale,
+                "cpu_time_ms": float(entry["cpu_time"]) * scale,
+                "iterations": int(entry.get("iterations", 0)),
+            }
+        )
+    benchmarks = []
+    for name in sorted(by_name):
+        runs = by_name[name]
+        benchmarks.append(
+            {
+                "name": name,
+                "real_time_ms": statistics.median(
+                    r["real_time_ms"] for r in runs
+                ),
+                "cpu_time_ms": statistics.median(
+                    r["cpu_time_ms"] for r in runs
+                ),
+                "iterations": max(r["iterations"] for r in runs),
+            }
+        )
+    return benchmarks
+
+
+def find_speedups(benchmarks):
+    """Pairs <family>/threads:1 with the largest <family>/threads:N."""
+    families = {}
+    pattern = re.compile(r"^(?P<family>[^/]+)/threads:(?P<threads>\d+)")
+    for bench in benchmarks:
+        match = pattern.match(bench["name"])
+        if not match:
+            continue
+        family = families.setdefault(match.group("family"), {})
+        family[int(match.group("threads"))] = bench["real_time_ms"]
+    speedups = {}
+    for family, by_threads in families.items():
+        if 1 not in by_threads or len(by_threads) < 2:
+            continue
+        parallel_threads = max(t for t in by_threads if t != 1)
+        serial_ms = by_threads[1]
+        parallel_ms = by_threads[parallel_threads]
+        speedups[family] = {
+            "serial_ms": serial_ms,
+            "parallel_ms": parallel_ms,
+            "threads": parallel_threads,
+            "speedup": serial_ms / parallel_ms if parallel_ms > 0 else 0.0,
+        }
+    return speedups
+
+
+def extract_pool_stats(artifact):
+    metrics = artifact.get("metrics", {})
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    steal = histograms.get("pool.steal_latency_us")
+    return {
+        "tasks_scheduled": int(counters.get("pool.tasks_scheduled", 0)),
+        "tasks_run": int(counters.get("pool.tasks_run", 0)),
+        "parallel_for_calls": int(counters.get("pool.parallel_for_calls", 0)),
+        "steal_latency_us_p50": (
+            float(steal["p50"]) if isinstance(steal, dict) else None
+        ),
+    }
+
+
+def validate(summary):
+    """Hand-rolled schema check (no external jsonschema dependency)."""
+
+    def expect(condition, what):
+        if not condition:
+            fail(f"schema violation: {what}")
+
+    expect(summary.get("schema_version") == SCHEMA_VERSION, "schema_version")
+    expect(isinstance(summary.get("commit"), str), "commit must be a string")
+    host = summary.get("host")
+    expect(
+        isinstance(host, dict) and isinstance(host.get("threads"), int),
+        "host.threads must be an int",
+    )
+    benchmarks = summary.get("benchmarks")
+    expect(
+        isinstance(benchmarks, list) and benchmarks,
+        "benchmarks must be a non-empty list",
+    )
+    for bench in benchmarks:
+        expect(isinstance(bench.get("name"), str), "benchmark name")
+        for key in ("real_time_ms", "cpu_time_ms"):
+            value = bench.get(key)
+            expect(
+                isinstance(value, (int, float)) and value >= 0,
+                f"{bench.get('name')}: {key}",
+            )
+        expect(
+            isinstance(bench.get("iterations"), int)
+            and bench["iterations"] >= 0,
+            f"{bench.get('name')}: iterations",
+        )
+    expect(isinstance(summary.get("speedups"), dict), "speedups must be a dict")
+    for family, pair in summary["speedups"].items():
+        for key in ("serial_ms", "parallel_ms", "speedup"):
+            expect(
+                isinstance(pair.get(key), (int, float)),
+                f"speedups.{family}.{key}",
+            )
+        expect(isinstance(pair.get("threads"), int), f"speedups.{family}.threads")
+    expect(
+        isinstance(summary.get("wall_clock_s"), dict),
+        "wall_clock_s must be a dict",
+    )
+    for name, seconds in summary["wall_clock_s"].items():
+        expect(
+            isinstance(seconds, (int, float)) and seconds >= 0,
+            f"wall_clock_s.{name}",
+        )
+    expect(isinstance(summary.get("pool"), dict), "pool must be a dict")
+
+
+def parse_pairs(pairs, value_type, flag):
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            fail(f"{flag} expects name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        try:
+            out[name] = value_type(value)
+        except ValueError:
+            fail(f"{flag} {name}: bad value {value!r}")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--micro", required=True)
+    parser.add_argument("--metrics", action="append", default=[])
+    parser.add_argument("--wall", action="append", default=[])
+    parser.add_argument("--out", default="BENCH_micro.json")
+    parser.add_argument(
+        "--commit", default=os.environ.get("GITHUB_SHA", "local")
+    )
+    args = parser.parse_args()
+
+    benchmarks = summarize_micro(load_json(args.micro))
+    pool = {
+        name: extract_pool_stats(load_json(path))
+        for name, path in parse_pairs(args.metrics, str, "--metrics").items()
+    }
+    summary = {
+        "schema_version": SCHEMA_VERSION,
+        "commit": args.commit,
+        "host": {"threads": os.cpu_count() or 1},
+        "benchmarks": benchmarks,
+        "speedups": find_speedups(benchmarks),
+        "wall_clock_s": parse_pairs(args.wall, float, "--wall"),
+        "pool": pool,
+    }
+    validate(summary)
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_summary: wrote {args.out}")
+    for family, pair in summary["speedups"].items():
+        print(
+            f"bench_summary: {family}: {pair['serial_ms']:.1f} ms serial vs "
+            f"{pair['parallel_ms']:.1f} ms at {pair['threads']} threads "
+            f"({pair['speedup']:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,13 @@ else
   echo "check.sh: zerodb-lint SKIPPED (python3 not installed)" >&2
 fi
 
+# Compiler cache when available (CI restores .ccache across runs; local
+# rebuilds of the three sanitizer trees benefit just as much).
+CCACHE_ARGS=()
+if command -v ccache > /dev/null 2>&1; then
+  CCACHE_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_one() {
   local sanitizer="$1"
   local build_dir="build-check${sanitizer:+-$sanitizer}"
@@ -26,10 +33,12 @@ run_one() {
   # the debug-time plan/tensor validators stay live, so every sanitized test
   # run is also an invariant-verification run.
   cmake -B "$build_dir" -S . -DZERODB_SANITIZE="$sanitizer" \
-    -DCMAKE_BUILD_TYPE=Release
+    -DCMAKE_BUILD_TYPE=Release "${CCACHE_ARGS[@]}"
   cmake --build "$build_dir" -j "$(nproc)"
   # Sanitizers slow tests 10-20x (TSan especially); ctest's default 600 s
   # per-test timeout is calibrated for plain builds, so raise it here.
+  # Multithreaded tests declare PROCESSORS (tests/CMakeLists.txt) so -j
+  # schedules by core budget instead of oversubscribing.
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
     --timeout 2400
 }

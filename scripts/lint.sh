@@ -50,8 +50,9 @@ if [[ "${1-}" == "--format" ]]; then
   exit 0
 fi
 
-# --- zerodb-lint: repo invariants (raw-mutex, stdout-io, naked-new,
-# discarded-status, include-hygiene). Self-test first so a broken linter
+# --- zerodb-lint: repo invariants (raw-mutex, raw-thread, stdout-io,
+# naked-new, discarded-status, include-hygiene). Self-test first so a broken
+# linter
 # can't silently pass the tree.
 if command -v python3 > /dev/null 2>&1; then
   echo "lint.sh: zerodb-lint self-test"

@@ -8,6 +8,11 @@ Rules (all suppressible on a given line — or the line above it — with
                     etc. anywhere outside src/common/sync.{h,cc}. Everything
                     locks through the annotated zerodb::Mutex wrappers so
                     clang's -Wthread-safety sees every acquisition.
+  raw-thread        std::thread / std::jthread / std::async / .detach()
+                    anywhere outside src/common/thread_pool.{h,cc}. Work
+                    fans out through zerodb::ThreadPool so pool metrics,
+                    shutdown draining and the determinism contracts stay
+                    centralized; detached threads are never acceptable.
   stdout-io         std::cout / std::cerr / printf-family in library code
                     (src/). Library output goes through ZDB_LOG so sinks,
                     levels and thread-atomic lines keep working. Tests,
@@ -56,6 +61,9 @@ RAW_MUTEX_RE = re.compile(
     r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+RAW_THREAD_RE = re.compile(
+    r"\bstd::(?:thread|jthread|async)\b|\.detach\s*\(\s*\)"
 )
 STDOUT_IO_RE = re.compile(
     r"std::cout|std::cerr|(?<![A-Za-z0-9_])(?:printf|fprintf|puts|fputs|"
@@ -180,6 +188,8 @@ def lint_file(path, as_library=None):
     in_fixture = rel.startswith(FIXTURE_DIR.replace(os.sep, "/"))
     library = as_library if as_library is not None else rel.startswith("src/")
     in_sync = rel in ("src/common/sync.h", "src/common/sync.cc")
+    in_thread_pool = rel in ("src/common/thread_pool.h",
+                             "src/common/thread_pool.cc")
     findings = []
 
     def report(idx, rule, message):
@@ -196,6 +206,11 @@ def lint_file(path, as_library=None):
             report(idx, "raw-mutex",
                    "raw std::mutex-family primitive; use the annotated "
                    "zerodb::Mutex/MutexLock/CondVar from common/sync.h")
+        if not in_thread_pool and RAW_THREAD_RE.search(line):
+            report(idx, "raw-thread",
+                   "raw std::thread/std::jthread/std::async/.detach(); "
+                   "schedule work on zerodb::ThreadPool "
+                   "(common/thread_pool.h)")
         if library and STDOUT_IO_RE.search(line):
             report(idx, "stdout-io",
                    "direct stdout/stderr I/O in library code; use ZDB_LOG "

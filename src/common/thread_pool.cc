@@ -1,0 +1,207 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace zerodb {
+
+namespace {
+
+// Pool telemetry (wired into every bench's --metrics_out artifact).
+// Function-local statics keep the registry name lookups off the hot path.
+struct PoolMetrics {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* tasks_scheduled = registry.GetCounter("pool.tasks_scheduled");
+  obs::Counter* tasks_run = registry.GetCounter("pool.tasks_run");
+  obs::Counter* parallel_for_calls =
+      registry.GetCounter("pool.parallel_for_calls");
+  obs::Counter* parallel_for_chunks =
+      registry.GetCounter("pool.parallel_for_chunks");
+  obs::Gauge* global_threads = registry.GetGauge("pool.global_threads");
+  /// Time a task sat in the shared queue before a worker picked ("stole")
+  /// it — the contention signal of the single-queue design.
+  obs::Histogram* steal_latency_us =
+      registry.GetHistogram("pool.steal_latency_us");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = new PoolMetrics();
+    return *metrics;
+  }
+};
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<size_t> g_global_threads_override{0};
+std::atomic<bool> g_global_pool_created{false};
+
+/// Global-pool size: SetGlobalThreads override > ZERODB_THREADS env >
+/// hardware_concurrency.
+size_t GlobalPoolSize() {
+  size_t override_threads =
+      g_global_threads_override.load(std::memory_order_relaxed);
+  if (override_threads > 0) return override_threads;
+  const char* env = std::getenv("ZERODB_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return 0;  // ThreadPool(0) → hardware_concurrency
+}
+
+}  // namespace
+
+void WaitGroup::Add(size_t n) {
+  MutexLock lock(&mu_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  MutexLock lock(&mu_);
+  ZDB_CHECK_GT(count_, 0u) << "WaitGroup::Done without matching Add";
+  if (--count_ == 0) cv_.NotifyAll();
+}
+
+void WaitGroup::Wait() {
+  MutexLock lock(&mu_);
+  while (count_ > 0) cv_.Wait(&mu_);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  ZDB_CHECK(fn != nullptr);
+  PoolMetrics& metrics = PoolMetrics::Get();
+  Task task;
+  task.fn = std::move(fn);
+  if (metrics.registry.enabled()) task.enqueue_us = NowUs();
+  {
+    MutexLock lock(&mu_);
+    ZDB_CHECK(!shutdown_) << "Schedule on a shut-down ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.NotifyOne();
+  metrics.tasks_scheduled->Add(1);
+}
+
+void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
+  for (;;) {
+    Task task;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutdown_) work_cv_.Wait(&mu_);
+      // Drain before exiting so scheduled work is never dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (task.enqueue_us > 0.0) {
+      metrics.steal_latency_us->Observe(NowUs() - task.enqueue_us);
+    }
+    task.fn();
+    metrics.tasks_run->Add(1);
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(GlobalPoolSize());
+  if (!g_global_pool_created.exchange(true, std::memory_order_relaxed)) {
+    PoolMetrics::Get().global_threads->Set(
+        static_cast<double>(pool->num_threads()));
+  }
+  return pool;
+}
+
+void ThreadPool::SetGlobalThreads(size_t num_threads) {
+  ZDB_CHECK(!g_global_pool_created.load(std::memory_order_relaxed))
+      << "SetGlobalThreads after the global pool was created";
+  g_global_threads_override.store(num_threads, std::memory_order_relaxed);
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+  const size_t num_chunks = (range + grain - 1) / grain;
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.parallel_for_calls->Add(1);
+  metrics.parallel_for_chunks->Add(static_cast<int64_t>(num_chunks));
+
+  struct State {
+    std::atomic<size_t> next_chunk{0};
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 0;
+    size_t num_chunks = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    WaitGroup done;
+  };
+  auto state = std::make_shared<State>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+  state->done.Add(num_chunks);
+
+  // Claim-next-chunk loop shared by workers and the caller. `fn` (borrowed
+  // from the caller's frame) is only invoked for a claimed chunk, and the
+  // caller blocks until every chunk's Done — so the pointer never dangles.
+  auto run_chunks = [](State* s) {
+    for (;;) {
+      size_t chunk = s->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= s->num_chunks) return;
+      size_t chunk_begin = s->begin + chunk * s->grain;
+      size_t chunk_end = std::min(s->end, chunk_begin + s->grain);
+      (*s->fn)(chunk_begin, chunk_end);
+      s->done.Done();
+    }
+  };
+
+  // The caller is one executor; helpers cover the rest of the chunks.
+  const size_t helpers = std::min(pool->num_threads(), num_chunks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Schedule([state, run_chunks] { run_chunks(state.get()); });
+  }
+  run_chunks(state.get());
+  state->done.Wait();
+}
+
+}  // namespace zerodb

@@ -1,0 +1,115 @@
+#ifndef ZERODB_COMMON_THREAD_POOL_H_
+#define ZERODB_COMMON_THREAD_POOL_H_
+
+// The one place in the tree allowed to spawn raw threads
+// (scripts/zerodb_lint.py rule raw-thread): every other component gets its
+// parallelism by scheduling onto a ThreadPool, so thread counts stay
+// bounded, metered (pool.* metrics) and controllable from one knob
+// (ZERODB_THREADS / --threads).
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace zerodb {
+
+/// Counts outstanding work items; Wait blocks until the count returns to
+/// zero. The pool analogue of Go's sync.WaitGroup:
+///   WaitGroup wg;
+///   wg.Add(n);
+///   for (...) pool->Schedule([&] { ...; wg.Done(); });
+///   wg.Wait();
+class WaitGroup {
+ public:
+  WaitGroup() = default;
+
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void Add(size_t n) ZDB_EXCLUDES(mu_);
+  void Done() ZDB_EXCLUDES(mu_);
+  /// Blocks until every Add has been matched by a Done.
+  void Wait() ZDB_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  size_t count_ ZDB_GUARDED_BY(mu_) = 0;
+};
+
+/// Fixed-size worker pool over one shared FIFO queue (no work stealing: at
+/// this tree's task granularity — one database, one featurization chunk,
+/// one gradient shard — a single annotated queue is both fast enough and
+/// easy to prove correct under clang's thread-safety analysis and TSan).
+///
+/// Scheduling is fire-and-forget; use WaitGroup (or ParallelFor, which does
+/// it for you) to join on completion. The destructor runs every task already
+/// scheduled, then joins the workers — work is never dropped.
+///
+/// Thread-safe: Schedule may be called from any thread, including from
+/// inside a task.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue (running every scheduled task), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `fn` to run on a worker thread.
+  void Schedule(std::function<void()> fn) ZDB_EXCLUDES(mu_);
+
+  /// The process-wide pool shared by corpus generation, featurization and
+  /// training. Sized by SetGlobalThreads if called, else the ZERODB_THREADS
+  /// environment variable, else hardware_concurrency. Created on first use
+  /// and never destroyed (leak-singleton, like MetricsRegistry::Global).
+  static ThreadPool* Global();
+
+  /// Overrides the global pool size (bench --threads=N). Must be called
+  /// before the first Global() use; checked.
+  static void SetGlobalThreads(size_t num_threads);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    /// Enqueue timestamp in steady-clock microseconds, for the
+    /// pool.steal_latency_us histogram (time a task waited before a worker
+    /// picked — "stole" — it from the shared queue).
+    double enqueue_us = 0.0;
+  };
+
+  void WorkerLoop() ZDB_EXCLUDES(mu_);
+
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<Task> queue_ ZDB_GUARDED_BY(mu_);
+  bool shutdown_ ZDB_GUARDED_BY(mu_) = false;
+  /// Workers only; created in the constructor, joined in the destructor,
+  /// otherwise immutable.
+  std::vector<std::thread> threads_;
+};
+
+/// Splits [begin, end) into chunks of at most `grain` indices and runs
+/// `fn(chunk_begin, chunk_end)` for each, in parallel on `pool`. Blocks
+/// until every chunk finished. The calling thread participates in the work,
+/// so nested ParallelFor from inside a pool task cannot deadlock even when
+/// all workers are busy. Chunk boundaries are deterministic, but chunks run
+/// in any order on any thread: `fn` must only write to per-index state.
+///
+/// Serial fallbacks (pool == nullptr, a 1-thread pool, or a range no larger
+/// than one grain) invoke fn(begin, end) inline on the caller.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace zerodb
+
+#endif  // ZERODB_COMMON_THREAD_POOL_H_

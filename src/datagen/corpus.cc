@@ -43,45 +43,59 @@ const std::vector<std::string>& TrainingDatabaseNames() {
 }
 
 std::vector<DatabaseEnv> MakeTrainingCorpus(uint64_t seed, size_t count,
-                                            double scale) {
+                                            double scale, ThreadPool* pool) {
   const auto& names = TrainingDatabaseNames();
   ZDB_CHECK_LE(count, names.size());
+  // Draw every per-database seed up front, in the serial loop's draw order
+  // (db seed, then index seed, per database). Each database then generates
+  // from only its own pre-drawn seeds, so the corpus is bit-identical no
+  // matter how the per-database tasks interleave.
   Rng rng(seed);
-  std::vector<DatabaseEnv> corpus;
-  corpus.reserve(count);
+  struct DbSeeds {
+    uint64_t db_seed = 0;
+    uint64_t index_seed = 0;
+  };
+  std::vector<DbSeeds> seeds(count);
   for (size_t i = 0; i < count; ++i) {
-    GeneratorConfig config;
-    config.scale = scale;
-    // Vary the size band per database so the corpus covers small OLTP-ish
-    // and larger analytics-ish databases.
-    switch (i % 4) {
-      case 0:  // small
-        config.min_rows = 500;
-        config.max_rows = 8000;
-        config.min_tables = 2;
-        config.max_tables = 5;
-        break;
-      case 1:  // medium
-        config.min_rows = 2000;
-        config.max_rows = 25000;
-        break;
-      case 2:  // large
-        config.min_rows = 8000;
-        config.max_rows = 60000;
-        config.min_tables = 3;
-        config.max_tables = 6;
-        break;
-      case 3:  // wide (more columns)
-        config.min_attr_columns = 4;
-        config.max_attr_columns = 8;
-        break;
-    }
-    uint64_t db_seed = rng.NextUint64();
-    storage::Database db = GenerateRandomDatabase(names[i], db_seed, config);
-    Rng index_rng(rng.NextUint64());
-    AddDefaultIndexes(&db, &index_rng, /*secondary_index_prob=*/0.35);
-    corpus.push_back(MakeEnv(std::move(db)));
+    seeds[i].db_seed = rng.NextUint64();
+    seeds[i].index_seed = rng.NextUint64();
   }
+  std::vector<DatabaseEnv> corpus(count);
+  ParallelFor(pool, 0, count, /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      GeneratorConfig config;
+      config.scale = scale;
+      // Vary the size band per database so the corpus covers small OLTP-ish
+      // and larger analytics-ish databases.
+      switch (i % 4) {
+        case 0:  // small
+          config.min_rows = 500;
+          config.max_rows = 8000;
+          config.min_tables = 2;
+          config.max_tables = 5;
+          break;
+        case 1:  // medium
+          config.min_rows = 2000;
+          config.max_rows = 25000;
+          break;
+        case 2:  // large
+          config.min_rows = 8000;
+          config.max_rows = 60000;
+          config.min_tables = 3;
+          config.max_tables = 6;
+          break;
+        case 3:  // wide (more columns)
+          config.min_attr_columns = 4;
+          config.max_attr_columns = 8;
+          break;
+      }
+      storage::Database db =
+          GenerateRandomDatabase(names[i], seeds[i].db_seed, config);
+      Rng index_rng(seeds[i].index_seed);
+      AddDefaultIndexes(&db, &index_rng, /*secondary_index_prob=*/0.35);
+      corpus[i] = MakeEnv(std::move(db));
+    }
+  });
   return corpus;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "datagen/generator.h"
 #include "stats/database_stats.h"
 #include "storage/database.h"
@@ -43,8 +44,14 @@ const std::vector<std::string>& TrainingDatabaseNames();
 /// each with its own seed and size band so the corpus spans small and large,
 /// narrow and wide databases. `count` trims the corpus (for the
 /// #training-databases ablation); `scale` multiplies row counts.
+///
+/// Databases generate in parallel on `pool` (pass nullptr to force serial).
+/// Every per-database Rng is seeded up front from the corpus seed in the
+/// serial draw order, so the corpus is bit-identical for any thread count.
 std::vector<DatabaseEnv> MakeTrainingCorpus(uint64_t seed, size_t count = 19,
-                                            double scale = 1.0);
+                                            double scale = 1.0,
+                                            ThreadPool* pool =
+                                                ThreadPool::Global());
 
 /// The held-out IMDB-like evaluation database.
 DatabaseEnv MakeImdbEnv(uint64_t seed, double scale = 1.0);

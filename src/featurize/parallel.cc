@@ -1,0 +1,17 @@
+#include "featurize/parallel.h"
+
+namespace zerodb::featurize {
+
+std::vector<PlanGraph> FeaturizeAll(
+    size_t count, const std::function<PlanGraph(size_t)>& featurize,
+    ThreadPool* pool) {
+  std::vector<PlanGraph> graphs(count);
+  // Grain of 8: one plan featurizes in ~tens of microseconds, so batching a
+  // few per chunk keeps scheduling overhead below the work itself.
+  ParallelFor(pool, 0, count, /*grain=*/8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) graphs[i] = featurize(i);
+  });
+  return graphs;
+}
+
+}  // namespace zerodb::featurize

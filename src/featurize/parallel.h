@@ -1,0 +1,25 @@
+#ifndef ZERODB_FEATURIZE_PARALLEL_H_
+#define ZERODB_FEATURIZE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "featurize/plan_graph.h"
+
+namespace zerodb::featurize {
+
+/// Builds `count` plan graphs by calling `featurize(i)` for each index,
+/// fanned out over `pool` (nullptr forces serial). The featurizers are pure
+/// functions of (plan, stats), so graph i is bit-identical for any thread
+/// count; only wall-clock changes. Used by model Prepare/PredictMs to turn
+/// per-record graph construction — the CPU-bound half of inference — into
+/// a ParallelFor.
+std::vector<PlanGraph> FeaturizeAll(
+    size_t count, const std::function<PlanGraph(size_t)>& featurize,
+    ThreadPool* pool = ThreadPool::Global());
+
+}  // namespace zerodb::featurize
+
+#endif  // ZERODB_FEATURIZE_PARALLEL_H_

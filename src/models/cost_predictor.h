@@ -1,6 +1,7 @@
 #ifndef ZERODB_MODELS_COST_PREDICTOR_H_
 #define ZERODB_MODELS_COST_PREDICTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,16 @@ class NeuralCostModel : public CostPredictor {
 
   /// All trainable parameters.
   virtual std::vector<nn::Tensor> Parameters() const = 0;
+
+  /// A same-architecture copy with its own parameter storage, holding the
+  /// same parameter values and normalization state as this model. The
+  /// parallel trainer gives each worker thread a replica so concurrent
+  /// backward passes never touch shared gradient buffers; replicas are
+  /// re-synced from the trained model's parameter values every step.
+  /// Models that return nullptr (the default) are trained serially.
+  virtual std::unique_ptr<NeuralCostModel> CloneReplica() const {
+    return nullptr;
+  }
 };
 
 }  // namespace zerodb::models

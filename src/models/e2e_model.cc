@@ -16,7 +16,14 @@ TreeModelConfig E2ECostModel::MakeConfig(const Options& options) {
 
 E2ECostModel::E2ECostModel(const Options& options)
     : TreeMessagePassingModel(MakeConfig(options)),
+      options_(options),
       featurizer_(featurize::CardinalityMode::kEstimated) {}
+
+std::unique_ptr<NeuralCostModel> E2ECostModel::CloneReplica() const {
+  auto replica = std::make_unique<E2ECostModel>(options_);
+  replica->CopyTreeStateFrom(*this);
+  return replica;
+}
 
 featurize::PlanGraph E2ECostModel::FeaturizeRecord(
     const train::QueryRecord& record) const {

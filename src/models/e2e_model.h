@@ -1,6 +1,7 @@
 #ifndef ZERODB_MODELS_E2E_MODEL_H_
 #define ZERODB_MODELS_E2E_MODEL_H_
 
+#include <memory>
 #include <string>
 
 #include "featurize/e2e_featurizer.h"
@@ -24,6 +25,8 @@ class E2ECostModel : public TreeMessagePassingModel {
 
   std::string Name() const override { return "E2E"; }
 
+  std::unique_ptr<NeuralCostModel> CloneReplica() const override;
+
  protected:
   featurize::PlanGraph FeaturizeRecord(
       const train::QueryRecord& record) const override;
@@ -32,6 +35,7 @@ class E2ECostModel : public TreeMessagePassingModel {
  private:
   static TreeModelConfig MakeConfig(const Options& options);
 
+  Options options_;
   featurize::E2EFeaturizer featurizer_;
 };
 

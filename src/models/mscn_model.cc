@@ -47,6 +47,19 @@ std::vector<nn::Tensor> MscnCostModel::Parameters() const {
   return params;
 }
 
+std::unique_ptr<NeuralCostModel> MscnCostModel::CloneReplica() const {
+  auto replica = std::make_unique<MscnCostModel>(options_);
+  std::vector<nn::Tensor> dst = replica->Parameters();
+  std::vector<nn::Tensor> src = Parameters();
+  ZDB_CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    ZDB_CHECK_EQ(dst[i].size(), src[i].size());
+    dst[i].mutable_data() = src[i].data();
+  }
+  replica->target_norm_ = target_norm_;
+  return replica;
+}
+
 void MscnCostModel::Prepare(
     const std::vector<const train::QueryRecord*>& records) {
   ZDB_CHECK(!records.empty());

@@ -1,6 +1,7 @@
 #ifndef ZERODB_MODELS_MSCN_MODEL_H_
 #define ZERODB_MODELS_MSCN_MODEL_H_
 
+#include <memory>
 #include <string>
 
 #include "featurize/mscn_featurizer.h"
@@ -33,6 +34,8 @@ class MscnCostModel : public NeuralCostModel {
   std::vector<double> PredictMs(
       const std::vector<const train::QueryRecord*>& records) override;
   std::vector<nn::Tensor> Parameters() const override;
+
+  std::unique_ptr<NeuralCostModel> CloneReplica() const override;
 
  private:
   nn::Tensor Forward(const std::vector<featurize::MscnSets>& batch,

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "featurize/parallel.h"
 #include "nn/ops.h"
 #include "nn/validate.h"
 #include "nn/serialize.h"
@@ -87,16 +88,28 @@ Status TreeMessagePassingModel::LoadWeights(const std::string& path) {
   return Status::OK();
 }
 
+void TreeMessagePassingModel::CopyTreeStateFrom(
+    const TreeMessagePassingModel& other) {
+  std::vector<nn::Tensor> dst = Parameters();
+  std::vector<nn::Tensor> src = other.Parameters();
+  ZDB_CHECK_EQ(dst.size(), src.size()) << "replica architecture mismatch";
+  for (size_t i = 0; i < dst.size(); ++i) {
+    ZDB_CHECK_EQ(dst[i].size(), src[i].size());
+    dst[i].mutable_data() = src[i].data();
+  }
+  feature_norm_ = other.feature_norm_;
+  target_norm_ = other.target_norm_;
+}
+
 void TreeMessagePassingModel::Prepare(
     const std::vector<const train::QueryRecord*>& records) {
   ZDB_CHECK(!records.empty());
   // Fit feature normalization over every node of every training plan, and
-  // target normalization over log runtimes.
-  std::vector<featurize::PlanGraph> graphs;
-  graphs.reserve(records.size());
-  for (const train::QueryRecord* record : records) {
-    graphs.push_back(FeaturizeRecord(*record));
-  }
+  // target normalization over log runtimes. Featurization is the expensive
+  // part, and pure per-record — fan it out.
+  std::vector<featurize::PlanGraph> graphs = featurize::FeaturizeAll(
+      records.size(),
+      [&](size_t i) { return FeaturizeRecord(*records[i]); });
   std::vector<const std::vector<float>*> rows;
   for (const featurize::PlanGraph& graph : graphs) {
     for (const featurize::PlanGraphNode& node : graph.nodes) {
@@ -247,11 +260,9 @@ std::vector<double> TreeMessagePassingModel::PredictMs(
     const std::vector<const train::QueryRecord*>& records) {
   ZDB_CHECK(target_norm_.fitted()) << "PredictMs before Prepare/training";
   if (records.empty()) return {};
-  std::vector<featurize::PlanGraph> graphs;
-  graphs.reserve(records.size());
-  for (const train::QueryRecord* record : records) {
-    graphs.push_back(FeaturizeNormalized(*record));
-  }
+  std::vector<featurize::PlanGraph> graphs = featurize::FeaturizeAll(
+      records.size(),
+      [&](size_t i) { return FeaturizeNormalized(*records[i]); });
   nn::Tensor predictions = Forward(graphs, /*training=*/false, nullptr);
   std::vector<double> out;
   out.reserve(records.size());

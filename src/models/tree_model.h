@@ -53,6 +53,12 @@ class TreeMessagePassingModel : public NeuralCostModel {
   const TreeModelConfig& config() const { return config_; }
 
  protected:
+  /// Copies `other`'s parameter values and normalization state into this
+  /// model (same config required). Subclass CloneReplica implementations
+  /// construct a fresh model from their stored options and then call this —
+  /// the replica gets identical values in independent storage.
+  void CopyTreeStateFrom(const TreeMessagePassingModel& other);
+
   /// Featurizes one record's plan (implemented by subclasses).
   virtual featurize::PlanGraph FeaturizeRecord(
       const train::QueryRecord& record) const = 0;

@@ -17,7 +17,14 @@ TreeModelConfig ZeroShotCostModel::MakeConfig(const Options& options) {
 
 ZeroShotCostModel::ZeroShotCostModel(const Options& options)
     : TreeMessagePassingModel(MakeConfig(options)),
+      options_(options),
       featurizer_(options.cardinality_mode) {}
+
+std::unique_ptr<NeuralCostModel> ZeroShotCostModel::CloneReplica() const {
+  auto replica = std::make_unique<ZeroShotCostModel>(options_);
+  replica->CopyTreeStateFrom(*this);
+  return replica;
+}
 
 std::string ZeroShotCostModel::Name() const {
   return std::string("zero-shot (") +

@@ -1,6 +1,7 @@
 #ifndef ZERODB_MODELS_ZEROSHOT_MODEL_H_
 #define ZERODB_MODELS_ZEROSHOT_MODEL_H_
 
+#include <memory>
 #include <string>
 
 #include "featurize/zeroshot_featurizer.h"
@@ -25,6 +26,8 @@ class ZeroShotCostModel : public TreeMessagePassingModel {
 
   std::string Name() const override;
 
+  std::unique_ptr<NeuralCostModel> CloneReplica() const override;
+
   featurize::CardinalityMode cardinality_mode() const {
     return featurizer_.mode();
   }
@@ -37,6 +40,7 @@ class ZeroShotCostModel : public TreeMessagePassingModel {
  private:
   static TreeModelConfig MakeConfig(const Options& options);
 
+  Options options_;
   featurize::ZeroShotFeaturizer featurizer_;
 };
 

@@ -1,15 +1,63 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <memory>
 
 #include "common/check.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
 #include "nn/lr_schedule.h"
 #include "nn/optimizer.h"
+#include "nn/ops.h"
 #include "nn/validate.h"
 #include "obs/metrics.h"
 
 namespace zerodb::train {
+
+namespace {
+
+/// Records per gradient shard. Fixed (never derived from the thread count)
+/// so shard boundaries — and therefore every floating-point reduction — are
+/// identical for any TrainerOptions::num_threads.
+constexpr size_t kShardRecords = 8;
+
+/// One mini-batch's partial gradients, one slot per shard, reduced in
+/// ascending shard order after all shards complete.
+struct ShardResult {
+  double loss = 0.0;  ///< shard loss pre-scaled by shard_size / batch_size
+  std::vector<std::vector<float>> grads;  ///< one buffer per parameter
+};
+
+/// Runs one shard on `model`: zero grads, forward + backward on the shard
+/// scaled by shard_size / batch_size (so summing shard losses/gradients
+/// reconstructs the batch mean), then harvests the gradient buffers.
+void RunShard(models::NeuralCostModel* model,
+              const std::vector<const QueryRecord*>& batch, size_t shard_begin,
+              size_t shard_end, size_t batch_size, uint64_t shard_seed,
+              ShardResult* out) {
+  std::vector<const QueryRecord*> shard(batch.begin() +
+                                            static_cast<ptrdiff_t>(shard_begin),
+                                        batch.begin() +
+                                            static_cast<ptrdiff_t>(shard_end));
+  std::vector<nn::Tensor> params = model->Parameters();
+  for (nn::Tensor& p : params) p.ZeroGrad();
+  Rng shard_rng(shard_seed);
+  nn::Tensor loss = model->LossOnBatch(shard, /*training=*/true, &shard_rng);
+  ZDB_DCHECK_OK(nn::ValidateShape(loss, 1, 1, "trainer forward: shard loss"));
+  ZDB_DCHECK_OK(nn::ValidateFinite(loss, "trainer forward: shard loss"));
+  nn::Tensor scaled =
+      nn::Scale(loss, static_cast<float>(shard.size()) /
+                          static_cast<float>(batch_size));
+  scaled.Backward();
+  out->loss = static_cast<double>(scaled.item());
+  out->grads.clear();
+  out->grads.reserve(params.size());
+  for (const nn::Tensor& p : params) out->grads.push_back(p.grad());
+}
+
+}  // namespace
 
 TrainResult TrainModel(models::NeuralCostModel* model,
                        const std::vector<const QueryRecord*>& records,
@@ -31,9 +79,67 @@ TrainResult TrainModel(models::NeuralCostModel* model,
   std::vector<const QueryRecord*> training(shuffled.begin() + val_count,
                                            shuffled.end());
 
+  ZDB_CHECK_GT(options.batch_size, 0u);
   model->Prepare(training);
   nn::Adam optimizer(model->Parameters(), options.learning_rate, 0.9f, 0.999f,
                      1e-8f, options.weight_decay);
+  std::vector<nn::Tensor> main_params = model->Parameters();
+
+  // Shard-parallel gradient setup. Replicas are cloned after Prepare so they
+  // carry the fitted normalization; parameter values are re-synced from the
+  // caller's model before every batch (Step changes them). A model whose
+  // CloneReplica returns nullptr trains serially — on the identical sharded
+  // arithmetic, so the loss history does not depend on this fallback.
+  size_t want_threads = options.num_threads;
+  if (want_threads == 0) want_threads = ThreadPool::Global()->num_threads();
+  const size_t max_shards =
+      (options.batch_size + kShardRecords - 1) / kShardRecords;
+  const size_t executors =
+      std::max<size_t>(1, std::min(want_threads, max_shards));
+  std::vector<std::unique_ptr<models::NeuralCostModel>> replicas;
+  std::vector<std::vector<nn::Tensor>> replica_params;
+  while (replicas.size() + 1 < executors) {
+    std::unique_ptr<models::NeuralCostModel> replica = model->CloneReplica();
+    if (replica == nullptr) {
+      replicas.clear();
+      replica_params.clear();
+      break;
+    }
+    replica_params.push_back(replica->Parameters());
+    replicas.push_back(std::move(replica));
+  }
+  ThreadPool* shard_pool = replicas.empty() ? nullptr : ThreadPool::Global();
+
+  // Blocking free list of shard executors (the caller's model plus the
+  // replicas). Which executor runs which shard is scheduling-dependent, but
+  // all executors hold bit-identical parameters, so shard results are not.
+  struct ExecutorPool {
+    Mutex mu;
+    CondVar cv;
+    std::vector<models::NeuralCostModel*> free_models ZDB_GUARDED_BY(mu);
+  };
+  ExecutorPool exec;
+  {
+    MutexLock lock(&exec.mu);
+    exec.free_models.push_back(model);
+    for (const auto& replica : replicas) {
+      exec.free_models.push_back(replica.get());
+    }
+  }
+  auto acquire_executor = [&exec]() {
+    MutexLock lock(&exec.mu);
+    while (exec.free_models.empty()) exec.cv.Wait(&exec.mu);
+    models::NeuralCostModel* m = exec.free_models.back();
+    exec.free_models.pop_back();
+    return m;
+  };
+  auto release_executor = [&exec](models::NeuralCostModel* m) {
+    {
+      MutexLock lock(&exec.mu);
+      exec.free_models.push_back(m);
+    }
+    exec.cv.NotifyOne();
+  };
 
   auto snapshot = [&]() {
     std::vector<std::vector<float>> weights;
@@ -87,17 +193,57 @@ TrainResult TrainModel(models::NeuralCostModel* model,
       size_t end = std::min(start + options.batch_size, training.size());
       std::vector<const QueryRecord*> batch(training.begin() + start,
                                             training.begin() + end);
-      nn::Tensor loss = model->LossOnBatch(batch, /*training=*/true, &rng);
-      ZDB_DCHECK_OK(
-          nn::ValidateShape(loss, 1, 1, "trainer forward: batch loss"));
-      ZDB_DCHECK_OK(nn::ValidateFinite(loss, "trainer forward: batch loss"));
+      const size_t batch_size = batch.size();
+      const size_t num_shards =
+          (batch_size + kShardRecords - 1) / kShardRecords;
+
+      // Every shard's dropout seed is drawn here, in ascending shard order,
+      // from the trainer Rng — never from inside a worker — so the stream of
+      // draws is the same for any thread count.
+      std::vector<uint64_t> shard_seeds(num_shards);
+      for (uint64_t& shard_seed : shard_seeds) {
+        shard_seed = rng.NextUint64();
+      }
+      std::vector<ShardResult> shard_results(num_shards);
+
+      // Replicas re-read the parameters the last Step produced.
+      for (std::vector<nn::Tensor>& params : replica_params) {
+        for (size_t i = 0; i < main_params.size(); ++i) {
+          params[i].mutable_data() = main_params[i].data();
+        }
+      }
+
+      ParallelFor(shard_pool, 0, num_shards, /*grain=*/1,
+                  [&](size_t chunk_begin, size_t chunk_end) {
+                    models::NeuralCostModel* m = acquire_executor();
+                    for (size_t s = chunk_begin; s < chunk_end; ++s) {
+                      const size_t shard_begin = s * kShardRecords;
+                      const size_t shard_end =
+                          std::min(batch_size, shard_begin + kShardRecords);
+                      RunShard(m, batch, shard_begin, shard_end, batch_size,
+                               shard_seeds[s], &shard_results[s]);
+                    }
+                    release_executor(m);
+                  });
+
+      // Fixed-order reduction: shard partials land on the caller's model in
+      // ascending shard order, making the batch gradient (and loss) exactly
+      // reproducible for any thread count.
       optimizer.ZeroGrad();
-      loss.Backward();
+      double batch_loss = 0.0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        batch_loss += shard_results[s].loss;
+        for (size_t i = 0; i < main_params.size(); ++i) {
+          std::vector<float>& grad = main_params[i].mutable_grad();
+          const std::vector<float>& partial = shard_results[s].grads[i];
+          for (size_t j = 0; j < grad.size(); ++j) grad[j] += partial[j];
+        }
+      }
       ZDB_DCHECK_OK(nn::ValidateFiniteGradients(model->Parameters(),
                                                 "trainer backward"));
       grad_norm_sum += optimizer.ClipGradNorm(options.grad_clip_norm);
       optimizer.Step();
-      epoch_loss += loss.item();
+      epoch_loss += batch_loss;
       ++batches;
     }
     result.final_train_loss =

@@ -25,6 +25,16 @@ struct TrainerOptions {
   double validation_fraction = 0.1;
   size_t early_stop_patience = 10;  ///< epochs without val improvement
   uint64_t seed = 99;
+  /// Worker threads for the intra-epoch gradient computation. 0 = size of
+  /// the global ThreadPool (hardware_concurrency unless overridden via
+  /// ZERODB_THREADS / --threads); 1 = serial. Any value yields bit-identical
+  /// loss histories: every mini-batch is split into fixed 8-record shards
+  /// whose partial gradients are reduced in ascending shard order, and each
+  /// shard draws its dropout Rng from a seed pre-drawn in shard order — the
+  /// arithmetic never depends on which thread ran which shard. Parallel
+  /// execution needs models::NeuralCostModel::CloneReplica; models without
+  /// it train serially (still sharded, still identical).
+  size_t num_threads = 0;
   /// Logs one line per epoch (via the telemetry sink when one is attached,
   /// else through obs::TrainTelemetry::LogEpoch → ZDB_LOG).
   bool verbose = false;
@@ -51,6 +61,10 @@ struct TrainResult {
 /// other threads for the duration of the call. Training runs over disjoint
 /// models are safe concurrently (logging and the global metrics registry,
 /// the only shared state reached from here, are thread-safe).
+///
+/// Internally the gradient computation fans minibatch shards out over the
+/// global ThreadPool (see TrainerOptions::num_threads); worker threads only
+/// ever touch model replicas, never the caller's model.
 TrainResult TrainModel(models::NeuralCostModel* model,
                        const std::vector<const QueryRecord*>& records,
                        const TrainerOptions& options = TrainerOptions());

@@ -33,17 +33,36 @@ struct EstimatorMetrics {
 
 std::vector<train::QueryRecord> CollectCorpusRecords(
     const std::vector<datagen::DatabaseEnv>& corpus,
-    const ZeroShotConfig& config) {
-  std::vector<train::QueryRecord> records;
+    const ZeroShotConfig& config, ThreadPool* pool) {
+  // Pre-draw each database's (noise seed, workload seed) pair in the serial
+  // draw order, then collect every database independently into its own slot:
+  // the concatenation below is bit-identical for any thread count.
+  struct DbSeeds {
+    uint64_t noise_seed = 0;
+    uint64_t workload_seed = 0;
+  };
   Rng seed_rng(config.seed);
-  for (const datagen::DatabaseEnv& env : corpus) {
-    train::CollectOptions collect = config.collect;
-    collect.noise_seed = seed_rng.NextUint64();
-    std::vector<train::QueryRecord> db_records = train::CollectRandomWorkload(
-        env, config.workload, config.queries_per_database,
-        seed_rng.NextUint64(), collect);
-    ZDB_LOG(Debug) << env.db->name() << ": collected " << db_records.size()
-                   << " training records";
+  std::vector<DbSeeds> seeds(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    seeds[i].noise_seed = seed_rng.NextUint64();
+    seeds[i].workload_seed = seed_rng.NextUint64();
+  }
+  std::vector<std::vector<train::QueryRecord>> per_db(corpus.size());
+  ParallelFor(pool, 0, corpus.size(), /*grain=*/1,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  train::CollectOptions collect = config.collect;
+                  collect.noise_seed = seeds[i].noise_seed;
+                  per_db[i] = train::CollectRandomWorkload(
+                      corpus[i], config.workload, config.queries_per_database,
+                      seeds[i].workload_seed, collect);
+                  ZDB_LOG(Debug)
+                      << corpus[i].db->name() << ": collected "
+                      << per_db[i].size() << " training records";
+                }
+              });
+  std::vector<train::QueryRecord> records;
+  for (std::vector<train::QueryRecord>& db_records : per_db) {
     for (train::QueryRecord& record : db_records) {
       records.push_back(std::move(record));
     }

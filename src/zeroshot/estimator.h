@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "datagen/corpus.h"
 #include "models/zeroshot_model.h"
 #include "train/dataset.h"
@@ -71,9 +72,14 @@ class ZeroShotEstimator {
 
 /// Collects the zero-shot training set: `queries_per_database` labeled
 /// records from each corpus database.
+///
+/// Databases are collected in parallel on `pool` (nullptr forces serial).
+/// Per-database workload/noise seeds are drawn up front in the serial draw
+/// order and the per-database record batches concatenated in corpus order,
+/// so the record set is bit-identical for any thread count.
 std::vector<train::QueryRecord> CollectCorpusRecords(
     const std::vector<datagen::DatabaseEnv>& corpus,
-    const ZeroShotConfig& config);
+    const ZeroShotConfig& config, ThreadPool* pool = ThreadPool::Global());
 
 }  // namespace zerodb::zeroshot
 

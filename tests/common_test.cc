@@ -304,6 +304,7 @@ TEST(LoggingTest, ConcurrentWritersProduceWholeLines) {
   LogCapture capture;
   constexpr int kThreads = 8;
   constexpr int kLines = 200;
+  // zerodb-lint: allow(raw-thread): raw threads race the log sink directly
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -314,6 +315,7 @@ TEST(LoggingTest, ConcurrentWritersProduceWholeLines) {
       }
     });
   }
+  // zerodb-lint: allow(raw-thread): raw threads race the log sink directly
   for (std::thread& thread : threads) thread.join();
 
   auto lines = capture.lines();

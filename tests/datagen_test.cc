@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/thread_pool.h"
 #include "datagen/corpus.h"
 #include "datagen/distributions.h"
 #include "datagen/generator.h"
@@ -142,6 +143,41 @@ TEST(CorpusTest, NamesAndSizes) {
     // Stats were built for every table.
     for (const storage::Table& table : env.db->tables()) {
       EXPECT_NE(env.stats.FindTable(table.name()), nullptr);
+    }
+  }
+}
+
+TEST(CorpusTest, ParallelGenerationBitIdentical) {
+  // The determinism contract: per-database seeds are pre-drawn in serial
+  // order, so a 4-thread corpus equals the serial corpus cell for cell.
+  std::vector<DatabaseEnv> serial =
+      MakeTrainingCorpus(5, 6, /*scale=*/0.05, /*pool=*/nullptr);
+  ThreadPool pool(4);
+  std::vector<DatabaseEnv> parallel =
+      MakeTrainingCorpus(5, 6, /*scale=*/0.05, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t d = 0; d < serial.size(); ++d) {
+    const storage::Database& a = *serial[d].db;
+    const storage::Database& b = *parallel[d].db;
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.tables().size(), b.tables().size());
+    for (size_t t = 0; t < a.tables().size(); ++t) {
+      const storage::Table& ta = a.tables()[t];
+      const storage::Table& tb = b.tables()[t];
+      EXPECT_EQ(ta.name(), tb.name());
+      ASSERT_EQ(ta.num_columns(), tb.num_columns());
+      ASSERT_EQ(ta.num_rows(), tb.num_rows());
+      for (size_t c = 0; c < ta.num_columns(); ++c) {
+        for (size_t r = 0; r < ta.num_rows(); ++r) {
+          ASSERT_EQ(ta.column(c).GetValue(r), tb.column(c).GetValue(r))
+              << a.name() << "." << ta.name() << " col " << c << " row " << r;
+        }
+      }
+    }
+    ASSERT_EQ(a.indexes().size(), b.indexes().size());
+    for (size_t i = 0; i < a.indexes().size(); ++i) {
+      EXPECT_EQ(a.indexes()[i].table_name(), b.indexes()[i].table_name());
+      EXPECT_EQ(a.indexes()[i].column_index(), b.indexes()[i].column_index());
     }
   }
 }

@@ -126,6 +126,7 @@ TEST(MetricsTest, ConcurrentWriters) {
   MetricsRegistry registry(/*enabled=*/true);
   constexpr int kThreads = 8;
   constexpr int kIterations = 10000;
+  // zerodb-lint: allow(raw-thread): raw threads race the registry directly
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -141,6 +142,7 @@ TEST(MetricsTest, ConcurrentWriters) {
       }
     });
   }
+  // zerodb-lint: allow(raw-thread): raw threads race the registry directly
   for (std::thread& thread : threads) thread.join();
 
   EXPECT_EQ(registry.GetCounter("shared.counter")->value(),

@@ -39,6 +39,7 @@ TEST(MutexTest, TryLockReflectsOwnership) {
   // A second owner must be refused while we hold it. (TryLock on the same
   // thread is UB for std::mutex, so probe from another thread.)
   bool acquired = false;
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::thread probe([&mu, &acquired] {
     if (mu.TryLock()) {
       mu.Unlock();
@@ -49,6 +50,7 @@ TEST(MutexTest, TryLockReflectsOwnership) {
   EXPECT_FALSE(acquired);
   mu.Unlock();
 
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::thread probe_after([&mu, &acquired] {
     if (mu.TryLock()) {
       mu.Unlock();
@@ -68,6 +70,7 @@ TEST(MutexTest, MutexLockGuardsCriticalSection) {
   } state;
   constexpr int kThreads = 8;
   constexpr int kIncrements = 10'000;
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -78,6 +81,7 @@ TEST(MutexTest, MutexLockGuardsCriticalSection) {
       }
     });
   }
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   for (std::thread& thread : threads) thread.join();
   MutexLock lock(&state.mu);
   EXPECT_EQ(state.value, int64_t{kThreads} * kIncrements);
@@ -87,6 +91,7 @@ TEST(CondVarTest, NotifyWakesWaiter) {
   Mutex mu;
   CondVar cv;
   bool ready = false;
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::thread waiter([&] {
     MutexLock lock(&mu);
     while (!ready) cv.Wait(&mu);
@@ -114,6 +119,7 @@ TEST(CondVarTest, NotifyAllReleasesEveryWaiter) {
   bool go = false;
   int woken = 0;
   constexpr int kWaiters = 8;
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::vector<std::thread> waiters;
   waiters.reserve(kWaiters);
   for (int t = 0; t < kWaiters; ++t) {
@@ -128,6 +134,7 @@ TEST(CondVarTest, NotifyAllReleasesEveryWaiter) {
     go = true;
   }
   cv.NotifyAll();
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   for (std::thread& waiter : waiters) waiter.join();
   MutexLock lock(&mu);
   EXPECT_EQ(woken, kWaiters);
@@ -142,6 +149,7 @@ TEST(CondVarTest, ProducerConsumerHandsOffInOrder) {
   int slot = 0;        // 0 = empty
   int consumed = 0;    // last value consumed
   constexpr int kItems = 1'000;
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::thread producer([&] {
     for (int i = 1; i <= kItems; ++i) {
       MutexLock lock(&mu);
@@ -150,6 +158,7 @@ TEST(CondVarTest, ProducerConsumerHandsOffInOrder) {
       cv.NotifyAll();
     }
   });
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::thread consumer([&] {
     for (int i = 1; i <= kItems; ++i) {
       MutexLock lock(&mu);
@@ -175,11 +184,13 @@ TEST(SyncStressTest, MetricsRegistrySharedAcrossEightThreads) {
   constexpr int kThreads = 8;
   constexpr int kOps = 5'000;
   std::atomic<bool> stop{false};
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::thread exporter([&] {
     while (!stop.load(std::memory_order_relaxed)) {
       (void)registry.ToJson();  // result discarded: racing, not asserting
     }
   });
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -195,6 +206,7 @@ TEST(SyncStressTest, MetricsRegistrySharedAcrossEightThreads) {
       }
     });
   }
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   for (std::thread& thread : threads) thread.join();
   stop.store(true, std::memory_order_relaxed);
   exporter.join();
@@ -217,6 +229,7 @@ TEST(SyncStressTest, ThreadConfinedTracersWithSharedRegistry) {
   obs::MetricsRegistry registry(/*enabled=*/true);
   constexpr int kThreads = 8;
   constexpr int kQueries = 200;
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   std::vector<size_t> span_counts(kThreads, 0);
@@ -238,6 +251,7 @@ TEST(SyncStressTest, ThreadConfinedTracersWithSharedRegistry) {
       span_counts[static_cast<size_t>(t)] = spans;
     });
   }
+  // zerodb-lint: allow(raw-thread): testing the layer ThreadPool is built on
   for (std::thread& thread : threads) thread.join();
   for (int t = 0; t < kThreads; ++t) {
     EXPECT_EQ(span_counts[static_cast<size_t>(t)], size_t{2} * kQueries);

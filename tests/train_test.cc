@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "datagen/corpus.h"
 #include "models/zeroshot_model.h"
 #include "train/dataset.h"
@@ -13,6 +14,9 @@ namespace {
 class TrainTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
+    // Size the global pool before its first use so every trainer test in
+    // this binary exercises the parallel shard path even on 1-core hosts.
+    ThreadPool::SetGlobalThreads(4);
     env_ = new datagen::DatabaseEnv(datagen::MakeImdbEnv(13, 0.03));
     records_ = new std::vector<QueryRecord>(CollectRandomWorkload(
         *env_, workload::TrainingWorkloadConfig(), 120, 5, CollectOptions()));
@@ -153,6 +157,63 @@ TEST_F(TrainTest, DeterministicTrainingGivenSeeds) {
   EXPECT_DOUBLE_EQ(result_a.final_train_loss, result_b.final_train_loss);
   std::vector<const QueryRecord*> probe = {&(*records_)[0]};
   EXPECT_DOUBLE_EQ(model_a.PredictMs(probe)[0], model_b.PredictMs(probe)[0]);
+}
+
+// The tentpole determinism contract: minibatches split into fixed 8-record
+// shards with a fixed-order reduction of partial gradients, so the loss
+// history is exactly — not approximately — thread-count independent.
+void ExpectSameHistory(const TrainResult& a, const TrainResult& b) {
+  EXPECT_EQ(a.epochs_run, b.epochs_run);
+  EXPECT_EQ(a.early_stopped, b.early_stopped);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_EQ(a.history[e].train_loss, b.history[e].train_loss)
+        << "epoch " << e;
+    EXPECT_EQ(a.history[e].val_loss, b.history[e].val_loss) << "epoch " << e;
+    EXPECT_EQ(a.history[e].grad_norm, b.history[e].grad_norm) << "epoch " << e;
+  }
+}
+
+TEST_F(TrainTest, ThreadCountDoesNotChangeLossHistory) {
+  auto model_serial = MakeTinyModel(6);
+  auto model_parallel = MakeTinyModel(6);
+  auto view = MakeView(*records_);
+  TrainerOptions options;
+  options.max_epochs = 4;
+  options.seed = 11;
+  options.num_threads = 1;
+  TrainResult serial = TrainModel(&model_serial, view, options);
+  options.num_threads = 4;
+  TrainResult parallel = TrainModel(&model_parallel, view, options);
+  ExpectSameHistory(serial, parallel);
+  // The trained weights match too: identical predictions, bit for bit.
+  std::vector<const QueryRecord*> probe = {&(*records_)[0], &(*records_)[7]};
+  std::vector<double> p_serial = model_serial.PredictMs(probe);
+  std::vector<double> p_parallel = model_parallel.PredictMs(probe);
+  ASSERT_EQ(p_serial.size(), p_parallel.size());
+  for (size_t i = 0; i < p_serial.size(); ++i) {
+    EXPECT_EQ(p_serial[i], p_parallel[i]);
+  }
+}
+
+TEST_F(TrainTest, ThreadCountDoesNotChangeLossHistoryWithDropout) {
+  // Dropout draws from per-shard Rngs whose seeds are pre-drawn in shard
+  // order — the stochastic path must stay thread-count independent too.
+  models::ZeroShotCostModel::Options model_options;
+  model_options.hidden_dim = 16;
+  model_options.init_seed = 6;
+  model_options.dropout = 0.2f;
+  models::ZeroShotCostModel model_serial(model_options);
+  models::ZeroShotCostModel model_parallel(model_options);
+  auto view = MakeView(*records_);
+  TrainerOptions options;
+  options.max_epochs = 3;
+  options.seed = 11;
+  options.num_threads = 1;
+  TrainResult serial = TrainModel(&model_serial, view, options);
+  options.num_threads = 4;
+  TrainResult parallel = TrainModel(&model_parallel, view, options);
+  ExpectSameHistory(serial, parallel);
 }
 
 }  // namespace
