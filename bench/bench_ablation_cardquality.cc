@@ -81,7 +81,8 @@ int Run(const BenchOptions& options) {
   return MaybeWriteBenchMetrics(
       options, "bench_ablation_cardquality", context.scale.name, context.imdb,
       {{"zero_shot_estimated", &context.zero_shot_estimated->train_result()},
-       {"zero_shot_exact", &context.zero_shot_exact->train_result()}});
+       {"zero_shot_exact", &context.zero_shot_exact->train_result()}},
+      context.zero_shot_estimated.get());
 }
 
 }  // namespace

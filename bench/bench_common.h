@@ -17,7 +17,9 @@
 #include "models/scaled_cost_model.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "obs/trace.h"
+#include "obs/trace_event.h"
 #include "optimizer/optimizer.h"
 #include "train/dataset.h"
 #include "train/metrics.h"
@@ -34,6 +36,13 @@ struct BenchOptions {
   /// exit: global registry counters/histograms, a per-operator span tree of
   /// a sample query, and per-epoch loss curves of any model trained.
   std::string metrics_out;
+  /// When non-empty, the bench records a cross-thread timeline (global
+  /// TraceEventRecorder) and writes Chrome trace-event JSON here on exit —
+  /// loadable in chrome://tracing or ui.perfetto.dev.
+  std::string trace_out;
+  /// When non-empty, the bench writes the global registry in Prometheus text
+  /// exposition format here on exit.
+  std::string prom_out;
   /// Global-pool size (--threads=N). 0 keeps the default (ZERODB_THREADS
   /// env, else hardware_concurrency).
   size_t threads = 0;
@@ -53,12 +62,16 @@ inline size_t ApplyThreadsFlag(const std::string& value) {
   return threads;
 }
 
-/// Parses bench flags (--metrics_out=<path>, --threads=<N>), exiting with
-/// usage on unknown arguments. Requesting a metrics artifact enables the
-/// global MetricsRegistry so the instrumented layers start recording.
+/// Parses bench flags (--metrics_out=<path>, --trace_out=<path>,
+/// --prom_out=<path>, --threads=<N>), exiting with usage on unknown
+/// arguments. Requesting a metrics or Prometheus artifact enables the global
+/// MetricsRegistry; requesting a trace installs + enables the global
+/// TraceEventRecorder, so the instrumented layers start recording.
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions options;
   const std::string prefix = "--metrics_out=";
+  const std::string trace_prefix = "--trace_out=";
+  const std::string prom_prefix = "--prom_out=";
   const std::string threads_prefix = "--threads=";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -66,6 +79,14 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       options.metrics_out = arg.substr(prefix.size());
     } else if (arg == "--metrics_out" && i + 1 < argc) {
       options.metrics_out = argv[++i];
+    } else if (arg.rfind(trace_prefix, 0) == 0) {
+      options.trace_out = arg.substr(trace_prefix.size());
+    } else if (arg == "--trace_out" && i + 1 < argc) {
+      options.trace_out = argv[++i];
+    } else if (arg.rfind(prom_prefix, 0) == 0) {
+      options.prom_out = arg.substr(prom_prefix.size());
+    } else if (arg == "--prom_out" && i + 1 < argc) {
+      options.prom_out = argv[++i];
     } else if (arg.rfind(threads_prefix, 0) == 0) {
       options.threads = ApplyThreadsFlag(arg.substr(threads_prefix.size()));
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -73,13 +94,16 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\nusage: %s [--metrics_out=<path>] "
-                   "[--threads=<N>]\n",
+                   "[--trace_out=<path>] [--prom_out=<path>] [--threads=<N>]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
   }
-  if (!options.metrics_out.empty()) {
+  if (!options.metrics_out.empty() || !options.prom_out.empty()) {
     obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  if (!options.trace_out.empty()) {
+    obs::TraceEventRecorder::InstallGlobal();
   }
   return options;
 }
@@ -110,36 +134,76 @@ inline StatusOr<obs::Span> TraceSampleQuery(const datagen::DatabaseEnv& env,
 /// One named training run to embed in the artifact (pointer may be null).
 using NamedTrainResult = std::pair<std::string, const train::TrainResult*>;
 
-/// Writes the bench's metrics artifact if --metrics_out was given: registry
-/// dump + sample-query trace on `env` + the given training loss curves.
-/// Returns the process exit code (0, or 1 when the write failed), so mains
-/// can `return MaybeWriteBenchMetrics(...)`.
+/// Writes the bench's observability artifacts: the JSON metrics artifact
+/// (--metrics_out: registry dump + sample-query trace on `env` + training
+/// loss curves + the estimator's quality section), the Prometheus text
+/// exposition (--prom_out) and the cross-thread timeline (--trace_out).
+/// Each flag is handled independently. Returns the process exit code (0, or
+/// 1 when any write failed), so mains can `return MaybeWriteBenchMetrics(...)`.
 inline int MaybeWriteBenchMetrics(
     const BenchOptions& options, const std::string& bench_name,
     const char* scale_name, const datagen::DatabaseEnv& env,
-    const std::vector<NamedTrainResult>& training_runs = {}) {
-  if (options.metrics_out.empty()) return 0;
-  obs::MetricsArtifact artifact(bench_name);
-  artifact.AddLabel("scale", scale_name);
-  artifact.SetRegistry(&obs::MetricsRegistry::Global());
-  StatusOr<obs::Span> trace = TraceSampleQuery(env);
-  if (trace.ok()) {
-    artifact.AddTrace("sample_query:" + env.db->name(), std::move(*trace));
-  } else {
-    std::fprintf(stderr, "[metrics] sample trace failed: %s\n",
-                 trace.status().ToString().c_str());
+    const std::vector<NamedTrainResult>& training_runs = {},
+    const zeroshot::ZeroShotEstimator* estimator = nullptr) {
+  int exit_code = 0;
+  if (!options.metrics_out.empty()) {
+    obs::MetricsArtifact artifact(bench_name);
+    artifact.AddLabel("scale", scale_name);
+    artifact.SetRegistry(&obs::MetricsRegistry::Global());
+    if (estimator != nullptr) {
+      artifact.SetQualityMonitor(estimator->quality_monitor());
+    }
+    StatusOr<obs::Span> trace = TraceSampleQuery(env);
+    if (trace.ok()) {
+      // The sample query's operator tree also lands on the timeline (if one
+      // is being recorded) as its own named track.
+      if (obs::TraceEventRecorder* recorder = obs::TraceEventRecorder::Global();
+          recorder != nullptr) {
+        obs::ProjectSpanTree(recorder, *trace,
+                             "sample_query:" + env.db->name());
+      }
+      artifact.AddTrace("sample_query:" + env.db->name(), std::move(*trace));
+    } else {
+      std::fprintf(stderr, "[metrics] sample trace failed: %s\n",
+                   trace.status().ToString().c_str());
+    }
+    for (const auto& [name, result] : training_runs) {
+      if (result != nullptr) artifact.AddTrainingRun(name, result->history);
+    }
+    Status status = artifact.WriteTo(options.metrics_out);
+    if (status.ok()) {
+      std::fprintf(stderr, "[metrics] wrote %s\n", options.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "[metrics] write failed: %s\n",
+                   status.ToString().c_str());
+      exit_code = 1;
+    }
   }
-  for (const auto& [name, result] : training_runs) {
-    if (result != nullptr) artifact.AddTrainingRun(name, result->history);
+  if (!options.prom_out.empty()) {
+    Status status =
+        obs::WritePrometheusTo(obs::MetricsRegistry::Global(), options.prom_out);
+    if (status.ok()) {
+      std::fprintf(stderr, "[metrics] wrote %s\n", options.prom_out.c_str());
+    } else {
+      std::fprintf(stderr, "[metrics] prometheus write failed: %s\n",
+                   status.ToString().c_str());
+      exit_code = 1;
+    }
   }
-  Status status = artifact.WriteTo(options.metrics_out);
-  if (status.ok()) {
-    std::fprintf(stderr, "[metrics] wrote %s\n", options.metrics_out.c_str());
-    return 0;
+  if (!options.trace_out.empty()) {
+    obs::TraceEventRecorder* recorder = obs::TraceEventRecorder::Global();
+    if (recorder != nullptr) {
+      Status status = recorder->WriteTo(options.trace_out);
+      if (status.ok()) {
+        std::fprintf(stderr, "[metrics] wrote %s\n", options.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "[metrics] trace write failed: %s\n",
+                     status.ToString().c_str());
+        exit_code = 1;
+      }
+    }
   }
-  std::fprintf(stderr, "[metrics] write failed: %s\n",
-               status.ToString().c_str());
-  return 1;
+  return exit_code;
 }
 
 /// Experiment scale, selected by the ZERODB_SCALE environment variable

@@ -107,7 +107,8 @@ int Run(const BenchOptions& options) {
 
   return MaybeWriteBenchMetrics(
       options, "bench_ext_queryopt", context.scale.name, imdb,
-      {{"zero_shot_estimated", &context.zero_shot_estimated->train_result()}});
+      {{"zero_shot_estimated", &context.zero_shot_estimated->train_result()}},
+      context.zero_shot_estimated.get());
 }
 
 }  // namespace

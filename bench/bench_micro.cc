@@ -13,6 +13,7 @@
 #include "models/zeroshot_model.h"
 #include "nn/ops.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "stats/histogram.h"
@@ -185,6 +186,23 @@ void BM_ZeroShotTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ZeroShotTrainStep);
 
+// One serving-time feedback sample: q-error + histogram + EWMA drift update.
+// This is per executed query, so "cheap" here means < 1us; it also seeds the
+// quality.* metrics that bench_summary.py folds into BENCH_micro.json.
+void BM_QualityMonitorRecord(benchmark::State& state) {
+  obs::MetricsRegistry::Global().set_enabled(true);
+  obs::PredictionQualityMonitor monitor;
+  Rng rng(11);
+  for (auto _ : state) {
+    double actual = rng.UniformDouble(0.5, 50.0);
+    double predicted = actual * rng.UniformDouble(0.5, 2.0);
+    monitor.Record(predicted, actual);
+    benchmark::DoNotOptimize(monitor.drifting());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QualityMonitorRecord);
+
 // Quantifies the instrumentation cost claimed in obs/metrics.h: the same
 // scan executed with a disabled registry (mode 0, the default state — cost
 // should be a relaxed load + branch per operator), an enabled registry
@@ -239,8 +257,8 @@ BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
 }  // namespace zerodb
 
 // Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags it
-// does not know, so --metrics_out and --threads are stripped from argv
-// before Initialize.
+// does not know, so --metrics_out, --trace_out, --prom_out and --threads are
+// stripped from argv before Initialize.
 int main(int argc, char** argv) {
   zerodb::bench::BenchOptions options;
   std::vector<char*> passthrough;
@@ -251,6 +269,14 @@ int main(int argc, char** argv) {
       options.metrics_out = arg.substr(std::string("--metrics_out=").size());
     } else if (arg == "--metrics_out" && i + 1 < argc) {
       options.metrics_out = argv[++i];
+    } else if (arg.rfind("--trace_out=", 0) == 0) {
+      options.trace_out = arg.substr(std::string("--trace_out=").size());
+    } else if (arg == "--trace_out" && i + 1 < argc) {
+      options.trace_out = argv[++i];
+    } else if (arg.rfind("--prom_out=", 0) == 0) {
+      options.prom_out = arg.substr(std::string("--prom_out=").size());
+    } else if (arg == "--prom_out" && i + 1 < argc) {
+      options.prom_out = argv[++i];
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = zerodb::bench::ApplyThreadsFlag(
           arg.substr(std::string("--threads=").size()));
@@ -260,8 +286,11 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  if (!options.metrics_out.empty()) {
+  if (!options.metrics_out.empty() || !options.prom_out.empty()) {
     zerodb::obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  if (!options.trace_out.empty()) {
+    zerodb::obs::TraceEventRecorder::InstallGlobal();
   }
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());
@@ -271,7 +300,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (options.metrics_out.empty()) return 0;
+  if (options.metrics_out.empty() && options.trace_out.empty() &&
+      options.prom_out.empty()) {
+    return 0;
+  }
   zerodb::MicroState& micro = zerodb::State();
   return zerodb::bench::MaybeWriteBenchMetrics(
       options, "bench_micro", "micro", micro.env,

@@ -72,7 +72,8 @@ inline int RunFigure4(workload::BenchmarkWorkload which,
       std::string("bench_fig4_") + workload::BenchmarkWorkloadName(which),
       context.scale.name, context.imdb,
       {{"zero_shot_estimated", &context.zero_shot_estimated->train_result()},
-       {"zero_shot_exact", &context.zero_shot_exact->train_result()}});
+       {"zero_shot_exact", &context.zero_shot_exact->train_result()}},
+      context.zero_shot_estimated.get());
 }
 
 }  // namespace zerodb::bench

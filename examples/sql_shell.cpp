@@ -6,7 +6,9 @@
 //   $ ./sql_shell                       # interactive
 //   $ echo "SELECT COUNT(*) FROM title;" | ./sql_shell
 //
-// Commands: \d (schema), \q (quit). Anything else is parsed as SQL.
+// Commands: \d (schema), \metrics (Prometheus dump), \trace <path> (write
+// the last query's operator timeline), \help, \q (quit). Anything else is
+// parsed as SQL.
 
 #include <cstdio>
 #include <iostream>
@@ -16,6 +18,10 @@
 #include "common/math_util.h"
 #include "datagen/corpus.h"
 #include "exec/executor.h"
+#include "obs/prom.h"
+#include "obs/quality.h"
+#include "obs/trace.h"
+#include "obs/trace_event.h"
 #include "optimizer/optimizer.h"
 #include "runtime/simulator.h"
 #include "sql/parser.h"
@@ -52,10 +58,42 @@ void PrintBatch(const exec::RowBatch& batch, size_t limit = 10) {
   }
 }
 
+void PrintHelp() {
+  std::printf(
+      "  \\d              show the schema of the connected database\n"
+      "  \\metrics        dump the live metrics registry (Prometheus text\n"
+      "                  exposition format: executor, planner, zero-shot and\n"
+      "                  quality.* prediction-quality series)\n"
+      "  \\trace <path>   write the last query's operator span tree as Chrome\n"
+      "                  trace-event JSON (open in chrome://tracing or\n"
+      "                  ui.perfetto.dev)\n"
+      "  \\help           this help\n"
+      "  \\q              quit\n"
+      "  anything else is parsed as SQL and executed\n");
+}
+
+/// Writes `root` (the last query's span tree) as a standalone Chrome
+/// trace-event file via a throwaway recorder.
+void WriteQueryTrace(const obs::Span& root, const std::string& path) {
+  obs::TraceEventRecorder recorder;
+  obs::ProjectSpanTree(&recorder, root, "last_query",
+                       /*end_ts_us=*/root.duration_ms * 1000.0);
+  Status status = recorder.WriteTo(path);
+  if (status.ok()) {
+    std::printf("wrote %s — open in chrome://tracing or ui.perfetto.dev\n",
+                path.c_str());
+  } else {
+    std::printf("trace write failed: %s\n", status.ToString().c_str());
+  }
+}
+
 }  // namespace
 
 int main() {
   SetLogLevel(LogLevel::kWarning);
+  // Live metrics for \metrics: executor/planner/zero-shot instrumentation
+  // plus the estimator's quality.* prediction-quality series.
+  obs::MetricsRegistry::Global().set_enabled(true);
 
   std::printf("zerodb shell — training zero-shot cost model "
               "(on 6 other databases)...\n");
@@ -67,11 +105,16 @@ int main() {
 
   auto imdb = datagen::MakeImdbEnv(7, 0.1);
   optimizer::Planner planner(imdb.db.get(), &imdb.stats);
-  exec::Executor executor(imdb.db.get());
+  obs::QueryTracer tracer;
+  exec::ExecutorOptions exec_options;
+  exec_options.tracer = &tracer;
+  exec::Executor executor(imdb.db.get(), exec_options);
   runtime::RuntimeSimulator simulator;
+  bool have_last_trace = false;
+  obs::Span last_trace;
 
   std::printf("Connected to database 'imdb' (never seen in training).\n");
-  std::printf("Type SQL, \\d for schema, \\q to quit.\n\n");
+  std::printf("Type SQL, \\d for schema, \\help for commands, \\q to quit.\n\n");
 
   std::string line;
   while (std::printf("zerodb> "), std::fflush(stdout),
@@ -80,6 +123,27 @@ int main() {
     if (line == "\\q") break;
     if (line == "\\d") {
       PrintSchema(*imdb.db);
+      continue;
+    }
+    if (line == "\\help" || line == "\\h") {
+      PrintHelp();
+      continue;
+    }
+    if (line == "\\metrics") {
+      std::fputs(obs::RenderPrometheus(obs::MetricsRegistry::Global()).c_str(),
+                 stdout);
+      continue;
+    }
+    if (line.rfind("\\trace", 0) == 0) {
+      std::string path = line.size() > 7 ? line.substr(7) : "";
+      while (!path.empty() && path.front() == ' ') path.erase(path.begin());
+      if (path.empty()) {
+        std::printf("usage: \\trace <path>\n");
+      } else if (!have_last_trace) {
+        std::printf("no query executed yet — run one first\n");
+      } else {
+        WriteQueryTrace(last_trace, path);
+      }
       continue;
     }
     auto query = sql::ParseQuery(line, *imdb.db);
@@ -93,21 +157,32 @@ int main() {
       continue;
     }
     auto predicted = estimator.EstimateQueryMs(imdb, *query);
+    tracer.Clear();
     auto result = executor.Execute(&*plan);
     if (!result.ok()) {
       std::printf("execution error: %s\n",
                   result.status().ToString().c_str());
       continue;
     }
+    if (!tracer.roots().empty()) {
+      last_trace = tracer.roots().front();
+      have_last_trace = true;
+    }
     double measured = simulator.PlanMs(*plan, *result);
 
     std::printf("\n%s\n\n", plan->root->ToString(*imdb.db).c_str());
     PrintBatch(result->output);
     if (predicted.ok()) {
+      // Every (prediction, measurement) pair feeds the online quality
+      // monitor — drift shows up under quality.* in \metrics.
+      estimator.RecordFeedback(*predicted, measured);
       std::printf("\n  zero-shot prediction: %8.2f ms   measured: %8.2f ms "
-                  "  (q-error %.2f)\n\n",
-                  *predicted, measured,
-                  QError(*predicted, measured));
+                  "  (q-error %.2f)%s\n\n",
+                  *predicted, measured, QError(*predicted, measured),
+                  estimator.quality_monitor() != nullptr &&
+                          estimator.quality_monitor()->drifting()
+                      ? "   [quality drift detected]"
+                      : "");
     }
   }
   std::printf("\nbye\n");

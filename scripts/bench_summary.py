@@ -4,17 +4,18 @@
 Inputs
   --micro <path>       google-benchmark JSON (bench_micro --benchmark_out=...)
   --metrics name=path  a bench --metrics_out artifact to mine for pool.*
-                       utilization (repeatable)
+                       utilization and quality.* prediction-quality series
+                       (repeatable)
   --wall name=seconds  whole-bench wall-clock measured by the caller
                        (repeatable)
   --out <path>         where to write the summary (default BENCH_micro.json)
   --commit <sha>       recorded verbatim (default $GITHUB_SHA, else "local")
 
-Output schema (schema_version 1), validated before writing — an invalid
+Output schema (schema_version 2), validated before writing — an invalid
 summary exits non-zero so CI fails instead of uploading garbage:
 
   {
-    "schema_version": 1,
+    "schema_version": 2,
     "commit": str,
     "host": {"threads": int},
     "benchmarks": [
@@ -28,7 +29,12 @@ summary exits non-zero so CI fails instead of uploading garbage:
     "wall_clock_s": {str: float},
     "pool": {str: {"tasks_scheduled": int, "tasks_run": int,
                     "parallel_for_calls": int,
-                    "steal_latency_us_p50": float | None}}
+                    "steal_latency_us_p50": float | None,
+                    "steal_latency_us_p95": float | None}},
+    "quality": {str: {"samples": int, "drift_events": int,
+                       "qerror_p50": float | None,
+                       "qerror_p95": float | None,
+                       "qerror_max": float | None}}
   }
 
 The perf trajectory lives in this one committed file: CI regenerates it on
@@ -42,7 +48,7 @@ import re
 import statistics
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
@@ -139,7 +145,43 @@ def extract_pool_stats(artifact):
         "steal_latency_us_p50": (
             float(steal["p50"]) if isinstance(steal, dict) else None
         ),
+        "steal_latency_us_p95": (
+            float(steal["p95"]) if isinstance(steal, dict) else None
+        ),
     }
+
+
+def extract_quality_stats(artifact):
+    """Folds the prediction-quality monitor section (or, failing that, the
+    raw quality.* metrics) into per-bench q-error quantiles. Returns None
+    when the artifact carries no quality data at all."""
+    quality = artifact.get("quality")
+    if isinstance(quality, dict):
+        qerror = quality.get("qerror", {})
+        drift = quality.get("drift", {})
+        return {
+            "samples": int(quality.get("samples", 0)),
+            "drift_events": int(drift.get("events", 0)),
+            "qerror_p50": _maybe_float(qerror.get("p50")),
+            "qerror_p95": _maybe_float(qerror.get("p95")),
+            "qerror_max": _maybe_float(qerror.get("max")),
+        }
+    metrics = artifact.get("metrics", {})
+    histogram = metrics.get("histograms", {}).get("quality.qerror")
+    if not isinstance(histogram, dict):
+        return None
+    counters = metrics.get("counters", {})
+    return {
+        "samples": int(counters.get("quality.samples", 0)),
+        "drift_events": int(counters.get("quality.drift_events", 0)),
+        "qerror_p50": _maybe_float(histogram.get("p50")),
+        "qerror_p95": _maybe_float(histogram.get("p95")),
+        "qerror_max": _maybe_float(histogram.get("max")),
+    }
+
+
+def _maybe_float(value):
+    return float(value) if isinstance(value, (int, float)) else None
 
 
 def validate(summary):
@@ -192,6 +234,19 @@ def validate(summary):
             f"wall_clock_s.{name}",
         )
     expect(isinstance(summary.get("pool"), dict), "pool must be a dict")
+    expect(isinstance(summary.get("quality"), dict), "quality must be a dict")
+    for name, stats in summary["quality"].items():
+        for key in ("samples", "drift_events"):
+            expect(
+                isinstance(stats.get(key), int) and stats[key] >= 0,
+                f"quality.{name}.{key}",
+            )
+        for key in ("qerror_p50", "qerror_p95", "qerror_max"):
+            value = stats.get(key)
+            expect(
+                value is None or isinstance(value, (int, float)),
+                f"quality.{name}.{key}",
+            )
 
 
 def parse_pairs(pairs, value_type, flag):
@@ -219,10 +274,19 @@ def main():
     args = parser.parse_args()
 
     benchmarks = summarize_micro(load_json(args.micro))
-    pool = {
-        name: extract_pool_stats(load_json(path))
+    artifacts = {
+        name: load_json(path)
         for name, path in parse_pairs(args.metrics, str, "--metrics").items()
     }
+    pool = {
+        name: extract_pool_stats(artifact)
+        for name, artifact in artifacts.items()
+    }
+    quality = {}
+    for name, artifact in artifacts.items():
+        stats = extract_quality_stats(artifact)
+        if stats is not None:
+            quality[name] = stats
     summary = {
         "schema_version": SCHEMA_VERSION,
         "commit": args.commit,
@@ -231,6 +295,7 @@ def main():
         "speedups": find_speedups(benchmarks),
         "wall_clock_s": parse_pairs(args.wall, float, "--wall"),
         "pool": pool,
+        "quality": quality,
     }
     validate(summary)
     with open(args.out, "w", encoding="utf-8") as f:
@@ -242,6 +307,16 @@ def main():
             f"bench_summary: {family}: {pair['serial_ms']:.1f} ms serial vs "
             f"{pair['parallel_ms']:.1f} ms at {pair['threads']} threads "
             f"({pair['speedup']:.2f}x)"
+        )
+    for name, stats in summary["quality"].items():
+        p50 = stats["qerror_p50"]
+        p95 = stats["qerror_p95"]
+        print(
+            f"bench_summary: {name}: quality q-error p50="
+            f"{p50 if p50 is not None else 'n/a'} p95="
+            f"{p95 if p95 is not None else 'n/a'} over "
+            f"{stats['samples']} samples, {stats['drift_events']} drift "
+            "event(s)"
         )
 
 

@@ -1,0 +1,25 @@
+// Known-bad fixture for the bare-span rule: manual BeginSpan/EndSpan pairs
+// outside src/obs/ must be flagged. An early return or exception between the
+// two calls leaves the tracer's span stack unbalanced, so instrumentation
+// goes through the RAII obs::SpanScope (or obs::TimelineScope). This file is
+// never compiled; it exists so `scripts/zerodb_lint.py --self-test` proves
+// the rule fires.
+
+#include "obs/trace.h"
+
+namespace zerodb {
+
+void ManuallyPairedSpan(obs::QueryTracer* tracer) {
+  tracer->BeginSpan("query");  // expect-lint: bare-span
+  tracer->EndSpan();           // expect-lint: bare-span
+}
+
+bool LeakOnEarlyReturn(obs::QueryTracer* tracer, bool fail) {
+  obs::Span* span = tracer->BeginSpan("scan");  // expect-lint: bare-span
+  span->AddAttribute("rows", 0.0);
+  if (fail) return false;  // span never ended — the stack is now wrong
+  tracer->EndSpan();  // expect-lint: bare-span
+  return true;
+}
+
+}  // namespace zerodb

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace_out.
+
+Checks the structural contract that chrome://tracing and ui.perfetto.dev
+rely on, so a malformed trace fails CI instead of silently rendering as an
+empty timeline:
+
+  - top level is an object with a "traceEvents" array
+  - every event is an object with string "name"/"ph" and integer-ish
+    "pid"/"tid"
+  - non-metadata events carry a numeric, non-negative "ts" (microseconds)
+  - complete events (ph "X") carry a numeric, non-negative "dur"
+  - counter events (ph "C") carry an "args" object with at least one
+    numeric series
+  - metadata events (ph "M") are process_name/thread_name with a string
+    args.name
+
+Beyond structure, callers assert content:
+
+  --require-track SUBSTR   at least one thread_name metadata event whose
+                           args.name contains SUBSTR (repeatable)
+  --require-event SUBSTR   at least one ph "X" event whose name contains
+                           SUBSTR (repeatable)
+
+Usage:
+  scripts/trace_validate.py trace.json \
+      --require-track pool-worker --require-event train.epoch
+
+Exit status: 0 valid, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = ("X", "C", "M")
+METADATA_NAMES = ("process_name", "thread_name")
+
+
+def fail(message):
+    print(f"trace_validate: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_event(event, index):
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        fail(f"{where}: event is not an object")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{where}: missing or non-string 'name'")
+    phase = event.get("ph")
+    if phase not in ALLOWED_PHASES:
+        fail(f"{where} ({name!r}): 'ph' must be one of {ALLOWED_PHASES}, "
+             f"got {phase!r}")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{where} ({name!r}): missing or non-integer {key!r}")
+    if phase == "M":
+        if name not in METADATA_NAMES:
+            fail(f"{where}: metadata event name must be one of "
+                 f"{METADATA_NAMES}, got {name!r}")
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+            fail(f"{where} ({name!r}): metadata event needs string args.name")
+        return
+    ts = event.get("ts")
+    if not is_number(ts) or ts < 0:
+        fail(f"{where} ({name!r}): missing or negative 'ts'")
+    if phase == "X":
+        dur = event.get("dur")
+        if not is_number(dur) or dur < 0:
+            fail(f"{where} ({name!r}): complete event needs "
+                 f"non-negative 'dur', got {dur!r}")
+    if phase == "C":
+        args = event.get("args")
+        if not isinstance(args, dict) or not any(
+                is_number(v) for v in args.values()):
+            fail(f"{where} ({name!r}): counter event needs an 'args' object "
+                 "with at least one numeric series")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace-event JSON file to validate")
+    parser.add_argument("--require-track", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="require a thread_name track containing SUBSTR")
+    parser.add_argument("--require-event", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="require a complete event whose name contains "
+                             "SUBSTR")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {args.trace}: {error}")
+
+    if not isinstance(trace, dict):
+        fail("top level must be an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("'traceEvents' must be a non-empty array")
+
+    tracks = set()
+    complete_names = set()
+    phase_counts = {phase: 0 for phase in ALLOWED_PHASES}
+    for index, event in enumerate(events):
+        validate_event(event, index)
+        phase_counts[event["ph"]] += 1
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            tracks.add(event["args"]["name"])
+        if event["ph"] == "X":
+            complete_names.add(event["name"])
+
+    for needle in args.require_track:
+        if not any(needle in track for track in tracks):
+            fail(f"no thread_name track contains {needle!r}; tracks: "
+                 f"{sorted(tracks)}")
+    for needle in args.require_event:
+        if not any(needle in name for name in complete_names):
+            fail(f"no complete event name contains {needle!r}")
+
+    print(f"trace_validate: {args.trace} OK — "
+          f"{phase_counts['X']} complete, {phase_counts['C']} counter, "
+          f"{phase_counts['M']} metadata events across "
+          f"{len(tracks)} named tracks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/sync.h"
 #include "obs/metrics.h"
+#include "obs/trace_event.h"
 
 namespace zerodb {
 
@@ -87,7 +88,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -115,7 +116,12 @@ void ThreadPool::Schedule(std::function<void()> fn) {
   metrics.tasks_scheduled->Add(1);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  // Names the worker's timeline track ("pool-worker-3") whether the trace
+  // recorder already exists or gets installed later — the name is stored
+  // thread-locally and read on first event.
+  obs::SetCurrentThreadTraceName("pool-worker-" +
+                                 std::to_string(worker_index));
   PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
     Task task;
@@ -130,7 +136,10 @@ void ThreadPool::WorkerLoop() {
     if (task.enqueue_us > 0.0) {
       metrics.steal_latency_us->Observe(NowUs() - task.enqueue_us);
     }
-    task.fn();
+    {
+      obs::TimelineScope scope("pool.task", "pool");
+      task.fn();
+    }
     metrics.tasks_run->Add(1);
   }
 }

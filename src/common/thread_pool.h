@@ -87,7 +87,7 @@ class ThreadPool {
     double enqueue_us = 0.0;
   };
 
-  void WorkerLoop() ZDB_EXCLUDES(mu_);
+  void WorkerLoop(size_t worker_index) ZDB_EXCLUDES(mu_);
 
   Mutex mu_;
   CondVar work_cv_;

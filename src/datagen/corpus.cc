@@ -1,6 +1,7 @@
 #include "datagen/corpus.h"
 
 #include "common/check.h"
+#include "obs/trace_event.h"
 
 namespace zerodb::datagen {
 
@@ -63,6 +64,8 @@ std::vector<DatabaseEnv> MakeTrainingCorpus(uint64_t seed, size_t count,
   std::vector<DatabaseEnv> corpus(count);
   ParallelFor(pool, 0, count, /*grain=*/1, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
+      obs::TimelineScope db_scope("corpus.db", "datagen");
+      db_scope.AddArg("db", static_cast<double>(i));
       GeneratorConfig config;
       config.scale = scale;
       // Vary the size band per database so the corpus covers small OLTP-ish

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/trace_event.h"
 #include "plan/validate.h"
 
 namespace zerodb::exec {
@@ -148,6 +149,7 @@ StatusOr<RowBatch> Executor::ExecuteNode(PhysicalNode* node,
   // The span opens before the child recursion in the switch, so child spans
   // nest underneath; span and histogram time covers the whole subtree.
   obs::SpanScope span(options_.tracer, plan::PhysicalOpName(node->type));
+  obs::TimelineScope timeline(plan::PhysicalOpName(node->type), "exec");
   obs::ScopedTimer timer(registry_->enabled() ? operator_us_ : nullptr);
   OperatorStats stats;
   StatusOr<RowBatch> batch_or = [&]() -> StatusOr<RowBatch> {

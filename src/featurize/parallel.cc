@@ -1,5 +1,7 @@
 #include "featurize/parallel.h"
 
+#include "obs/trace_event.h"
+
 namespace zerodb::featurize {
 
 std::vector<PlanGraph> FeaturizeAll(
@@ -9,6 +11,8 @@ std::vector<PlanGraph> FeaturizeAll(
   // Grain of 8: one plan featurizes in ~tens of microseconds, so batching a
   // few per chunk keeps scheduling overhead below the work itself.
   ParallelFor(pool, 0, count, /*grain=*/8, [&](size_t begin, size_t end) {
+    obs::TimelineScope chunk_scope("featurize.chunk", "featurize");
+    chunk_scope.AddArg("plans", static_cast<double>(end - begin));
     for (size_t i = begin; i < end; ++i) graphs[i] = featurize(i);
   });
   return graphs;

@@ -2,7 +2,28 @@
 
 #include <cstdio>
 
+#include "obs/quality.h"
+
 namespace zerodb::obs {
+
+Status WriteFileAtomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + tmp + " for writing");
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  int close_result = std::fclose(file);
+  if (written != text.size() || close_result != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status();
+}
 
 JsonValue MetricsArtifact::ToJson() const {
   JsonValue out = JsonValue::Object();
@@ -25,22 +46,14 @@ JsonValue MetricsArtifact::ToJson() const {
     }
     out.Set("training", std::move(training));
   }
+  if (quality_ != nullptr) out.Set("quality", quality_->ToJson());
   return out;
 }
 
 Status MetricsArtifact::WriteTo(const std::string& path) const {
   std::string text = ToJson().Dump(/*indent=*/2);
   text.push_back('\n');
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
-  size_t written = std::fwrite(text.data(), 1, text.size(), file);
-  int close_result = std::fclose(file);
-  if (written != text.size() || close_result != 0) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status();
+  return WriteFileAtomic(path, text);
 }
 
 }  // namespace zerodb::obs

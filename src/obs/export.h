@@ -13,6 +13,15 @@
 
 namespace zerodb::obs {
 
+class PredictionQualityMonitor;
+
+/// Writes `text` to `path` crash-safely: the bytes land in `<path>.tmp`
+/// first and replace `path` via atomic rename, so a reader (or a crash mid
+/// write) sees either the old artifact or the new one — never a torn file.
+/// Every artifact writer in this module (JSON, Prometheus, traces) goes
+/// through here.
+Status WriteFileAtomic(const std::string& path, const std::string& text);
+
 /// One run's observability output, assembled by benches (--metrics_out) and
 /// any other caller that wants a single machine-readable artifact: registry
 /// metrics + query traces + training loss curves + free-form labels.
@@ -22,7 +31,8 @@ namespace zerodb::obs {
 ///   "name": "...", "labels": {...},
 ///   "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
 ///   "traces": {"<trace name>": <span tree>, ...},
-///   "training": {"<run name>": [{epoch,...}, ...], ...}
+///   "training": {"<run name>": [{epoch,...}, ...], ...},
+///   "quality": {"samples": ..., "qerror": {...}, "drift": {...}}
 /// }
 class MetricsArtifact {
  public:
@@ -39,10 +49,16 @@ class MetricsArtifact {
   void AddTrainingRun(std::string name, std::vector<EpochStat> history) {
     training_.emplace_back(std::move(name), std::move(history));
   }
+  /// The prediction-quality monitor whose rolling q-error / drift state is
+  /// embedded as the "quality" section (nullptr = omit).
+  void SetQualityMonitor(const PredictionQualityMonitor* monitor) {
+    quality_ = monitor;
+  }
 
   JsonValue ToJson() const;
 
-  /// Serializes (pretty-printed) to `path`, overwriting.
+  /// Serializes (pretty-printed) to `path` crash-safely (tmp file + atomic
+  /// rename).
   Status WriteTo(const std::string& path) const;
 
  private:
@@ -51,6 +67,7 @@ class MetricsArtifact {
   const MetricsRegistry* registry_ = nullptr;
   std::vector<std::pair<std::string, Span>> traces_;
   std::vector<std::pair<std::string, std::vector<EpochStat>>> training_;
+  const PredictionQualityMonitor* quality_ = nullptr;
 };
 
 }  // namespace zerodb::obs

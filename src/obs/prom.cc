@@ -1,0 +1,101 @@
+#include "obs/prom.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace zerodb::obs {
+
+namespace {
+
+/// %.17g round-trips doubles and renders integers without a trailing ".0",
+/// matching what Prometheus client libraries emit.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendTypeLine(std::string* out, const std::string& name,
+                    const char* type) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& value) {
+  out->append(name);
+  out->push_back(' ');
+  out->append(value);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    AppendTypeLine(&out, prom, "counter");
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+    AppendSample(&out, prom, buffer);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    AppendTypeLine(&out, prom, "gauge");
+    AppendSample(&out, prom, FormatDouble(value));
+  }
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    const std::string prom = PrometheusName(histogram.name);
+    AppendTypeLine(&out, prom, "histogram");
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      cumulative += histogram.buckets[i];
+      out.append(prom);
+      out.append("_bucket{le=\"");
+      out.append(FormatDouble(histogram.bounds[i]));
+      out.append("\"} ");
+      out.append(std::to_string(cumulative));
+      out.push_back('\n');
+    }
+    // The +Inf bucket equals _count by construction (overflow included).
+    cumulative += histogram.buckets.empty() ? 0 : histogram.buckets.back();
+    out.append(prom);
+    out.append("_bucket{le=\"+Inf\"} ");
+    out.append(std::to_string(cumulative));
+    out.push_back('\n');
+    AppendSample(&out, prom + "_sum", FormatDouble(histogram.sum));
+    AppendSample(&out, prom + "_count", std::to_string(histogram.count));
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  return RenderPrometheus(registry.Snapshot());
+}
+
+Status WritePrometheusTo(const MetricsRegistry& registry,
+                         const std::string& path) {
+  return WriteFileAtomic(path, RenderPrometheus(registry));
+}
+
+}  // namespace zerodb::obs

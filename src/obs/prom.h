@@ -1,0 +1,41 @@
+#ifndef ZERODB_OBS_PROM_H_
+#define ZERODB_OBS_PROM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace zerodb::obs {
+
+/// Renders `registry` in the Prometheus text exposition format (version
+/// 0.0.4): one `# TYPE` line plus samples per metric, names sorted.
+///
+/// Mapping and caveats (DESIGN.md "Timeline tracing & quality monitoring"):
+///  - metric names are sanitized to [a-zA-Z0-9_:] — the registry's dotted
+///    names become underscored (pool.tasks_run → pool_tasks_run);
+///  - Counter → counter, Gauge → gauge;
+///  - Histogram → histogram with *cumulative* `_bucket{le="..."}` series
+///    (the registry stores per-bucket counts; the renderer accumulates),
+///    a final `le="+Inf"` bucket, plus `_sum` and `_count`;
+///  - samples carry no timestamps: this is a point-in-time scrape of a
+///    process-local registry, not a federation endpoint. Writers are
+///    relaxed atomics, so sum/count/buckets may disagree by in-flight
+///    observations — Prometheus tolerates that within one scrape.
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// Renders a snapshot taken earlier (e.g. to expose the same instant as a
+/// JSON artifact written next to it).
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// Sanitizes one metric name for exposition (invalid chars → '_'; a leading
+/// digit gets a '_' prefix).
+std::string PrometheusName(const std::string& name);
+
+/// RenderPrometheus + crash-safe write (tmp file + atomic rename).
+Status WritePrometheusTo(const MetricsRegistry& registry,
+                         const std::string& path);
+
+}  // namespace zerodb::obs
+
+#endif  // ZERODB_OBS_PROM_H_

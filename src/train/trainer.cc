@@ -13,6 +13,7 @@
 #include "nn/ops.h"
 #include "nn/validate.h"
 #include "obs/metrics.h"
+#include "obs/trace_event.h"
 
 namespace zerodb::train {
 
@@ -182,6 +183,8 @@ TrainResult TrainModel(models::NeuralCostModel* model,
 
   for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
     obs::ScopedTimer epoch_timer(registry.enabled() ? epoch_us : nullptr);
+    obs::TimelineScope epoch_scope("train.epoch", "train");
+    epoch_scope.AddArg("epoch", static_cast<double>(epoch + 1));
     const float learning_rate = schedule->RateForEpoch(epoch);
     optimizer.set_learning_rate(learning_rate);
     rng.Shuffle(&training);
@@ -191,6 +194,7 @@ TrainResult TrainModel(models::NeuralCostModel* model,
     for (size_t start = 0; start < training.size();
          start += options.batch_size) {
       size_t end = std::min(start + options.batch_size, training.size());
+      obs::TimelineScope batch_scope("train.batch", "train");
       std::vector<const QueryRecord*> batch(training.begin() + start,
                                             training.begin() + end);
       const size_t batch_size = batch.size();
@@ -217,6 +221,8 @@ TrainResult TrainModel(models::NeuralCostModel* model,
                   [&](size_t chunk_begin, size_t chunk_end) {
                     models::NeuralCostModel* m = acquire_executor();
                     for (size_t s = chunk_begin; s < chunk_end; ++s) {
+                      obs::TimelineScope shard_scope("train.shard", "train");
+                      shard_scope.AddArg("shard", static_cast<double>(s));
                       const size_t shard_begin = s * kShardRecords;
                       const size_t shard_end =
                           std::min(batch_size, shard_begin + kShardRecords);

@@ -73,6 +73,19 @@ AdvisorResult IndexAdvisor::Recommend(
     const datagen::DatabaseEnv& env,
     const std::vector<plan::QuerySpec>& workload) {
   AdvisorResult result;
+  const obs::PredictionQualityMonitor* quality = estimator_->quality_monitor();
+  result.quality_degraded = quality != nullptr && quality->drifting();
+  const double min_improvement = result.quality_degraded
+                                     ? options_.degraded_min_improvement
+                                     : options_.min_improvement;
+  if (result.quality_degraded) {
+    ZDB_LOG(Warning) << "advisor: estimator prediction quality is drifting "
+                        "(ewma q-error "
+                     << quality->EwmaQError() << " vs reference "
+                     << quality->ReferenceQError()
+                     << "); requiring >= " << min_improvement
+                     << "x predicted improvement per index";
+  }
   result.baseline_total_ms = PredictWorkloadMs(env, workload, {});
   double current = result.baseline_total_ms;
 
@@ -90,7 +103,7 @@ AdvisorResult IndexAdvisor::Recommend(
       }
     }
     if (best_index == remaining.size() ||
-        current / std::max(best_ms, 1e-9) < options_.min_improvement) {
+        current / std::max(best_ms, 1e-9) < min_improvement) {
       break;  // no candidate helps enough
     }
     result.chosen.push_back(remaining[best_index]);

@@ -21,6 +21,10 @@ struct AdvisorResult {
   std::vector<IndexCandidate> chosen;
   double baseline_total_ms = 0.0;   ///< predicted workload cost, no new indexes
   double final_total_ms = 0.0;      ///< predicted cost with chosen indexes
+  /// True when the estimator's quality monitor reported prediction drift at
+  /// recommendation time: the search then required degraded_min_improvement
+  /// and these recommendations deserve extra scrutiny.
+  bool quality_degraded = false;
 };
 
 /// The paper's Section 4.1 application: physical design tuning driven by a
@@ -33,6 +37,10 @@ struct IndexAdvisorOptions {
   /// Keep a candidate only if it improves predicted workload time by at
   /// least this factor (1.0 = any improvement).
   double min_improvement = 1.005;
+  /// Stricter improvement bar applied while the estimator's online quality
+  /// monitor reports drift: when the model's live q-error has degraded, tiny
+  /// predicted wins are likely noise, so only clear wins survive.
+  double degraded_min_improvement = 1.05;
 };
 
 class IndexAdvisor {

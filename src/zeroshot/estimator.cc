@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace_event.h"
 
 namespace zerodb::zeroshot {
 
@@ -88,6 +89,7 @@ ZeroShotEstimator ZeroShotEstimator::TrainFromRecords(
   estimator.train_result_ = train::TrainModel(
       estimator.model_.get(), train::MakeView(estimator.training_records_),
       config.trainer);
+  estimator.quality_ = std::make_unique<obs::PredictionQualityMonitor>();
   return estimator;
 }
 
@@ -99,7 +101,22 @@ std::vector<double> ZeroShotEstimator::PredictMs(
   metrics.predictions->Add(static_cast<int64_t>(records.size()));
   obs::ScopedTimer timer(metrics.registry.enabled() ? metrics.predict_us
                                                     : nullptr);
-  return model_->PredictMs(records);
+  std::vector<double> predicted;
+  {
+    obs::TimelineScope scope("zeroshot.predict", "zeroshot");
+    scope.AddArg("records", static_cast<double>(records.size()));
+    predicted = model_->PredictMs(records);
+  }
+  // Records that carry a measured runtime (executed evaluation workloads)
+  // double as serving-time feedback for the quality monitor.
+  if (quality_ != nullptr) {
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i]->runtime_ms > 0.0) {
+        quality_->Record(predicted[i], records[i]->runtime_ms);
+      }
+    }
+  }
+  return predicted;
 }
 
 StatusOr<double> ZeroShotEstimator::EstimateQueryMs(
@@ -113,6 +130,7 @@ StatusOr<double> ZeroShotEstimator::EstimateQueryMs(
   }
   EstimatorMetrics& metrics = EstimatorMetrics::Get();
   metrics.estimate_query_calls->Add(1);
+  obs::TimelineScope scope("zeroshot.estimate_query", "zeroshot");
   optimizer::Planner planner(env.db.get(), &env.stats, optimizer::CostParams(),
                              planner_options);
   plan::PhysicalPlan plan;

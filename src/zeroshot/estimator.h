@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "datagen/corpus.h"
 #include "models/zeroshot_model.h"
+#include "obs/quality.h"
 #include "train/dataset.h"
 #include "train/trainer.h"
 #include "workload/benchmarks.h"
@@ -56,6 +57,20 @@ class ZeroShotEstimator {
       const datagen::DatabaseEnv& env, const plan::QuerySpec& query,
       const optimizer::PlannerOptions& planner_options = {});
 
+  /// Feeds one serving-time (prediction, observed runtime) pair into the
+  /// online quality monitor — call it whenever a predicted query was
+  /// actually executed. PredictMs does this automatically for records that
+  /// carry a measured runtime.
+  void RecordFeedback(double predicted_ms, double actual_ms) {
+    if (quality_ != nullptr) quality_->Record(predicted_ms, actual_ms);
+  }
+
+  /// Rolling q-error / drift state for this model's live predictions.
+  /// Non-null after Train/TrainFromRecords.
+  const obs::PredictionQualityMonitor* quality_monitor() const {
+    return quality_.get();
+  }
+
   models::ZeroShotCostModel& model() { return *model_; }
   const train::TrainResult& train_result() const { return train_result_; }
   const std::vector<train::QueryRecord>& training_records() const {
@@ -68,6 +83,7 @@ class ZeroShotEstimator {
   std::unique_ptr<models::ZeroShotCostModel> model_;
   train::TrainResult train_result_;
   std::vector<train::QueryRecord> training_records_;
+  std::unique_ptr<obs::PredictionQualityMonitor> quality_;
 };
 
 /// Collects the zero-shot training set: `queries_per_database` labeled

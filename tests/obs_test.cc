@@ -4,12 +4,16 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "exec/executor.h"
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
+#include "obs/quality.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/trace_event.h"
 #include "plan/physical.h"
 #include "storage/database.h"
 
@@ -170,6 +174,67 @@ TEST(MetricsTest, HistogramQuantiles) {
   EXPECT_NEAR(histogram->Quantile(0.95), 47.5, 5.0);
   EXPECT_LE(histogram->Quantile(1.0), histogram->max());
   EXPECT_GE(histogram->Quantile(0.0), histogram->min() - 1e-9);
+}
+
+TEST(MetricsTest, HistogramQuantileEdgeCases) {
+  MetricsRegistry registry(/*enabled=*/true);
+
+  // Empty histogram: every quantile is 0.
+  Histogram* empty = registry.GetHistogram("empty", {1.0, 2.0});
+  EXPECT_EQ(empty->Quantile(0.0), 0.0);
+  EXPECT_EQ(empty->Quantile(0.5), 0.0);
+  EXPECT_EQ(empty->Quantile(1.0), 0.0);
+
+  // q = 0 / q = 1 clamp to the observed extremes, and out-of-range q is
+  // clamped into [0, 1] rather than extrapolated.
+  Histogram* small = registry.GetHistogram("small", {10.0, 20.0});
+  small->Observe(4.0);
+  small->Observe(15.0);
+  EXPECT_DOUBLE_EQ(small->Quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(small->Quantile(1.0), 15.0);
+  EXPECT_DOUBLE_EQ(small->Quantile(-3.0), small->Quantile(0.0));
+  EXPECT_DOUBLE_EQ(small->Quantile(7.0), small->Quantile(1.0));
+
+  // All mass in the +inf overflow bucket: quantiles must come back as the
+  // observed max, never as infinity or a bound nothing reached.
+  Histogram* overflow = registry.GetHistogram("overflow", {1.0, 2.0});
+  overflow->Observe(100.0);
+  overflow->Observe(200.0);
+  EXPECT_GE(overflow->Quantile(0.5), 100.0);
+  EXPECT_LE(overflow->Quantile(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(overflow->Quantile(1.0), 200.0);
+  EXPECT_GE(overflow->Quantile(0.01), 100.0);
+}
+
+TEST(MetricsTest, SnapshotCopiesStateAndSortsNames) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.GetCounter("z.counter")->Add(2);
+  registry.GetCounter("a.counter")->Add(1);
+  registry.GetGauge("g")->Set(1.5);
+  Histogram* histogram = registry.GetHistogram("h", {10.0, 20.0});
+  histogram->Observe(5.0);
+  histogram->Observe(25.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.counter");
+  EXPECT_EQ(snapshot.counters[1].first, "z.counter");
+  EXPECT_EQ(snapshot.counters[1].second, 2);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 1.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& h = snapshot.histograms[0];
+  EXPECT_EQ(h.name, "h");
+  ASSERT_EQ(h.bounds.size(), 2u);
+  ASSERT_EQ(h.buckets.size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(h.buckets[0], 1);      // 5.0 <= 10
+  EXPECT_EQ(h.buckets[1], 0);
+  EXPECT_EQ(h.buckets[2], 1);      // 25.0 > 20 (overflow)
+  EXPECT_EQ(h.count, 2);
+  EXPECT_DOUBLE_EQ(h.sum, 30.0);
+  // The snapshot is a copy: later writes do not retroactively change it.
+  histogram->Observe(1.0);
+  EXPECT_EQ(h.count, 2);
 }
 
 TEST(MetricsTest, RegistryToJson) {
@@ -393,6 +458,439 @@ TEST(ArtifactTest, WriteToProducesParseableJson) {
   ASSERT_NE(run, nullptr);
   ASSERT_EQ(run->size(), 1u);
   EXPECT_EQ(run->at(0).Find("epoch")->AsInt(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Span::FromJson malformed input
+
+TEST(TraceTest, SpanFromJsonRejectsMalformedInput) {
+  // Not an object.
+  EXPECT_FALSE(Span::FromJson(JsonValue(3.0)).ok());
+  EXPECT_FALSE(Span::FromJson(JsonValue::Array()).ok());
+
+  // Missing / non-string name.
+  EXPECT_FALSE(Span::FromJson(JsonValue::Object()).ok());
+  {
+    JsonValue span = JsonValue::Object();
+    span.Set("name", 7);
+    EXPECT_FALSE(Span::FromJson(span).ok());
+  }
+  // Wrong-typed optional fields.
+  {
+    JsonValue span = JsonValue::Object();
+    span.Set("name", "scan");
+    span.Set("detail", 1.0);
+    EXPECT_FALSE(Span::FromJson(span).ok());
+  }
+  {
+    JsonValue span = JsonValue::Object();
+    span.Set("name", "scan");
+    span.Set("duration_ms", "fast");
+    EXPECT_FALSE(Span::FromJson(span).ok());
+  }
+  {
+    JsonValue span = JsonValue::Object();
+    span.Set("name", "scan");
+    JsonValue attrs = JsonValue::Object();
+    attrs.Set("rows", "many");
+    span.Set("attributes", std::move(attrs));
+    EXPECT_FALSE(Span::FromJson(span).ok());
+  }
+  {
+    JsonValue span = JsonValue::Object();
+    span.Set("name", "scan");
+    span.Set("children", JsonValue::Object());
+    EXPECT_FALSE(Span::FromJson(span).ok());
+  }
+  // A malformed child poisons the whole tree.
+  {
+    JsonValue bad_child = JsonValue::Object();  // no name
+    JsonValue children = JsonValue::Array();
+    children.Append(std::move(bad_child));
+    JsonValue span = JsonValue::Object();
+    span.Set("name", "root");
+    span.Set("children", std::move(children));
+    EXPECT_FALSE(Span::FromJson(span).ok());
+  }
+}
+
+TEST(TraceTest, SpanFromJsonRoundTripWithChildren) {
+  Span root;
+  root.name = "HashJoin";
+  root.detail = "t1 x t2";
+  root.duration_ms = 3.25;
+  root.AddAttribute("output_rows", 42.0);
+  Span child;
+  child.name = "SeqScan";
+  child.duration_ms = 1.5;
+  root.children.push_back(child);
+
+  auto restored = Span::FromJson(root.ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->ToJson().Dump(), root.ToJson().Dump());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread timeline recorder
+
+/// Pulls the traceEvents array out of a recorder's JSON.
+const JsonValue* EventsOf(const JsonValue& trace) {
+  const JsonValue* events = trace.Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  return events;
+}
+
+TEST(TraceEventTest, RecordsCompleteAndCounterEvents) {
+  TraceEventRecorder recorder;
+  {
+    TimelineScope scope("work", "test", &recorder);
+    scope.AddArg("items", 3.0);
+  }
+  recorder.AddCounter("queue_depth", 7.0);
+
+  JsonValue trace = recorder.ToJson();
+  EXPECT_EQ(trace.Find("displayTimeUnit")->AsString(), "ms");
+  const JsonValue* events = EventsOf(trace);
+  ASSERT_NE(events, nullptr);
+
+  bool saw_process_name = false, saw_thread_name = false;
+  bool saw_work = false, saw_counter = false;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const std::string ph = event.Find("ph")->AsString();
+    const std::string name = event.Find("name")->AsString();
+    if (ph == "M" && name == "process_name") saw_process_name = true;
+    if (ph == "M" && name == "thread_name") saw_thread_name = true;
+    if (ph == "X" && name == "work") {
+      saw_work = true;
+      EXPECT_GE(event.Find("dur")->AsDouble(), 0.0);
+      EXPECT_GE(event.Find("ts")->AsDouble(), 0.0);
+      ASSERT_NE(event.Find("args"), nullptr);
+      EXPECT_DOUBLE_EQ(event.Find("args")->Find("items")->AsDouble(), 3.0);
+    }
+    if (ph == "C" && name == "queue_depth") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(event.Find("args")->Find("value")->AsDouble(), 7.0);
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_work);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(TraceEventTest, DisabledOrNullRecorderIsFreeAndSafe) {
+  {
+    TimelineScope scope("noop", "test", nullptr);
+    EXPECT_FALSE(scope.active());
+    scope.AddArg("ignored", 1.0);
+  }
+  TraceEventRecorder recorder;
+  recorder.set_enabled(false);
+  {
+    TimelineScope scope("noop", "test", &recorder);
+    EXPECT_FALSE(scope.active());
+  }
+  recorder.AddCompleteEvent("direct", "test", 0.0, 1.0);
+  recorder.AddCounter("direct", 1.0);
+  // Only metadata (process name) in the output — no tracks were opened.
+  JsonValue trace = recorder.ToJson();
+  EXPECT_EQ(EventsOf(trace)->size(), 1u);
+}
+
+TEST(TraceEventTest, EightThreadsRecordConcurrentlyWithNamedTracks) {
+  TraceEventRecorder recorder;
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 200;
+  // zerodb-lint: allow(raw-thread): racing the recorder is the test
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      SetCurrentThreadTraceName("stress-" + std::to_string(t));
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        TimelineScope scope("tick", "stress", &recorder);
+        scope.AddArg("i", static_cast<double>(i));
+      }
+    });
+  }
+  // Exports race the writers: ToJson must see consistent (never torn) state.
+  for (int i = 0; i < 4; ++i) recorder.ToJson();
+  // zerodb-lint: allow(raw-thread): racing the recorder is the test
+  for (std::thread& thread : threads) thread.join();
+
+  JsonValue trace = recorder.ToJson();
+  const JsonValue* events = EventsOf(trace);
+  int ticks = 0;
+  std::vector<std::string> track_names;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    if (event.Find("ph")->AsString() == "X") ++ticks;
+    if (event.Find("ph")->AsString() == "M" &&
+        event.Find("name")->AsString() == "thread_name") {
+      track_names.push_back(event.Find("args")->Find("name")->AsString());
+    }
+  }
+  EXPECT_EQ(ticks, kThreads * kEventsPerThread);
+  EXPECT_EQ(recorder.dropped_events(), 0);
+  // Every stress thread got its own named track.
+  int stress_tracks = 0;
+  for (const std::string& name : track_names) {
+    if (name.rfind("stress-", 0) == 0) ++stress_tracks;
+  }
+  EXPECT_EQ(stress_tracks, kThreads);
+}
+
+TEST(TraceEventTest, BoundedBuffersCountDroppedEvents) {
+  TraceEventRecorder::Options options;
+  options.max_events_per_thread = 4;
+  TraceEventRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.AddCompleteEvent("e", "test", static_cast<double>(i), 1.0);
+  }
+  EXPECT_EQ(recorder.dropped_events(), 6);
+  JsonValue trace = recorder.ToJson();
+  const JsonValue* events = EventsOf(trace);
+  bool saw_dropped_counter = false;
+  int complete = 0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    if (event.Find("ph")->AsString() == "X") ++complete;
+    if (event.Find("name")->AsString() == "zerodb_dropped_events") {
+      saw_dropped_counter = true;
+      EXPECT_EQ(event.Find("args")->Find("value")->AsInt(), 6);
+    }
+  }
+  EXPECT_EQ(complete, 4);
+  EXPECT_TRUE(saw_dropped_counter);
+}
+
+TEST(TraceEventTest, ProjectSpanTreeLaysOutVirtualTrack) {
+  Span root;
+  root.name = "HashJoin";
+  root.duration_ms = 10.0;
+  root.AddAttribute("output_rows", 3.0);
+  Span left, right;
+  left.name = "SeqScan";
+  left.detail = "title";
+  left.duration_ms = 4.0;
+  right.name = "SeqScan";
+  right.detail = "cast_info";
+  right.duration_ms = 5.0;
+  root.children.push_back(left);
+  root.children.push_back(right);
+
+  TraceEventRecorder recorder;
+  ProjectSpanTree(&recorder, root, "query-7", /*end_ts_us=*/20000.0);
+
+  JsonValue trace = recorder.ToJson();
+  const JsonValue* events = EventsOf(trace);
+  double root_ts = -1.0, left_ts = -1.0, right_ts = -1.0;
+  bool saw_track_name = false;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const std::string name = event.Find("name")->AsString();
+    if (event.Find("ph")->AsString() == "M" &&
+        event.Find("args")->Find("name")->AsString() == "query-7") {
+      saw_track_name = true;
+    }
+    if (event.Find("ph")->AsString() != "X") continue;
+    if (name == "HashJoin") {
+      root_ts = event.Find("ts")->AsDouble();
+      EXPECT_DOUBLE_EQ(event.Find("dur")->AsDouble(), 10000.0);
+      EXPECT_DOUBLE_EQ(event.Find("args")->Find("output_rows")->AsDouble(),
+                       3.0);
+    }
+    if (name == "SeqScan title") left_ts = event.Find("ts")->AsDouble();
+    if (name == "SeqScan cast_info") right_ts = event.Find("ts")->AsDouble();
+  }
+  EXPECT_TRUE(saw_track_name);
+  // Root ends at 20000us and spans 10000us; children lie inside it, laid
+  // out consecutively from the root's start.
+  EXPECT_DOUBLE_EQ(root_ts, 10000.0);
+  EXPECT_DOUBLE_EQ(left_ts, 10000.0);
+  EXPECT_DOUBLE_EQ(right_ts, 14000.0);
+
+  // Projecting a second tree onto the same name reuses the track.
+  ProjectSpanTree(&recorder, root, "query-7", /*end_ts_us=*/40000.0);
+  ProjectSpanTree(nullptr, root, "ignored");  // no-op, must not crash
+}
+
+TEST(TraceEventTest, WriteToProducesLoadableJsonAndNoTempFile) {
+  TraceEventRecorder recorder;
+  { TimelineScope scope("work", "test", &recorder); }
+  std::string path = ::testing::TempDir() + "/trace_event_test.json";
+  ASSERT_TRUE(recorder.WriteTo(path).ok());
+
+  // The crash-safe write must not leave its temp file behind.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("traceEvents"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(PromTest, SanitizesNames) {
+  EXPECT_EQ(PrometheusName("pool.tasks_run"), "pool_tasks_run");
+  EXPECT_EQ(PrometheusName("a-b c:d"), "a_b_c:d");
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusName(""), "_");
+}
+
+TEST(PromTest, RendersCountersGaugesAndCumulativeHistograms) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.GetCounter("exec.queries")->Add(3);
+  registry.GetGauge("pool.global_threads")->Set(4.0);
+  Histogram* histogram = registry.GetHistogram("lat.us", {1.0, 10.0});
+  histogram->Observe(0.5);   // bucket le=1
+  histogram->Observe(5.0);   // bucket le=10
+  histogram->Observe(5.5);   // bucket le=10
+  histogram->Observe(100.0); // +inf
+
+  std::string text = RenderPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE exec_queries counter\nexec_queries 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pool_global_threads gauge\n"
+                      "pool_global_threads 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_us histogram\n"), std::string::npos);
+  // Buckets are cumulative, ending in an +Inf bucket equal to _count.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 111\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 4\n"), std::string::npos);
+}
+
+TEST(PromTest, WritePrometheusToIsCrashSafe) {
+  MetricsRegistry registry(/*enabled=*/true);
+  registry.GetCounter("c")->Add(1);
+  std::string path = ::testing::TempDir() + "/prom_test.prom";
+  ASSERT_TRUE(WritePrometheusTo(registry, path).ok());
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::fclose(file);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Prediction-quality monitor
+
+PredictionQualityMonitor::Options QualityOptions(MetricsRegistry* registry,
+                                                 const char* prefix) {
+  PredictionQualityMonitor::Options options;
+  options.registry = registry;
+  options.metric_prefix = prefix;
+  options.min_samples = 16;
+  options.warn_every = 1 << 20;  // keep test logs quiet
+  return options;
+}
+
+TEST(QualityTest, HealthyStreamNeverDrifts) {
+  MetricsRegistry registry(/*enabled=*/true);
+  PredictionQualityMonitor monitor(QualityOptions(&registry, "q1"));
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    double actual = rng.UniformDouble(1.0, 100.0);
+    double predicted = actual * rng.UniformDouble(0.8, 1.25);
+    monitor.Record(predicted, actual);
+    EXPECT_FALSE(monitor.drifting()) << "at sample " << i;
+  }
+  EXPECT_EQ(monitor.samples(), 500);
+  EXPECT_EQ(monitor.drift_events(), 0);
+  EXPECT_LT(monitor.EwmaQError(), 1.5);
+  EXPECT_EQ(registry.GetGauge("q1.drift")->value(), 0.0);
+  EXPECT_EQ(registry.GetCounter("q1.samples")->value(), 500);
+}
+
+TEST(QualityTest, DegradedStreamFiresDriftAndRecovers) {
+  MetricsRegistry registry(/*enabled=*/true);
+  PredictionQualityMonitor monitor(QualityOptions(&registry, "q2"));
+  // Warm-up: accurate predictions freeze a reference q-error near 1.
+  for (int i = 0; i < 100; ++i) {
+    monitor.Record(10.0 * 1.1, 10.0);
+  }
+  ASSERT_FALSE(monitor.drifting());
+  EXPECT_NEAR(monitor.ReferenceQError(), 1.1, 0.01);
+
+  // Degradation: the model is suddenly 10x off; the EWMA crosses the 2x
+  // threshold within a few dozen samples.
+  int fired_at = -1;
+  for (int i = 0; i < 200; ++i) {
+    monitor.Record(100.0, 10.0);
+    if (monitor.drifting()) {
+      fired_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(fired_at, 0) << "drift never fired on a 10x-degraded stream";
+  EXPECT_EQ(monitor.drift_events(), 1);
+  EXPECT_EQ(registry.GetGauge("q2.drift")->value(), 1.0);
+  EXPECT_GT(monitor.EwmaQError(), 2.0);
+
+  // Recovery: accurate predictions pull the EWMA back under the threshold.
+  for (int i = 0; i < 500 && monitor.drifting(); ++i) {
+    monitor.Record(10.0, 10.0);
+  }
+  EXPECT_FALSE(monitor.drifting());
+  EXPECT_EQ(monitor.drift_events(), 1);  // events count transitions only
+  EXPECT_EQ(registry.GetGauge("q2.drift")->value(), 0.0);
+}
+
+TEST(QualityTest, IgnoresSamplesWithoutGroundTruth) {
+  MetricsRegistry registry(/*enabled=*/true);
+  PredictionQualityMonitor monitor(QualityOptions(&registry, "q3"));
+  monitor.Record(5.0, 0.0);
+  monitor.Record(5.0, -1.0);
+  EXPECT_EQ(monitor.samples(), 0);
+}
+
+TEST(QualityTest, ToJsonAndArtifactQualitySection) {
+  MetricsRegistry registry(/*enabled=*/true);
+  PredictionQualityMonitor monitor(QualityOptions(&registry, "q4"));
+  for (int i = 0; i < 64; ++i) monitor.Record(12.0, 10.0);
+
+  JsonValue json = monitor.ToJson();
+  EXPECT_EQ(json.Find("samples")->AsInt(), 64);
+  EXPECT_NEAR(json.Find("qerror")->Find("max")->AsDouble(), 1.2, 1e-9);
+  const JsonValue* drift = json.Find("drift");
+  ASSERT_NE(drift, nullptr);
+  EXPECT_FALSE(drift->Find("drifting")->AsBool());
+  EXPECT_TRUE(drift->Find("armed")->AsBool());
+  EXPECT_NEAR(drift->Find("reference_qerror")->AsDouble(), 1.2, 0.01);
+
+  MetricsArtifact artifact("quality_unit_test");
+  artifact.SetQualityMonitor(&monitor);
+  JsonValue artifact_json = artifact.ToJson();
+  ASSERT_NE(artifact_json.Find("quality"), nullptr);
+  EXPECT_EQ(artifact_json.Find("quality")->Find("samples")->AsInt(), 64);
+}
+
+TEST(QualityTest, QuantilesComeFromHistogram) {
+  MetricsRegistry registry(/*enabled=*/true);
+  PredictionQualityMonitor monitor(QualityOptions(&registry, "q5"));
+  for (int i = 0; i < 100; ++i) monitor.Record(20.0, 10.0);  // q-error 2
+  EXPECT_NEAR(monitor.QErrorQuantile(0.5), 2.0, 0.5);
+  EXPECT_EQ(registry.GetHistogram("q5.qerror")->count(), 100);
 }
 
 }  // namespace
