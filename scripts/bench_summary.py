@@ -68,11 +68,16 @@ def load_json(path):
 
 def summarize_micro(micro):
     """Median-aggregates google-benchmark entries by benchmark name."""
+    if not isinstance(micro, dict):
+        fail("google-benchmark JSON must be an object, got "
+             f"{type(micro).__name__}")
     entries = micro.get("benchmarks")
     if not isinstance(entries, list) or not entries:
         fail("google-benchmark JSON has no 'benchmarks' entries")
     by_name = {}
     for entry in entries:
+        if not isinstance(entry, dict):
+            fail(f"malformed benchmark entry: {entry!r}")
         # Skip explicit aggregates (mean/median/stddev rows from
         # --benchmark_repetitions); we aggregate iterations ourselves.
         if entry.get("run_type") == "aggregate":
@@ -82,13 +87,16 @@ def summarize_micro(micro):
         if name is None or unit not in _TIME_UNIT_TO_MS:
             fail(f"malformed benchmark entry: {entry!r}")
         scale = _TIME_UNIT_TO_MS[unit]
-        by_name.setdefault(name, []).append(
-            {
-                "real_time_ms": float(entry["real_time"]) * scale,
-                "cpu_time_ms": float(entry["cpu_time"]) * scale,
-                "iterations": int(entry.get("iterations", 0)),
-            }
-        )
+        try:
+            by_name.setdefault(name, []).append(
+                {
+                    "real_time_ms": float(entry["real_time"]) * scale,
+                    "cpu_time_ms": float(entry["cpu_time"]) * scale,
+                    "iterations": int(entry.get("iterations", 0)),
+                }
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            fail(f"malformed benchmark entry {name!r}: {error!r}")
     benchmarks = []
     for name in sorted(by_name):
         runs = by_name[name]
@@ -133,21 +141,30 @@ def find_speedups(benchmarks):
     return speedups
 
 
+def _as_dict(value):
+    """Defensive accessor for metrics artifacts: malformed sections read as
+    empty instead of raising AttributeError mid-summary."""
+    return value if isinstance(value, dict) else {}
+
+
+def _count(mapping, key):
+    value = mapping.get(key, 0)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{key} must be numeric, got {value!r}")
+    return int(value)
+
+
 def extract_pool_stats(artifact):
-    metrics = artifact.get("metrics", {})
-    counters = metrics.get("counters", {})
-    histograms = metrics.get("histograms", {})
-    steal = histograms.get("pool.steal_latency_us")
+    metrics = _as_dict(_as_dict(artifact).get("metrics"))
+    counters = _as_dict(metrics.get("counters"))
+    steal = _as_dict(metrics.get("histograms")).get("pool.steal_latency_us")
+    steal = steal if isinstance(steal, dict) else {}
     return {
-        "tasks_scheduled": int(counters.get("pool.tasks_scheduled", 0)),
-        "tasks_run": int(counters.get("pool.tasks_run", 0)),
-        "parallel_for_calls": int(counters.get("pool.parallel_for_calls", 0)),
-        "steal_latency_us_p50": (
-            float(steal["p50"]) if isinstance(steal, dict) else None
-        ),
-        "steal_latency_us_p95": (
-            float(steal["p95"]) if isinstance(steal, dict) else None
-        ),
+        "tasks_scheduled": _count(counters, "pool.tasks_scheduled"),
+        "tasks_run": _count(counters, "pool.tasks_run"),
+        "parallel_for_calls": _count(counters, "pool.parallel_for_calls"),
+        "steal_latency_us_p50": _maybe_float(steal.get("p50")),
+        "steal_latency_us_p95": _maybe_float(steal.get("p95")),
     }
 
 
@@ -155,25 +172,25 @@ def extract_quality_stats(artifact):
     """Folds the prediction-quality monitor section (or, failing that, the
     raw quality.* metrics) into per-bench q-error quantiles. Returns None
     when the artifact carries no quality data at all."""
-    quality = artifact.get("quality")
+    quality = _as_dict(artifact).get("quality")
     if isinstance(quality, dict):
-        qerror = quality.get("qerror", {})
-        drift = quality.get("drift", {})
+        qerror = _as_dict(quality.get("qerror"))
+        drift = _as_dict(quality.get("drift"))
         return {
-            "samples": int(quality.get("samples", 0)),
-            "drift_events": int(drift.get("events", 0)),
+            "samples": _count(quality, "samples"),
+            "drift_events": _count(drift, "events"),
             "qerror_p50": _maybe_float(qerror.get("p50")),
             "qerror_p95": _maybe_float(qerror.get("p95")),
             "qerror_max": _maybe_float(qerror.get("max")),
         }
-    metrics = artifact.get("metrics", {})
-    histogram = metrics.get("histograms", {}).get("quality.qerror")
+    metrics = _as_dict(_as_dict(artifact).get("metrics"))
+    histogram = _as_dict(metrics.get("histograms")).get("quality.qerror")
     if not isinstance(histogram, dict):
         return None
-    counters = metrics.get("counters", {})
+    counters = _as_dict(metrics.get("counters"))
     return {
-        "samples": int(counters.get("quality.samples", 0)),
-        "drift_events": int(counters.get("quality.drift_events", 0)),
+        "samples": _count(counters, "quality.samples"),
+        "drift_events": _count(counters, "quality.drift_events"),
         "qerror_p50": _maybe_float(histogram.get("p50")),
         "qerror_p95": _maybe_float(histogram.get("p95")),
         "qerror_max": _maybe_float(histogram.get("max")),

@@ -10,11 +10,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-# Repo-invariant lint gates every check run (fails on violations; only
-# skipped when python3 itself is missing).
+# Repo-invariant lint + whole-program analyzer + tooling tests gate every
+# check run (fail on violations; only skipped when python3 itself is
+# missing).
 if command -v python3 > /dev/null 2>&1; then
   python3 scripts/zerodb_lint.py --self-test
   python3 scripts/zerodb_lint.py
+  python3 scripts/zerodb_analyzer.py --self-test
+  python3 scripts/zerodb_analyzer.py
+  python3 scripts/tooling_test.py
 else
   echo "check.sh: zerodb-lint SKIPPED (python3 not installed)" >&2
 fi

@@ -59,6 +59,21 @@ if command -v python3 > /dev/null 2>&1; then
   python3 scripts/zerodb_lint.py --self-test
   echo "lint.sh: zerodb-lint tree scan"
   python3 scripts/zerodb_lint.py
+
+  # --- zerodb-analyzer: whole-program checks (determinism audit, lock-order
+  # cycles, lifetime, layering, AST-accurate discarded-status). Uses the
+  # libclang frontend when the python clang bindings are importable and
+  # degrades to the built-in lexical frontend otherwise, so findings gate
+  # the tree in any container with python3.
+  echo "lint.sh: zerodb-analyzer self-test"
+  python3 scripts/zerodb_analyzer.py --self-test
+  echo "lint.sh: zerodb-analyzer tree scan"
+  python3 scripts/zerodb_analyzer.py
+
+  # --- tooling negative-path tests: bench_summary / trace_validate /
+  # bench_compare must reject malformed inputs cleanly (no tracebacks).
+  echo "lint.sh: tooling negative-path tests"
+  python3 scripts/tooling_test.py
 else
   echo "lint.sh: zerodb-lint SKIPPED (python3 not installed)" >&2
 fi

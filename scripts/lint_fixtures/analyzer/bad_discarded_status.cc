@@ -1,0 +1,18 @@
+// Fixture: discarded-status — statement-level calls to Status-returning
+// functions, including through a `using` alias the regex-based
+// [[nodiscard]] gate in zerodb_lint cannot see.
+namespace zerodb {
+
+struct Status {};
+
+using Result = Status;
+
+Result Flush();
+Status Commit();
+
+void Tick() {
+  Flush();  // expect-analyzer: discarded-status
+  Commit();  // expect-analyzer: discarded-status
+}
+
+}  // namespace zerodb

@@ -1,0 +1,9 @@
+// analyzer-fixture: module(storage)
+// Fixture: layering — a file in src/storage/ reaches *up* the module DAG
+// into exec; only strictly lower layers (common, obs, ...) are legal.
+#include "common/status.h"
+#include "exec/executor.h"  // expect-analyzer: layering
+
+namespace zerodb {
+namespace storage {}
+}  // namespace zerodb

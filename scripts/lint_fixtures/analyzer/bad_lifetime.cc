@@ -1,0 +1,32 @@
+// Fixture: lifetime — string_view/reference returns bound to function-local
+// storage or temporaries, and classes storing view/reference members.
+#include <string>
+#include <string_view>
+
+namespace zerodb {
+
+std::string_view NameBad() {
+  std::string local = "zerodb";
+  return local;  // expect-analyzer: lifetime-return
+}
+
+std::string_view TempBad(int code) {
+  return "code-" + std::to_string(code);  // expect-analyzer: lifetime-return
+}
+
+const std::string& RefBad() {
+  std::string scratch = "scratch";
+  return scratch;  // expect-analyzer: lifetime-return
+}
+
+class ViewHolder {
+ public:
+  explicit ViewHolder(std::string_view name) : name_(name), backing_(own_) {}
+
+ private:
+  std::string own_;
+  std::string_view name_;  // expect-analyzer: lifetime-member
+  const std::string& backing_;  // expect-analyzer: lifetime-member
+};
+
+}  // namespace zerodb

@@ -1,0 +1,26 @@
+// Fixture: lock-order — two code paths acquire the same pair of locks in
+// opposite orders, closing a cycle in the cross-TU lock-order graph.
+namespace zerodb {
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Channels {
+  Mutex a_mu;
+  Mutex b_mu;
+};
+
+void Send(Channels* ch) {
+  MutexLock hold_a(&ch->a_mu);
+  MutexLock hold_b(&ch->b_mu);  // expect-analyzer: lock-order
+}
+
+void Drain(Channels* ch) {
+  MutexLock hold_b(&ch->b_mu);
+  MutexLock hold_a(&ch->a_mu);  // expect-analyzer: lock-order
+}
+
+}  // namespace zerodb

@@ -1,0 +1,30 @@
+// Fixture: nondet-call — ambient nondeterminism outside the allowlist
+// (src/common/rng.*, src/obs/, bench/). Every marked line must be flagged.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace zerodb {
+
+double NowSeconds() {
+  auto t = std::chrono::steady_clock::now();  // expect-analyzer: nondet-call
+  (void)t;
+  return 0.0;
+}
+
+int DrawBad() {
+  std::random_device rd;  // expect-analyzer: nondet-call
+  (void)rd;
+  return rand();  // expect-analyzer: nondet-call
+}
+
+const char* HomeDir() {
+  return getenv("HOME");  // expect-analyzer: nondet-call
+}
+
+long StampBad() {
+  return ::time(nullptr);  // expect-analyzer: nondet-call
+}
+
+}  // namespace zerodb

@@ -1,0 +1,20 @@
+// Fixture: nondet-iter — range-for over an unordered container feeding an
+// order-sensitive sink (sequence accumulation). Iteration order is a
+// hash-table artifact, so the produced vector differs across runs.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace zerodb {
+
+std::vector<std::string> ExportCountsBad() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  std::vector<std::string> out;
+  for (const auto& entry : counts) {  // expect-analyzer: nondet-iter
+    out.push_back(entry.first);
+  }
+  return out;
+}
+
+}  // namespace zerodb

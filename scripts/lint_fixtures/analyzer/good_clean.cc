@@ -1,0 +1,76 @@
+// Fixture: clean code — the analyzer must report zero findings here.
+// Exercises the precision side of every check: ordered containers,
+// commutative folds over unordered ones, a consistent lock order,
+// member/parameter view returns, and properly consumed Status values.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace zerodb {
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Status {};
+
+Status Persist();
+
+// Ordered container: iteration order is defined, sinks are fine.
+std::vector<std::string> ExportOrdered() {
+  std::map<std::string, int> counts;
+  std::vector<std::string> out;
+  for (const auto& entry : counts) {
+    out.push_back(entry.first);
+  }
+  return out;
+}
+
+// Unordered container, but the fold is commutative (max) — no sink.
+int MaxCount() {
+  std::unordered_map<std::string, int> counts;
+  int best = 0;
+  for (const auto& entry : counts) {
+    best = best < entry.second ? entry.second : best;
+  }
+  return best;
+}
+
+struct State {
+  Mutex mu;
+  Mutex io_mu;
+};
+
+// Both paths take mu before io_mu: edges exist, no cycle.
+void Checkpoint(State* s) {
+  MutexLock l1(&s->mu);
+  MutexLock l2(&s->io_mu);
+}
+
+void Compact(State* s) {
+  MutexLock l1(&s->mu);
+  MutexLock l2(&s->io_mu);
+}
+
+// Returning a view of a parameter or a reference to a member is fine.
+std::string_view Trim(std::string_view text) {
+  return text;
+}
+
+class Config {
+ public:
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+void Shutdown() {
+  Status s = Persist();
+  (void)s;
+}
+
+}  // namespace zerodb

@@ -1,0 +1,37 @@
+// Fixture: justified suppressions — every would-be finding carries a
+// `// zerodb-lint: allow(...)` (including the comma-separated multi-rule
+// form with spaces), so the analyzer must stay silent.
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace zerodb {
+
+double DiagnosticStamp() {
+  // Wall clock feeds a human-readable log prefix only, never model state.
+  // zerodb-lint: allow(nondet-call)
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  return 0.0;
+}
+
+int ThreadsFromEnv() {
+  // Config read: changes parallelism, results stay bit-identical.
+  const char* env = getenv("ZERODB_THREADS");  // zerodb-lint: allow(nondet-call, nondet-iter)
+  return env ? 1 : 0;
+}
+
+std::vector<std::string> CollectThenSort() {
+  std::unordered_map<std::string, int> counts;
+  std::vector<std::string> keys;
+  // Collection order is irrelevant: callers sort keys before use.
+  // zerodb-lint: allow(nondet-iter)
+  for (const auto& entry : counts) {
+    keys.push_back(entry.first);
+  }
+  return keys;
+}
+
+}  // namespace zerodb

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Negative-path tests for the repo's python tooling.
+
+The C++ gates (analyzer/lint self-tests) pin behavior on *code*; this file
+pins the tooling's behavior on *bad inputs*: every script must reject
+malformed, empty or truncated files with a clean one-line diagnostic and a
+non-zero exit — never a python stack trace (a traceback in CI reads as a
+tooling crash, not as the input's fault).
+
+Covered:
+  bench_summary.py   malformed / empty / non-object google-benchmark JSON,
+                     entries missing real_time, malformed --metrics artifacts
+  trace_validate.py  truncated JSON, wrong top-level shape, event missing ts
+  bench_compare.py   missing baseline tolerated; regression detection and
+                     non-fatal exit; corrupt baseline tolerated
+
+Run: scripts/tooling_test.py   (exit 0 pass, 1 fail). Wired into lint.sh /
+check.sh and the CI lint job.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPTS = os.path.join(REPO_ROOT, "scripts")
+
+_failures = []
+_checks = 0
+
+
+def run_script(script, *argv):
+    return subprocess.run(
+        [sys.executable, os.path.join(SCRIPTS, script), *argv],
+        capture_output=True, text=True, check=False)
+
+
+def check(label, condition, detail=""):
+    global _checks
+    _checks += 1
+    if condition:
+        print(f"ok   {label}")
+    else:
+        _failures.append(label)
+        print(f"FAIL {label}{': ' + detail if detail else ''}")
+
+
+def expect_clean_failure(label, result, want_exit=1):
+    """Non-zero exit, a diagnostic on stderr/stdout, and no traceback."""
+    output = result.stdout + result.stderr
+    check(f"{label}: exit {want_exit}", result.returncode == want_exit,
+          f"got {result.returncode}; output: {output.strip()[:200]}")
+    check(f"{label}: no traceback", "Traceback" not in output,
+          output.strip()[:200])
+    check(f"{label}: has diagnostic", bool(output.strip()))
+
+
+def write(tmp, name, text):
+    path = os.path.join(tmp, name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return path
+
+
+def micro_json(tmp, name="micro.json", real_time=1000.0):
+    return write(tmp, name, json.dumps({
+        "benchmarks": [{"name": "BM_X", "real_time": real_time,
+                        "cpu_time": real_time, "iterations": 3,
+                        "time_unit": "us"}]}))
+
+
+def test_bench_summary(tmp):
+    out = os.path.join(tmp, "out.json")
+
+    not_json = write(tmp, "garbage.json", "{not json at all")
+    expect_clean_failure(
+        "bench_summary malformed JSON",
+        run_script("bench_summary.py", "--micro", not_json, "--out", out))
+
+    empty = write(tmp, "empty.json", "")
+    expect_clean_failure(
+        "bench_summary empty file",
+        run_script("bench_summary.py", "--micro", empty, "--out", out))
+
+    top_level_list = write(tmp, "list.json", "[1, 2, 3]")
+    expect_clean_failure(
+        "bench_summary non-object top level",
+        run_script("bench_summary.py", "--micro", top_level_list,
+                   "--out", out))
+
+    no_entries = write(tmp, "noentries.json", '{"benchmarks": []}')
+    expect_clean_failure(
+        "bench_summary empty benchmarks",
+        run_script("bench_summary.py", "--micro", no_entries, "--out", out))
+
+    missing_time = write(tmp, "missingtime.json", json.dumps(
+        {"benchmarks": [{"name": "BM_X", "cpu_time": 1.0,
+                         "iterations": 1, "time_unit": "ns"}]}))
+    expect_clean_failure(
+        "bench_summary entry missing real_time",
+        run_script("bench_summary.py", "--micro", missing_time,
+                   "--out", out))
+
+    non_dict_entry = write(tmp, "nondict.json",
+                           '{"benchmarks": [null]}')
+    expect_clean_failure(
+        "bench_summary null entry",
+        run_script("bench_summary.py", "--micro", non_dict_entry,
+                   "--out", out))
+
+    # Malformed --metrics artifact sections read as empty, not as a crash.
+    bad_metrics = write(tmp, "badmetrics.json",
+                        '{"metrics": "not-a-dict", "quality": []}')
+    result = run_script("bench_summary.py", "--micro", micro_json(tmp),
+                        "--metrics", f"weird={bad_metrics}", "--out", out)
+    check("bench_summary tolerates malformed metrics artifact",
+          result.returncode == 0 and os.path.isfile(out),
+          (result.stdout + result.stderr).strip()[:200])
+    check("bench_summary malformed artifact: no traceback",
+          "Traceback" not in result.stdout + result.stderr)
+
+    # Sanity: the happy path still works and validates.
+    result = run_script("bench_summary.py", "--micro", micro_json(tmp),
+                        "--out", out)
+    with open(out, encoding="utf-8") as f:
+        summary = json.load(f)
+    check("bench_summary happy path",
+          result.returncode == 0
+          and summary["benchmarks"][0]["name"] == "BM_X")
+
+
+def test_trace_validate(tmp):
+    truncated = write(tmp, "truncated.json",
+                      '{"traceEvents": [{"name": "a", "ph": "X"')
+    expect_clean_failure(
+        "trace_validate truncated trace",
+        run_script("trace_validate.py", truncated))
+
+    wrong_shape = write(tmp, "shape.json", '["not", "an", "object"]')
+    expect_clean_failure(
+        "trace_validate wrong top-level shape",
+        run_script("trace_validate.py", wrong_shape))
+
+    missing_ts = write(tmp, "missing_ts.json", json.dumps({
+        "traceEvents": [{"name": "span", "ph": "X", "pid": 1, "tid": 1,
+                         "dur": 5.0}]}))
+    expect_clean_failure(
+        "trace_validate event missing ts",
+        run_script("trace_validate.py", missing_ts))
+
+    valid = write(tmp, "valid.json", json.dumps({
+        "traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "main"}},
+            {"name": "span", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0,
+             "dur": 5.0},
+        ]}))
+    result = run_script("trace_validate.py", valid,
+                        "--require-track", "main")
+    check("trace_validate happy path", result.returncode == 0,
+          (result.stdout + result.stderr).strip()[:200])
+
+
+def test_bench_compare(tmp):
+    def summary(name, real_time_ms, wall_s):
+        return write(tmp, name, json.dumps({
+            "schema_version": 2, "commit": name,
+            "benchmarks": [{"name": "BM_X", "real_time_ms": real_time_ms,
+                            "cpu_time_ms": real_time_ms, "iterations": 1}],
+            "wall_clock_s": {"bench_micro": wall_s}}))
+
+    fresh = summary("fresh.json", 200.0, 20.0)
+    base = summary("base.json", 100.0, 10.0)
+
+    result = run_script("bench_compare.py", "--fresh", fresh,
+                        "--baseline", os.path.join(tmp, "nope.json"))
+    check("bench_compare missing baseline tolerated",
+          result.returncode == 0 and "nothing to compare" in result.stdout,
+          (result.stdout + result.stderr).strip()[:200])
+
+    result = run_script("bench_compare.py", "--fresh", fresh,
+                        "--baseline", base, "--github-annotations")
+    check("bench_compare flags regression non-fatally",
+          result.returncode == 0
+          and result.stdout.count("REGRESSION") == 2
+          and "::warning" in result.stdout,
+          (result.stdout + result.stderr).strip()[:300])
+
+    result = run_script("bench_compare.py", "--fresh", base,
+                        "--baseline", base)
+    check("bench_compare identical summaries: no regressions",
+          result.returncode == 0 and "0 regression(s)" in result.stdout)
+
+    expect_clean_failure(
+        "bench_compare missing fresh summary",
+        run_script("bench_compare.py", "--fresh",
+                   os.path.join(tmp, "absent.json"), "--baseline", base))
+
+    corrupt = write(tmp, "corrupt.json", "{broken")
+    result = run_script("bench_compare.py", "--fresh", fresh,
+                        "--baseline", corrupt)
+    check("bench_compare corrupt baseline tolerated",
+          result.returncode == 0
+          and "Traceback" not in result.stdout + result.stderr,
+          (result.stdout + result.stderr).strip()[:200])
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="zerodb-tooling-") as tmp:
+        test_bench_summary(tmp)
+        test_trace_validate(tmp)
+        test_bench_compare(tmp)
+    if _failures:
+        print(f"tooling_test: FAIL ({len(_failures)}/{_checks} checks): "
+              + ", ".join(_failures))
+        return 1
+    print(f"tooling_test: PASS ({_checks} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,7 +59,10 @@ FIXTURE_DIR = os.path.join("scripts", "lint_fixtures")
 SCAN_ROOTS = ("src", "tests", "bench", "examples")
 EXTENSIONS = (".h", ".cc", ".cpp")
 
-SUPPRESS_RE = re.compile(r"zerodb-lint:\s*allow\(([a-z-]+)\)")
+# One rule or a comma-separated list, spaces allowed:
+# `// zerodb-lint: allow(raw-thread)`, `// zerodb-lint: allow(a, b)`.
+SUPPRESS_RE = re.compile(
+    r"zerodb-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")
 
 RAW_MUTEX_RE = re.compile(
@@ -161,7 +164,7 @@ def suppressed(raw_lines, idx, rule):
     for j in (idx, idx - 1):
         if 0 <= j < len(raw_lines):
             m = SUPPRESS_RE.search(raw_lines[j])
-            if m and m.group(1) == rule:
+            if m and rule in [r.strip() for r in m.group(1).split(",")]:
                 return True
     return False
 
@@ -269,6 +272,35 @@ def lint_file(path, as_library=None):
     return findings
 
 
+def collect_changed_files(base):
+    """Lintable files changed vs `base` (plus untracked ones), for fast
+    pre-commit runs: `scripts/zerodb_lint.py --changed-only`."""
+    import subprocess
+
+    def git(*argv):
+        result = subprocess.run(
+            ["git", "-C", REPO_ROOT, *argv],
+            capture_output=True, text=True, check=False)
+        if result.returncode != 0:
+            print(f"zerodb_lint: git {' '.join(argv)} failed: "
+                  f"{result.stderr.strip()}", file=sys.stderr)
+            sys.exit(2)
+        return result.stdout.splitlines()
+
+    names = set(git("diff", "--name-only", "--diff-filter=d", base, "--"))
+    names |= set(git("ls-files", "--others", "--exclude-standard"))
+    files = []
+    for name in sorted(names):
+        if not name.endswith(EXTENSIONS):
+            continue
+        if not name.startswith(tuple(root + "/" for root in SCAN_ROOTS)):
+            continue
+        path = os.path.join(REPO_ROOT, name)
+        if os.path.isfile(path):
+            files.append(path)
+    return files
+
+
 def collect_tree_files():
     files = []
     for root in SCAN_ROOTS:
@@ -321,15 +353,30 @@ def main():
                         help="files to lint (default: whole tree)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the known-bad fixtures are flagged")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="lint only files changed vs --base (plus "
+                             "untracked files) instead of the whole tree")
+    parser.add_argument("--base", default="HEAD",
+                        help="git ref --changed-only diffs against "
+                             "(default: HEAD)")
     args = parser.parse_args()
 
     if args.self_test:
         if args.files:
             parser.error("--self-test takes no file arguments")
         return self_test()
+    if args.changed_only and args.files:
+        parser.error("--changed-only takes no file arguments")
 
-    files = ([os.path.abspath(f) for f in args.files]
-             if args.files else collect_tree_files())
+    if args.changed_only:
+        files = collect_changed_files(args.base)
+        if not files:
+            print("zerodb_lint: no changed lintable files")
+            return 0
+    elif args.files:
+        files = [os.path.abspath(f) for f in args.files]
+    else:
+        files = collect_tree_files()
     for f in files:
         if not os.path.isfile(f):
             print(f"zerodb_lint: no such file: {f}", file=sys.stderr)

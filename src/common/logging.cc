@@ -57,7 +57,9 @@ int ThreadId() {
 
 // ISO-8601 UTC with millisecond precision: 2026-08-06T12:34:56.789Z
 void FormatTimestamp(char* buf, size_t size) {
-  const auto now = std::chrono::system_clock::now();
+  // Wall clock feeds human-readable diagnostic prefixes only; log text is
+  // never parsed back into model or query state.
+  const auto now = std::chrono::system_clock::now();  // zerodb-lint: allow(nondet-call)
   const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
   const int millis = static_cast<int>(
       std::chrono::duration_cast<std::chrono::milliseconds>(

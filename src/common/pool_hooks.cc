@@ -1,0 +1,19 @@
+#include "common/pool_hooks.h"
+
+#include <atomic>
+
+namespace zerodb {
+
+namespace {
+std::atomic<PoolHooks*> g_pool_hooks{nullptr};
+}  // namespace
+
+void SetPoolHooks(PoolHooks* hooks) {
+  g_pool_hooks.store(hooks, std::memory_order_release);
+}
+
+PoolHooks* GetPoolHooks() {
+  return g_pool_hooks.load(std::memory_order_acquire);
+}
+
+}  // namespace zerodb

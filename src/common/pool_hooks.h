@@ -1,0 +1,59 @@
+#ifndef ZERODB_COMMON_POOL_HOOKS_H_
+#define ZERODB_COMMON_POOL_HOOKS_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace zerodb {
+
+/// Telemetry callout interface for ThreadPool / ParallelFor.
+///
+/// common/ sits at the bottom of the module DAG (zerodb-analyzer rule
+/// `layering`) and therefore must not include obs/. Instead the pool calls
+/// out through this interface; obs/pool_telemetry.{h,cc} implements it
+/// (pool.* metrics, timeline tracks, queue-wait histogram) and installs the
+/// implementation the moment observability is first touched
+/// (MetricsRegistry::Global / TraceEventRecorder::InstallGlobal).
+///
+/// With no hooks installed the pool reads no clocks and touches no
+/// registries — scheduling is zero-overhead and bit-deterministic, which is
+/// also why this file needs no nondet-call allowances.
+class PoolHooks {
+ public:
+  virtual ~PoolHooks() = default;
+
+  /// Timestamp (steady-clock microseconds) stamped on a task at enqueue so
+  /// queue-wait can be measured at dequeue. Return 0 to skip measurement
+  /// (e.g. metrics disabled); the clock read lives in the implementation.
+  virtual double EnqueueTimestampUs() = 0;
+
+  /// One task was pushed onto a pool queue.
+  virtual void OnScheduled() = 0;
+
+  /// Runs `task` on worker `worker_index`. Implementations wrap the call
+  /// with tracing/accounting (timeline scope, tasks_run, queue-wait
+  /// observation from `enqueue_us` when > 0) and MUST invoke `task` exactly
+  /// once.
+  virtual void RunTask(size_t worker_index, double enqueue_us,
+                       const std::function<void()>& task) = 0;
+
+  /// The process-wide pool was just created with `num_threads` workers.
+  virtual void OnGlobalPoolCreated(size_t num_threads) = 0;
+
+  /// One ParallelFor call fanned out into `num_chunks` chunks.
+  virtual void OnParallelFor(size_t num_chunks) = 0;
+};
+
+/// Installs the process-wide hooks. `hooks` must outlive every pool (the
+/// obs implementation is a leak-singleton). Replacing a previous
+/// installation is allowed; passing nullptr uninstalls.
+void SetPoolHooks(PoolHooks* hooks);
+
+/// Currently installed hooks, or nullptr. Lock-free (relaxed atomic load):
+/// callers on the schedule/run hot path pay one load + branch when no
+/// hooks are installed.
+PoolHooks* GetPoolHooks();
+
+}  // namespace zerodb
+
+#endif  // ZERODB_COMMON_POOL_HOOKS_H_

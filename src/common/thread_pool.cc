@@ -2,50 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <utility>
 
 #include "common/check.h"
+#include "common/pool_hooks.h"
 #include "common/sync.h"
-#include "obs/metrics.h"
-#include "obs/trace_event.h"
 
 namespace zerodb {
 
 namespace {
 
-// Pool telemetry (wired into every bench's --metrics_out artifact).
-// Function-local statics keep the registry name lookups off the hot path.
-struct PoolMetrics {
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  obs::Counter* tasks_scheduled = registry.GetCounter("pool.tasks_scheduled");
-  obs::Counter* tasks_run = registry.GetCounter("pool.tasks_run");
-  obs::Counter* parallel_for_calls =
-      registry.GetCounter("pool.parallel_for_calls");
-  obs::Counter* parallel_for_chunks =
-      registry.GetCounter("pool.parallel_for_chunks");
-  obs::Gauge* global_threads = registry.GetGauge("pool.global_threads");
-  /// Time a task sat in the shared queue before a worker picked ("stole")
-  /// it — the contention signal of the single-queue design.
-  obs::Histogram* steal_latency_us =
-      registry.GetHistogram("pool.steal_latency_us");
-
-  static PoolMetrics& Get() {
-    static PoolMetrics* metrics = new PoolMetrics();
-    return *metrics;
-  }
-};
-
-double NowUs() {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 std::atomic<size_t> g_global_threads_override{0};
-std::atomic<bool> g_global_pool_created{false};
+std::atomic<size_t> g_global_pool_threads{0};
 
 /// Global-pool size: SetGlobalThreads override > ZERODB_THREADS env >
 /// hardware_concurrency.
@@ -53,7 +23,10 @@ size_t GlobalPoolSize() {
   size_t override_threads =
       g_global_threads_override.load(std::memory_order_relaxed);
   if (override_threads > 0) return override_threads;
-  const char* env = std::getenv("ZERODB_THREADS");
+  // Configuration-only env read: it changes how many workers exist, never
+  // what they compute — results stay bit-identical at any thread count
+  // (tests ParallelTrainingDeterminism / ParallelCorpusDeterminism).
+  const char* env = std::getenv("ZERODB_THREADS");  // zerodb-lint: allow(nondet-call)
   if (env != nullptr) {
     char* end = nullptr;
     unsigned long parsed = std::strtoul(env, &end, 10);
@@ -103,26 +76,20 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   ZDB_CHECK(fn != nullptr);
-  PoolMetrics& metrics = PoolMetrics::Get();
+  PoolHooks* hooks = GetPoolHooks();
   Task task;
   task.fn = std::move(fn);
-  if (metrics.registry.enabled()) task.enqueue_us = NowUs();
+  if (hooks != nullptr) task.enqueue_us = hooks->EnqueueTimestampUs();
   {
     MutexLock lock(&mu_);
     ZDB_CHECK(!shutdown_) << "Schedule on a shut-down ThreadPool";
     queue_.push_back(std::move(task));
   }
   work_cv_.NotifyOne();
-  metrics.tasks_scheduled->Add(1);
+  if (hooks != nullptr) hooks->OnScheduled();
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
-  // Names the worker's timeline track ("pool-worker-3") whether the trace
-  // recorder already exists or gets installed later — the name is stored
-  // thread-locally and read on first event.
-  obs::SetCurrentThreadTraceName("pool-worker-" +
-                                 std::to_string(worker_index));
-  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
     Task task;
     {
@@ -133,28 +100,39 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    if (task.enqueue_us > 0.0) {
-      metrics.steal_latency_us->Observe(NowUs() - task.enqueue_us);
-    }
-    {
-      obs::TimelineScope scope("pool.task", "pool");
+    // Re-read per task: hooks installed after the pool started (the usual
+    // order — the global pool tends to exist before any bench enables
+    // observability) still see every subsequent task.
+    PoolHooks* hooks = GetPoolHooks();
+    if (hooks != nullptr) {
+      hooks->RunTask(worker_index, task.enqueue_us, task.fn);
+    } else {
       task.fn();
     }
-    metrics.tasks_run->Add(1);
   }
 }
 
 ThreadPool* ThreadPool::Global() {
   static ThreadPool* pool = new ThreadPool(GlobalPoolSize());
-  if (!g_global_pool_created.exchange(true, std::memory_order_relaxed)) {
-    PoolMetrics::Get().global_threads->Set(
-        static_cast<double>(pool->num_threads()));
-  }
+  // One-time announcement: expose the size (GlobalCreatedThreads) and tell
+  // already-installed hooks; hooks installed later read the size instead.
+  static bool reported = [] {
+    g_global_pool_threads.store(pool->num_threads(),
+                                std::memory_order_release);
+    PoolHooks* hooks = GetPoolHooks();
+    if (hooks != nullptr) hooks->OnGlobalPoolCreated(pool->num_threads());
+    return true;
+  }();
+  (void)reported;
   return pool;
 }
 
+size_t ThreadPool::GlobalCreatedThreads() {
+  return g_global_pool_threads.load(std::memory_order_acquire);
+}
+
 void ThreadPool::SetGlobalThreads(size_t num_threads) {
-  ZDB_CHECK(!g_global_pool_created.load(std::memory_order_relaxed))
+  ZDB_CHECK(g_global_pool_threads.load(std::memory_order_relaxed) == 0)
       << "SetGlobalThreads after the global pool was created";
   g_global_threads_override.store(num_threads, std::memory_order_relaxed);
 }
@@ -169,9 +147,8 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
     return;
   }
   const size_t num_chunks = (range + grain - 1) / grain;
-  PoolMetrics& metrics = PoolMetrics::Get();
-  metrics.parallel_for_calls->Add(1);
-  metrics.parallel_for_chunks->Add(static_cast<int64_t>(num_chunks));
+  PoolHooks* hooks = GetPoolHooks();
+  if (hooks != nullptr) hooks->OnParallelFor(num_chunks);
 
   struct State {
     std::atomic<size_t> next_chunk{0};

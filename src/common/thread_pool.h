@@ -78,6 +78,11 @@ class ThreadPool {
   /// before the first Global() use; checked.
   static void SetGlobalThreads(size_t num_threads);
 
+  /// Worker count of the global pool, or 0 when Global() has not been
+  /// called yet. Lets late-installed PoolHooks (obs/pool_telemetry) report
+  /// the pool size without forcing the pool into existence.
+  static size_t GlobalCreatedThreads();
+
  private:
   struct Task {
     std::function<void()> fn;

@@ -73,7 +73,9 @@ class TablePredicateEvaluator {
   int64_t leaves() const { return leaves_; }
 
  private:
-  const plan::Predicate& predicate_;
+  // Borrowed from the PhysicalPlan being executed, which strictly outlives
+  // this per-scan evaluator (both live inside one Execute call).
+  const plan::Predicate& predicate_;  // zerodb-lint: allow(lifetime-member)
   std::vector<std::pair<size_t, std::vector<double>>> referenced_;
   std::vector<double> row_;
   int64_t leaves_ = 0;
@@ -570,8 +572,27 @@ StatusOr<RowBatch> Executor::ExecAggregate(PhysicalNode* node, RowBatch child,
   }
   s->group_count = static_cast<int64_t>(groups.size());
 
+  // Emit groups in sorted key order: hash-table iteration order is an
+  // artifact of the hash function and load factor, and letting it leak
+  // into the result batch made query output (and everything downstream —
+  // recorded runtimes, golden files) differ across runs and libstdc++
+  // versions. The collection order itself is irrelevant once sorted.
+  std::vector<const std::pair<const std::vector<double>,
+                              std::vector<AggState>>*> ordered;
+  ordered.reserve(groups.size());
+  // zerodb-lint: allow(nondet-iter)
+  for (const auto& entry : groups) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) {
+              return std::lexicographical_compare(
+                  a->first.begin(), a->first.end(), b->first.begin(),
+                  b->first.end());
+            });
+
   batch.columns.assign(node->group_by_slots.size() + num_aggs, {});
-  for (const auto& [group_key, states] : groups) {
+  for (const auto* entry : ordered) {
+    const std::vector<double>& group_key = entry->first;
+    const std::vector<AggState>& states = entry->second;
     for (size_t g = 0; g < group_key.size(); ++g) {
       batch.columns[g].push_back(group_key[g]);
     }

@@ -7,7 +7,7 @@
 
 #include "common/rng.h"
 #include "nn/tensor.h"
-#include "train/dataset.h"
+#include "models/record.h"
 
 namespace zerodb::models {
 
@@ -21,7 +21,7 @@ class CostPredictor {
 
   /// Predicted runtimes in milliseconds, one per record.
   virtual std::vector<double> PredictMs(
-      const std::vector<const train::QueryRecord*>& records) = 0;
+      const std::vector<const QueryRecord*>& records) = 0;
 };
 
 /// A gradient-trained cost model (the zero-shot model and the E2E / MSCN
@@ -31,11 +31,11 @@ class NeuralCostModel : public CostPredictor {
   /// Fits feature and target normalization on the training records. Must be
   /// called exactly once before training.
   virtual void Prepare(
-      const std::vector<const train::QueryRecord*>& records) = 0;
+      const std::vector<const QueryRecord*>& records) = 0;
 
   /// Forward + loss on a batch. `training` enables dropout (rng required).
   virtual nn::Tensor LossOnBatch(
-      const std::vector<const train::QueryRecord*>& batch, bool training,
+      const std::vector<const QueryRecord*>& batch, bool training,
       Rng* rng) = 0;
 
   /// All trainable parameters.

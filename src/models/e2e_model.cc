@@ -26,7 +26,7 @@ std::unique_ptr<NeuralCostModel> E2ECostModel::CloneReplica() const {
 }
 
 featurize::PlanGraph E2ECostModel::FeaturizeRecord(
-    const train::QueryRecord& record) const {
+    const QueryRecord& record) const {
   ZDB_CHECK(record.env != nullptr);
   return featurizer_.Featurize(*record.plan.root, *record.env);
 }

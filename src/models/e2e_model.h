@@ -29,7 +29,7 @@ class E2ECostModel : public TreeMessagePassingModel {
 
  protected:
   featurize::PlanGraph FeaturizeRecord(
-      const train::QueryRecord& record) const override;
+      const QueryRecord& record) const override;
   size_t EncoderIdFor(size_t) const override { return 0; }
 
  private:

@@ -61,11 +61,11 @@ std::unique_ptr<NeuralCostModel> MscnCostModel::CloneReplica() const {
 }
 
 void MscnCostModel::Prepare(
-    const std::vector<const train::QueryRecord*>& records) {
+    const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(!records.empty());
   std::vector<double> log_runtimes;
   log_runtimes.reserve(records.size());
-  for (const train::QueryRecord* record : records) {
+  for (const QueryRecord* record : records) {
     log_runtimes.push_back(std::log(std::max(record->runtime_ms, 1e-6)));
   }
   target_norm_.Fit(log_runtimes);
@@ -120,14 +120,14 @@ nn::Tensor MscnCostModel::Forward(const std::vector<featurize::MscnSets>& batch,
 }
 
 nn::Tensor MscnCostModel::LossOnBatch(
-    const std::vector<const train::QueryRecord*>& batch, bool training,
+    const std::vector<const QueryRecord*>& batch, bool training,
     Rng* rng) {
   ZDB_CHECK(!batch.empty());
   std::vector<featurize::MscnSets> featurized;
   std::vector<float> targets;
   featurized.reserve(batch.size());
   targets.reserve(batch.size());
-  for (const train::QueryRecord* record : batch) {
+  for (const QueryRecord* record : batch) {
     featurized.push_back(featurizer_.Featurize(record->query, *record->env));
     targets.push_back(static_cast<float>(target_norm_.Normalize(
         std::log(std::max(record->runtime_ms, 1e-6)))));
@@ -140,12 +140,12 @@ nn::Tensor MscnCostModel::LossOnBatch(
 }
 
 std::vector<double> MscnCostModel::PredictMs(
-    const std::vector<const train::QueryRecord*>& records) {
+    const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(target_norm_.fitted());
   if (records.empty()) return {};
   std::vector<featurize::MscnSets> featurized;
   featurized.reserve(records.size());
-  for (const train::QueryRecord* record : records) {
+  for (const QueryRecord* record : records) {
     featurized.push_back(featurizer_.Featurize(record->query, *record->env));
   }
   nn::Tensor predictions = Forward(featurized, /*training=*/false, nullptr);

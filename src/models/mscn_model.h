@@ -28,11 +28,11 @@ class MscnCostModel : public NeuralCostModel {
 
   std::string Name() const override { return "MSCN"; }
 
-  void Prepare(const std::vector<const train::QueryRecord*>& records) override;
-  nn::Tensor LossOnBatch(const std::vector<const train::QueryRecord*>& batch,
+  void Prepare(const std::vector<const QueryRecord*>& records) override;
+  nn::Tensor LossOnBatch(const std::vector<const QueryRecord*>& batch,
                          bool training, Rng* rng) override;
   std::vector<double> PredictMs(
-      const std::vector<const train::QueryRecord*>& records) override;
+      const std::vector<const QueryRecord*>& records) override;
   std::vector<nn::Tensor> Parameters() const override;
 
   std::unique_ptr<NeuralCostModel> CloneReplica() const override;

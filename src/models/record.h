@@ -1,0 +1,33 @@
+#ifndef ZERODB_MODELS_RECORD_H_
+#define ZERODB_MODELS_RECORD_H_
+
+// QueryRecord lives here, in models/, because it is the *interface* between
+// data collection (train/, a higher layer) and the cost models that consume
+// it: models/ defining its own input type keeps the module DAG acyclic
+// (zerodb-analyzer rule `layering` — models must not include train/).
+// train/dataset.h re-exports it under the train namespace, so
+// collection-side code keeps its natural spelling.
+#include <string>
+
+#include "datagen/corpus.h"
+#include "plan/physical.h"
+#include "plan/query.h"
+
+namespace zerodb::models {
+
+/// One labeled training/evaluation example: a query, its optimized physical
+/// plan (annotated with estimated AND true cardinalities), the measured
+/// (simulated) runtime, and the optimizer's cost — everything any of the
+/// four cost models needs.
+struct QueryRecord {
+  const datagen::DatabaseEnv* env = nullptr;  ///< owning corpus outlives records
+  std::string db_name;
+  plan::QuerySpec query;
+  plan::PhysicalPlan plan;
+  double runtime_ms = 0.0;
+  double opt_cost = 0.0;
+};
+
+}  // namespace zerodb::models
+
+#endif  // ZERODB_MODELS_RECORD_H_

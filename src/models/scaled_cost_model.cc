@@ -7,13 +7,13 @@
 namespace zerodb::models {
 
 void ScaledOptCostModel::Fit(
-    const std::vector<const train::QueryRecord*>& records) {
+    const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(!records.empty());
   std::vector<double> log_costs;
   std::vector<double> log_runtimes;
   log_costs.reserve(records.size());
   log_runtimes.reserve(records.size());
-  for (const train::QueryRecord* record : records) {
+  for (const QueryRecord* record : records) {
     log_costs.push_back(std::log(std::max(record->opt_cost, 1e-6)));
     log_runtimes.push_back(std::log(std::max(record->runtime_ms, 1e-6)));
   }
@@ -22,11 +22,11 @@ void ScaledOptCostModel::Fit(
 }
 
 std::vector<double> ScaledOptCostModel::PredictMs(
-    const std::vector<const train::QueryRecord*>& records) {
+    const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(fitted_) << "PredictMs before Fit";
   std::vector<double> out;
   out.reserve(records.size());
-  for (const train::QueryRecord* record : records) {
+  for (const QueryRecord* record : records) {
     double log_cost = std::log(std::max(record->opt_cost, 1e-6));
     out.push_back(std::exp(fit_.slope * log_cost + fit_.intercept));
   }

@@ -19,10 +19,10 @@ class ScaledOptCostModel : public CostPredictor {
   std::string Name() const override { return "scaled optimizer cost"; }
 
   /// Fits log(runtime) ~= slope * log(cost) + intercept on the records.
-  void Fit(const std::vector<const train::QueryRecord*>& records);
+  void Fit(const std::vector<const QueryRecord*>& records);
 
   std::vector<double> PredictMs(
-      const std::vector<const train::QueryRecord*>& records) override;
+      const std::vector<const QueryRecord*>& records) override;
 
   bool fitted() const { return fitted_; }
   const LinearFit& fit() const { return fit_; }

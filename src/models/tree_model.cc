@@ -102,7 +102,7 @@ void TreeMessagePassingModel::CopyTreeStateFrom(
 }
 
 void TreeMessagePassingModel::Prepare(
-    const std::vector<const train::QueryRecord*>& records) {
+    const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(!records.empty());
   // Fit feature normalization over every node of every training plan, and
   // target normalization over log runtimes. Featurization is the expensive
@@ -120,14 +120,14 @@ void TreeMessagePassingModel::Prepare(
 
   std::vector<double> log_runtimes;
   log_runtimes.reserve(records.size());
-  for (const train::QueryRecord* record : records) {
+  for (const QueryRecord* record : records) {
     log_runtimes.push_back(std::log(std::max(record->runtime_ms, 1e-6)));
   }
   target_norm_.Fit(log_runtimes);
 }
 
 featurize::PlanGraph TreeMessagePassingModel::FeaturizeNormalized(
-    const train::QueryRecord& record) const {
+    const QueryRecord& record) const {
   featurize::PlanGraph graph = FeaturizeRecord(record);
   for (featurize::PlanGraphNode& node : graph.nodes) {
     feature_norm_.Apply(&node.features);
@@ -237,14 +237,14 @@ nn::Tensor TreeMessagePassingModel::Forward(
 }
 
 nn::Tensor TreeMessagePassingModel::LossOnBatch(
-    const std::vector<const train::QueryRecord*>& batch, bool training,
+    const std::vector<const QueryRecord*>& batch, bool training,
     Rng* rng) {
   ZDB_CHECK(!batch.empty());
   std::vector<featurize::PlanGraph> graphs;
   graphs.reserve(batch.size());
   std::vector<float> targets;
   targets.reserve(batch.size());
-  for (const train::QueryRecord* record : batch) {
+  for (const QueryRecord* record : batch) {
     graphs.push_back(FeaturizeNormalized(*record));
     targets.push_back(static_cast<float>(target_norm_.Normalize(
         std::log(std::max(record->runtime_ms, 1e-6)))));
@@ -257,7 +257,7 @@ nn::Tensor TreeMessagePassingModel::LossOnBatch(
 }
 
 std::vector<double> TreeMessagePassingModel::PredictMs(
-    const std::vector<const train::QueryRecord*>& records) {
+    const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(target_norm_.fitted()) << "PredictMs before Prepare/training";
   if (records.empty()) return {};
   std::vector<featurize::PlanGraph> graphs = featurize::FeaturizeAll(

@@ -38,11 +38,11 @@ class TreeMessagePassingModel : public NeuralCostModel {
  public:
   explicit TreeMessagePassingModel(const TreeModelConfig& config);
 
-  void Prepare(const std::vector<const train::QueryRecord*>& records) override;
-  nn::Tensor LossOnBatch(const std::vector<const train::QueryRecord*>& batch,
+  void Prepare(const std::vector<const QueryRecord*>& records) override;
+  nn::Tensor LossOnBatch(const std::vector<const QueryRecord*>& batch,
                          bool training, Rng* rng) override;
   std::vector<double> PredictMs(
-      const std::vector<const train::QueryRecord*>& records) override;
+      const std::vector<const QueryRecord*>& records) override;
   std::vector<nn::Tensor> Parameters() const override;
 
   /// Persists weights + normalization statistics to a binary file. Load
@@ -61,7 +61,7 @@ class TreeMessagePassingModel : public NeuralCostModel {
 
   /// Featurizes one record's plan (implemented by subclasses).
   virtual featurize::PlanGraph FeaturizeRecord(
-      const train::QueryRecord& record) const = 0;
+      const QueryRecord& record) const = 0;
 
   /// Maps a graph node's op_type to the encoder id in [0, num_encoders).
   virtual size_t EncoderIdFor(size_t op_type) const = 0;
@@ -73,7 +73,7 @@ class TreeMessagePassingModel : public NeuralCostModel {
                      bool training, Rng* rng);
 
   featurize::PlanGraph FeaturizeNormalized(
-      const train::QueryRecord& record) const;
+      const QueryRecord& record) const;
 
   TreeModelConfig config_;
   std::vector<nn::Mlp> encoders_;

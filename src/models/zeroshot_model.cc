@@ -32,7 +32,7 @@ std::string ZeroShotCostModel::Name() const {
 }
 
 featurize::PlanGraph ZeroShotCostModel::FeaturizeRecord(
-    const train::QueryRecord& record) const {
+    const QueryRecord& record) const {
   ZDB_CHECK(record.env != nullptr);
   return featurizer_.Featurize(*record.plan.root, *record.env);
 }

@@ -34,7 +34,7 @@ class ZeroShotCostModel : public TreeMessagePassingModel {
 
  protected:
   featurize::PlanGraph FeaturizeRecord(
-      const train::QueryRecord& record) const override;
+      const QueryRecord& record) const override;
   size_t EncoderIdFor(size_t op_type) const override { return op_type; }
 
  private:

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/sync.h"
+#include "obs/pool_telemetry.h"
 
 namespace zerodb::obs {
 
@@ -136,6 +137,9 @@ std::vector<double> Histogram::ExponentialBounds(double start, double factor,
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry(/*enabled=*/false);
+  // Anyone touching the global registry gets pool telemetry wired up too;
+  // the pool itself cannot do this (common/ may not depend on obs/).
+  InstallPoolTelemetry();
   return *registry;
 }
 

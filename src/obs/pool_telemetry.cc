@@ -1,0 +1,107 @@
+#include "obs/pool_telemetry.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/pool_hooks.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace_event.h"
+
+namespace zerodb::obs {
+
+namespace {
+
+double SteadyNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// PoolHooks implementation reporting into the global registry/recorder.
+/// Metric pointers are resolved once at construction so the per-task path
+/// never touches the name map; all writes stay gated on the registry's
+/// enabled flag (one relaxed load + branch when observability is off).
+class PoolTelemetry : public zerodb::PoolHooks {
+ public:
+  PoolTelemetry()
+      : registry_(MetricsRegistry::Global()),
+        tasks_scheduled_(registry_.GetCounter("pool.tasks_scheduled")),
+        tasks_run_(registry_.GetCounter("pool.tasks_run")),
+        parallel_for_calls_(
+            registry_.GetCounter("pool.parallel_for_calls")),
+        parallel_for_chunks_(
+            registry_.GetCounter("pool.parallel_for_chunks")),
+        global_threads_(registry_.GetGauge("pool.global_threads")),
+        // Time a task sat in the shared queue before a worker picked
+        // ("stole") it — the contention signal of the single-queue design.
+        steal_latency_us_(
+            registry_.GetHistogram("pool.steal_latency_us")) {}
+
+  double EnqueueTimestampUs() override {
+    return registry_.enabled() ? SteadyNowUs() : 0.0;
+  }
+
+  void OnScheduled() override { tasks_scheduled_->Add(1); }
+
+  void RunTask(size_t worker_index, double enqueue_us,
+               const std::function<void()>& task) override {
+    // Names the worker's timeline track ("pool-worker-3") once per thread,
+    // even when the hooks were installed after the worker started — the
+    // name is stored thread-locally and read on first event.
+    thread_local bool named = false;
+    if (!named) {
+      named = true;
+      SetCurrentThreadTraceName("pool-worker-" +
+                                std::to_string(worker_index));
+    }
+    if (enqueue_us > 0.0) {
+      steal_latency_us_->Observe(SteadyNowUs() - enqueue_us);
+    }
+    {
+      TimelineScope scope("pool.task", "pool");
+      task();
+    }
+    tasks_run_->Add(1);
+  }
+
+  void OnGlobalPoolCreated(size_t num_threads) override {
+    global_threads_->Set(static_cast<double>(num_threads));
+  }
+
+  void OnParallelFor(size_t num_chunks) override {
+    parallel_for_calls_->Add(1);
+    parallel_for_chunks_->Add(static_cast<int64_t>(num_chunks));
+  }
+
+ private:
+  // The global registry is a leak-singleton: it strictly outlives this
+  // hook object (itself a leak-singleton).
+  MetricsRegistry& registry_;  // zerodb-lint: allow(lifetime-member)
+  Counter* tasks_scheduled_;
+  Counter* tasks_run_;
+  Counter* parallel_for_calls_;
+  Counter* parallel_for_chunks_;
+  Gauge* global_threads_;
+  Histogram* steal_latency_us_;
+};
+
+}  // namespace
+
+void InstallPoolTelemetry() {
+  // The flag flips before the singleton is built: PoolTelemetry's
+  // constructor calls MetricsRegistry::Global(), which calls back into
+  // InstallPoolTelemetry — the re-entrant call must return immediately.
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) return;
+  static PoolTelemetry* telemetry = new PoolTelemetry();  // leak-singleton
+  zerodb::SetPoolHooks(telemetry);
+  // The global pool may predate observability; report its size now.
+  size_t threads = zerodb::ThreadPool::GlobalCreatedThreads();
+  if (threads > 0) telemetry->OnGlobalPoolCreated(threads);
+}
+
+}  // namespace zerodb::obs

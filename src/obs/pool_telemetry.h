@@ -1,0 +1,19 @@
+#ifndef ZERODB_OBS_POOL_TELEMETRY_H_
+#define ZERODB_OBS_POOL_TELEMETRY_H_
+
+namespace zerodb::obs {
+
+/// Installs the obs implementation of zerodb::PoolHooks: pool.* metrics
+/// (tasks_scheduled, tasks_run, parallel_for_calls, parallel_for_chunks,
+/// global_threads, steal_latency_us) and per-worker timeline tracks
+/// ("pool-worker-N" + a "pool.task" scope per task).
+///
+/// Idempotent and cheap after the first call. Invoked automatically from
+/// MetricsRegistry::Global() and TraceEventRecorder::InstallGlobal(), so
+/// any code path that turns on observability wires up the pool too; the
+/// pool itself never includes obs/ (module-DAG rule `layering`).
+void InstallPoolTelemetry();
+
+}  // namespace zerodb::obs
+
+#endif  // ZERODB_OBS_POOL_TELEMETRY_H_

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/sync.h"
 #include "obs/export.h"
+#include "obs/pool_telemetry.h"
 
 namespace zerodb::obs {
 
@@ -242,6 +243,9 @@ TraceEventRecorder* TraceEventRecorder::InstallGlobal() {
     }
   }
   recorder->set_enabled(true);
+  // Tracing without metrics is common in tests; make sure pool workers get
+  // their timeline tracks either way.
+  InstallPoolTelemetry();
   return recorder;
 }
 

@@ -401,7 +401,9 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
-  const storage::Database& db_;
+  // Borrowed from ParseQuery's argument; the parser is a stack-local inside
+  // that one call and never escapes it.
+  const storage::Database& db_;  // zerodb-lint: allow(lifetime-member)
   size_t position_ = 0;
   QuerySpec query_;
   std::vector<RawSelectItem> raw_items_;

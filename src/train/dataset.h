@@ -7,6 +7,7 @@
 
 #include "datagen/corpus.h"
 #include "exec/executor.h"
+#include "models/record.h"
 #include "optimizer/optimizer.h"
 #include "plan/physical.h"
 #include "plan/query.h"
@@ -15,18 +16,10 @@
 
 namespace zerodb::train {
 
-/// One labeled training/evaluation example: a query, its optimized physical
-/// plan (annotated with estimated AND true cardinalities), the measured
-/// (simulated) runtime, and the optimizer's cost — everything any of the
-/// four cost models needs.
-struct QueryRecord {
-  const datagen::DatabaseEnv* env = nullptr;  ///< owning corpus outlives records
-  std::string db_name;
-  plan::QuerySpec query;
-  plan::PhysicalPlan plan;
-  double runtime_ms = 0.0;
-  double opt_cost = 0.0;
-};
+/// The labeled example type is defined in models/record.h (the layer below,
+/// so models never has to include train/); this alias preserves the
+/// train::QueryRecord spelling for all collection-side code.
+using QueryRecord = models::QueryRecord;
 
 struct CollectOptions {
   exec::ExecutorOptions executor;
