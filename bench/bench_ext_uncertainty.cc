@@ -55,11 +55,11 @@ int Run(const BenchOptions& options) {
     auto fallback_values = fallback.PredictMs(eval_view);
     for (size_t q = 0; q < predictions.size(); ++q) {
       if (predictions[q].spread_factor <= threshold) {
-        retained_pred.push_back(predictions[q].runtime_ms);
+        retained_pred.push_back(predictions[q].runtime_ms.value());
         retained_truth.push_back(truth[q]);
-        combined_pred.push_back(predictions[q].runtime_ms);
+        combined_pred.push_back(predictions[q].runtime_ms.value());
       } else {
-        combined_pred.push_back(fallback_values[q]);
+        combined_pred.push_back(fallback_values[q].value());
       }
     }
     double coverage =

@@ -56,7 +56,7 @@ int main() {
                 "estimate, true = executed):\n%s\n",
                 record.plan.root->ToString(*imdb.db).c_str());
     auto prediction = estimator.PredictMs(train::MakeView(records));
-    std::printf("\n  zero-shot predicted runtime: %8.2f ms\n", prediction[0]);
+    std::printf("\n  zero-shot predicted runtime: %8.2f ms\n", prediction[0].value());
     std::printf("  measured (simulated) runtime: %7.2f ms\n",
                 record.runtime_ms);
     std::printf("  optimizer cost metric:        %7.1f (unitless)\n",

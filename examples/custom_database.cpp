@@ -106,7 +106,7 @@ int main() {
     ZDB_CHECK(result.ok());
     double measured = simulator.PlanMs(*plan, *result);
     std::printf("%7.2fms %7.2fms   %s\n",
-                predicted.ok() ? *predicted : -1.0, measured, text);
+                predicted.ok() ? predicted->value() : -1.0, measured, text);
   }
   std::printf("\nThe model never saw 'webshop' (or anything like it) during "
               "training.\n");

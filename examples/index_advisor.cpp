@@ -84,9 +84,9 @@ int main() {
                 index.column.c_str());
   }
   std::printf("Predicted workload time: %.1f ms -> %.1f ms (%.2fx)\n",
-              result.baseline_total_ms, result.final_total_ms,
+              result.baseline_total_ms.value(), result.final_total_ms.value(),
               result.baseline_total_ms /
-                  std::max(result.final_total_ms, 1e-9));
+                  std::max(result.final_total_ms, Millis(1e-9)));
 
   // Verify by actually creating the chosen indexes. AlreadyExists is fine
   // here (the advisor may pick a column that already has one); ignore it.

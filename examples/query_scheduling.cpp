@@ -67,7 +67,7 @@ int main() {
     if (!result.ok()) continue;
     auto prediction = estimator.EstimateQueryMs(imdb, query);
     if (!prediction.ok()) continue;
-    predicted.push_back(*prediction);
+    predicted.push_back(prediction->value());
     truth.push_back(simulator.PlanMs(*plan, *result));
   }
 

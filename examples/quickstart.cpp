@@ -44,7 +44,8 @@ int main() {
     plan::QuerySpec query = generator.Next();
     auto ms = estimator.EstimateQueryMs(imdb, query);
     if (!ms.ok()) continue;
-    std::printf("  %7.2f ms   %s\n", *ms, query.ToSql(*imdb.db).c_str());
+    std::printf("  %7.2f ms   %s\n", ms->value(),
+                query.ToSql(*imdb.db).c_str());
   }
   std::printf("\nDone. No training query ever ran on the IMDB database.\n");
   return 0;

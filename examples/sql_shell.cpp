@@ -175,10 +175,10 @@ int main() {
     if (predicted.ok()) {
       // Every (prediction, measurement) pair feeds the online quality
       // monitor — drift shows up under quality.* in \metrics.
-      estimator.RecordFeedback(*predicted, measured);
+      estimator.RecordFeedback(*predicted, Millis(measured));
       std::printf("\n  zero-shot prediction: %8.2f ms   measured: %8.2f ms "
                   "  (q-error %.2f)%s\n\n",
-                  *predicted, measured, QError(*predicted, measured),
+                  predicted->value(), measured, QError(predicted->value(), measured),
                   estimator.quality_monitor() != nullptr &&
                           estimator.quality_monitor()->drifting()
                       ? "   [quality drift detected]"

@@ -20,14 +20,22 @@ Rules:
   discarded-status  statement-level call to a Status/StatusOr-returning
                     function (including through aliases) whose result is
                     dropped
+  unit-mix          interprocedural dimensional analysis over the
+                    common/units.h tag lattice (see dataflow.py)
+  statusor-deref    StatusOr dereferenced on a path where ok() was never
+                    established; Status results that die unchecked
+  hot-alloc         allocation/container growth reachable from per-row
+                    executor/trainer loops (see dataflow.py)
 """
 
 import re
 
+from . import dataflow
 from .ir import Finding, strip_code
 
 ALL_RULES = ("nondet-call", "nondet-iter", "lock-order", "lifetime-return",
-             "lifetime-member", "layering", "discarded-status")
+             "lifetime-member", "layering", "discarded-status",
+             "unit-mix", "statusor-deref", "hot-alloc")
 
 # Module DAG, bottom (most fundamental) to top: an #include may only point
 # at a strictly earlier module. This is the architecture contract from
@@ -381,5 +389,6 @@ def run_all(files):
     findings.extend(check_lifetime(files))
     findings.extend(check_layering(files))
     findings.extend(check_discarded_status(files))
+    findings.extend(dataflow.run(files))
     findings.sort(key=lambda f: (f.rel, f.line, f.rule))
     return findings, edges, cyclic

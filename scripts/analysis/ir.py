@@ -11,11 +11,13 @@ Line numbers are 1-based throughout (matching compiler diagnostics).
 import re
 from dataclasses import dataclass, field
 
+from . import suppress
 
-# Shared suppression syntax with zerodb_lint.py: `// zerodb-lint:
-# allow(rule)` — or a comma-separated list, spaces allowed — on the
-# offending line or the line directly above it.
-SUPPRESS_RE = re.compile(r"zerodb-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+# Shared suppression syntax with zerodb_lint.py (one parser, one behavior:
+# see analysis/suppress.py): `// zerodb-lint: allow(rule)` — or a
+# comma-separated list, spaces allowed — on the offending line or the line
+# directly above it.
+SUPPRESS_RE = suppress.SUPPRESS_RE
 
 # Fixture-only markers (see scripts/lint_fixtures/analyzer/):
 #   // expect-analyzer: <rule>           this line must be flagged
@@ -139,12 +141,7 @@ class FileIR:
     def suppressed(self, line: int, rule: str) -> bool:
         """True when `line` (1-based) or the line above carries
         `// zerodb-lint: allow(...)` naming `rule`."""
-        for idx in (line - 1, line - 2):
-            if 0 <= idx < len(self.raw_lines):
-                m = SUPPRESS_RE.search(self.raw_lines[idx])
-                if m and rule in [r.strip() for r in m.group(1).split(",")]:
-                    return True
-        return False
+        return suppress.suppressed(self.raw_lines, line - 1, rule)
 
     def expected_findings(self) -> "set[tuple[int, str]]":
         expected = set()

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 and GitHub workflow-command emission for analyzer findings.
+
+Kept deliberately defensive: CI calls these writers on whatever the run
+produced, including degenerate inputs (no findings, findings with missing
+fields, an empty call graph), and a traceback in the reporter must never
+mask the analysis result. Malformed findings are skipped, not fatal.
+"""
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "zerodb-analyzer"
+TOOL_URI = "https://github.com/zerodb/zerodb"
+
+
+def _clean(finding):
+    """Returns (rel, line, rule, message) or None when the finding is too
+    malformed to report (reporter must not throw on bad IR)."""
+    try:
+        rel = str(finding.rel)
+        line = int(finding.line)
+        rule = str(finding.rule)
+        message = str(finding.message)
+    except (AttributeError, TypeError, ValueError):
+        return None
+    if not rel or not rule:
+        return None
+    if line < 1:
+        line = 1
+    return rel, line, rule, message
+
+
+def to_sarif(findings, rules=()):
+    """Builds the SARIF log dict for `findings` (iterable of
+    checks.Finding). `rules` seeds tool.driver.rules so rule ids resolve
+    even on a clean run."""
+    rule_ids = []
+    for rule in list(rules or ()):
+        if isinstance(rule, str) and rule and rule not in rule_ids:
+            rule_ids.append(rule)
+    results = []
+    for finding in findings or ():
+        cleaned = _clean(finding)
+        if cleaned is None:
+            continue
+        rel, line, rule, message = cleaned
+        if rule not in rule_ids:
+            rule_ids.append(rule)
+        results.append({
+            "ruleId": rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": rel,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": line},
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": [{"id": rule_id} for rule_id in rule_ids],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path, findings, rules=()):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(to_sarif(findings, rules), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def _escape_property(text):
+    # GitHub workflow-command property escaping.
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A").replace(":", "%3A").replace(",", "%2C"))
+
+
+def _escape_data(text):
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def github_annotations(findings):
+    """Yields `::error file=...` workflow commands, one per finding, so
+    the analyze CI job annotates the offending lines in the diff view."""
+    for finding in findings or ():
+        cleaned = _clean(finding)
+        if cleaned is None:
+            continue
+        rel, line, rule, message = cleaned
+        yield (f"::error file={_escape_property(rel)},line={line},"
+               f"title={_escape_property(TOOL_NAME + ': ' + rule)}::"
+               f"{_escape_data(message)}")

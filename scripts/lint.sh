@@ -4,6 +4,11 @@
 #   scripts/lint.sh --format    # clang-format verify-only pass (no rewrites)
 #   scripts/lint.sh src/nn      # zerodb-lint + clang-tidy over one subtree
 #
+# ZERODB_LINT_BASE=<ref> switches the python analyzers to their
+# --changed-only fast path against that ref (pre-commit loop; the analyzer
+# still parses the whole tree so cross-TU checks stay sound, but reports
+# only findings the changed files can influence via the call graph).
+#
 # Exits non-zero on any finding. When an *optional external* tool is not
 # installed (clang-tidy/clang-format in minimal containers that only ship
 # gcc), prints a SKIPPED notice and exits 0 so the rest of the verification
@@ -57,18 +62,30 @@ fi
 if command -v python3 > /dev/null 2>&1; then
   echo "lint.sh: zerodb-lint self-test"
   python3 scripts/zerodb_lint.py --self-test
-  echo "lint.sh: zerodb-lint tree scan"
-  python3 scripts/zerodb_lint.py
+  if [[ -n "${ZERODB_LINT_BASE-}" ]]; then
+    echo "lint.sh: zerodb-lint changed-only scan (base $ZERODB_LINT_BASE)"
+    python3 scripts/zerodb_lint.py --changed-only --base "$ZERODB_LINT_BASE"
+  else
+    echo "lint.sh: zerodb-lint tree scan"
+    python3 scripts/zerodb_lint.py
+  fi
 
   # --- zerodb-analyzer: whole-program checks (determinism audit, lock-order
-  # cycles, lifetime, layering, AST-accurate discarded-status). Uses the
-  # libclang frontend when the python clang bindings are importable and
-  # degrades to the built-in lexical frontend otherwise, so findings gate
-  # the tree in any container with python3.
+  # cycles, lifetime, layering, AST-accurate discarded-status, and the
+  # interprocedural dataflow rules unit-mix / statusor-deref / hot-alloc).
+  # Uses the libclang frontend when the python clang bindings are importable
+  # and degrades to the built-in lexical frontend otherwise, so findings
+  # gate the tree in any container with python3.
   echo "lint.sh: zerodb-analyzer self-test"
   python3 scripts/zerodb_analyzer.py --self-test
-  echo "lint.sh: zerodb-analyzer tree scan"
-  python3 scripts/zerodb_analyzer.py
+  if [[ -n "${ZERODB_LINT_BASE-}" ]]; then
+    echo "lint.sh: zerodb-analyzer changed-only scan (base $ZERODB_LINT_BASE)"
+    python3 scripts/zerodb_analyzer.py --changed-only \
+      --base "$ZERODB_LINT_BASE"
+  else
+    echo "lint.sh: zerodb-analyzer tree scan"
+    python3 scripts/zerodb_analyzer.py
+  fi
 
   # --- tooling negative-path tests: bench_summary / trace_validate /
   # bench_compare must reject malformed inputs cleanly (no tracebacks).

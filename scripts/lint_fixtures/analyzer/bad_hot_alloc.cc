@@ -1,0 +1,21 @@
+// Fixture: hot-alloc — heap allocation and unreserved container growth
+// reachable from the executor's per-row Exec*/Next loops, including
+// through callees invoked from inside those loops (loop-hot propagation).
+// analyzer-fixture: module(exec)
+namespace zerodb {
+
+void AppendRow(std::vector<double>* out, double v) {
+  out->push_back(v);  // expect-analyzer: hot-alloc
+}
+
+void ExecScan(const std::vector<double>& input, std::vector<double>* rows) {
+  std::vector<double> selected;
+  for (double v : input) {
+    double* scratch = new double[8];  // expect-analyzer: hot-alloc
+    scratch[0] = v;
+    selected.push_back(scratch[0]);  // expect-analyzer: hot-alloc
+    AppendRow(rows, selected.back());
+  }
+}
+
+}  // namespace zerodb

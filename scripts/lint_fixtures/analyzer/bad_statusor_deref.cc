@@ -1,0 +1,32 @@
+// Fixture: statusor-deref — dereferencing a StatusOr on a path where
+// ok() was never established, with StatusOr-ness inferred across the call
+// graph for `auto` locals, and Status results that die unchecked.
+// analyzer-fixture: module(zeroshot)
+namespace zerodb {
+
+StatusOr<double> EstimateQueryMs(int query) {
+  if (query < 0) return Status::InvalidArgument("negative query id");
+  return 1.5;
+}
+
+Status SaveWeights(int model) {
+  if (model < 0) return Status::InvalidArgument("bad model");
+  return Status::OK();
+}
+
+double DerefAutoWithoutCheck(int query) {
+  auto estimate = EstimateQueryMs(query);  // StatusOr via the call graph
+  return estimate.value();  // expect-analyzer: statusor-deref
+}
+
+double DerefStarWithoutCheck(int query) {
+  StatusOr<double> estimate = EstimateQueryMs(query);
+  double v = *estimate;  // expect-analyzer: statusor-deref
+  return v;
+}
+
+void StatusDiesInFrame(int model) {
+  auto saved = SaveWeights(model);  // expect-analyzer: statusor-deref
+}
+
+}  // namespace zerodb

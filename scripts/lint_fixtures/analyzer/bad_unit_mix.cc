@@ -1,0 +1,37 @@
+// Fixture: unit-mix — the interprocedural dimensional analysis over the
+// common/units.h tag lattice (ms / log-ms / rows / bytes / selectivity).
+// Tags seed from declared strong types and propagate through assignments,
+// call arguments and return values; mixing dimensions without a named
+// conversion (ToLog / FromLog / FromRows) is flagged.
+// analyzer-fixture: module(models)
+namespace zerodb {
+
+double Normalize(LogMillis value) { return value.value(); }
+
+double Budget(Millis limit) { return limit.value(); }
+
+Millis EstimateMs() { return Millis(42.0); }
+
+void ParamMix(Millis predicted) {
+  Normalize(predicted);  // expect-analyzer: unit-mix
+}
+
+void ConstructorRetag(Rows rows) {
+  Millis wrong = Millis(rows);  // expect-analyzer: unit-mix
+  Budget(wrong);
+}
+
+double ArithmeticMix(Millis ms, Rows rows) {
+  return ms.value() + rows.value();  // expect-analyzer: unit-mix
+}
+
+LogMillis ReturnMix(Millis ms) {
+  return ms;  // expect-analyzer: unit-mix
+}
+
+void InterproceduralMix() {
+  auto predicted = EstimateMs();  // tagged ms via the call graph
+  Normalize(predicted);  // expect-analyzer: unit-mix
+}
+
+}  // namespace zerodb

@@ -1,0 +1,25 @@
+// Fixture: hot-alloc negative space — growth with capacity established by
+// a reserve() on the same receiver (directly or in a loop-hot callee),
+// and cold functions never reached from a per-row root.
+// analyzer-fixture: module(exec)
+namespace zerodb {
+
+void AppendRows(std::vector<double>* out, int n) {
+  out->reserve(out->size() + static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out->push_back(static_cast<double>(i));
+}
+
+void ExecProject(const std::vector<double>& input) {
+  std::vector<double> selected;
+  selected.reserve(input.size());
+  for (double v : input) {
+    if (v > 0.0) selected.push_back(v);
+    AppendRows(&selected, 2);
+  }
+}
+
+void ColdPathGrowth(std::vector<double>* out) {
+  out->push_back(1.0);  // never reached from Exec*/Next/RunShard
+}
+
+}  // namespace zerodb

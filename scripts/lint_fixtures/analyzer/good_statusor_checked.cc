@@ -1,0 +1,32 @@
+// Fixture: statusor-deref negative space — ok() guards, the ZDB check
+// macros, and returning/forwarding the Status all establish ok-ness.
+// analyzer-fixture: module(zeroshot)
+namespace zerodb {
+
+StatusOr<double> EstimateQueryMs(int query) {
+  if (query < 0) return Status::InvalidArgument("negative query id");
+  return 1.5;
+}
+
+Status SaveWeights(int model) {
+  if (model < 0) return Status::InvalidArgument("bad model");
+  return Status::OK();
+}
+
+double GuardedDeref(int query) {
+  auto estimate = EstimateQueryMs(query);
+  if (!estimate.ok()) return 0.0;
+  return estimate.value();
+}
+
+void MacroChecked(int model) {
+  auto saved = SaveWeights(model);
+  ZDB_CHECK_OK(saved);
+}
+
+Status Forwarded(int model) {
+  auto saved = SaveWeights(model);
+  return saved;
+}
+
+}  // namespace zerodb

@@ -1,0 +1,25 @@
+// Fixture: unit-mix negative space — dimension changes through the named
+// conversions in common/units.h, same-unit arithmetic, and dimensionless
+// ratios must all stay silent.
+// analyzer-fixture: module(models)
+namespace zerodb {
+
+double Normalize(LogMillis value) { return value.value(); }
+
+void NamedConversion(Millis predicted) {
+  Normalize(predicted.ToLog());  // ms -> log-ms, explicitly
+}
+
+Millis Readout(LogMillis log_ms) { return Millis::FromLog(log_ms); }
+
+Millis SameUnitSum(Millis a, Millis b) { return a + b; }
+
+double Ratio(Millis a, Millis b) { return a / b; }
+
+Selectivity FromCardinalities(Rows out_rows, Rows in_rows) {
+  return Selectivity::FromRows(out_rows, in_rows);
+}
+
+double RawScaling(Millis ms) { return ms.value() * 2.0; }
+
+}  // namespace zerodb

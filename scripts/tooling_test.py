@@ -12,7 +12,12 @@ Covered:
                      entries missing real_time, malformed --metrics artifacts
   trace_validate.py  truncated JSON, wrong top-level shape, event missing ts
   bench_compare.py   missing baseline tolerated; regression detection and
-                     non-fatal exit; corrupt baseline tolerated
+                     non-fatal exit; corrupt baseline tolerated; one-sided
+                     counters skipped with a ::notice, never compared
+  analysis/suppress  `zerodb-lint: allow(...)` parsing unit tests (shared
+                     by zerodb_lint.py and every analyzer rule)
+  analysis/sarif     SARIF writer and ::error emitter survive malformed
+                     findings (bad IR) and an empty run — no tracebacks
 
 Run: scripts/tooling_test.py   (exit 0 pass, 1 fail). Wired into lint.sh /
 check.sh and the CI lint job.
@@ -23,6 +28,10 @@ import os
 import subprocess
 import sys
 import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__))))
+
+from analysis import sarif, suppress  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCRIPTS = os.path.join(REPO_ROOT, "scripts")
@@ -191,7 +200,22 @@ def test_bench_compare(tmp):
     result = run_script("bench_compare.py", "--fresh", base,
                         "--baseline", base)
     check("bench_compare identical summaries: no regressions",
-          result.returncode == 0 and "0 regression(s)" in result.stdout)
+          result.returncode == 0 and "0 regression(s)" in result.stdout
+          and "0 one-sided" in result.stdout)
+
+    renamed = write(tmp, "renamed.json", json.dumps({
+        "schema_version": 2, "commit": "renamed",
+        "benchmarks": [{"name": "BM_New", "real_time_ms": 5.0,
+                        "cpu_time_ms": 5.0, "iterations": 1}],
+        "wall_clock_s": {"bench_micro": 10.0}}))
+    result = run_script("bench_compare.py", "--fresh", renamed,
+                        "--baseline", base, "--github-annotations")
+    check("bench_compare one-sided counters skipped with ::notice",
+          result.returncode == 0
+          and result.stdout.count("::notice") == 2
+          and "BM_New" in result.stdout and "BM_X" in result.stdout
+          and "2 one-sided series skipped" in result.stdout,
+          (result.stdout + result.stderr).strip()[:300])
 
     expect_clean_failure(
         "bench_compare missing fresh summary",
@@ -207,11 +231,100 @@ def test_bench_compare(tmp):
           (result.stdout + result.stderr).strip()[:200])
 
 
+def test_suppress():
+    check("suppress: plain line has no rules",
+          suppress.allowed_rules("int x = 1;") == frozenset())
+    check("suppress: single rule",
+          suppress.allowed_rules("x;  // zerodb-lint: allow(hot-alloc)")
+          == frozenset({"hot-alloc"}))
+    check("suppress: comma list with spaces",
+          suppress.allowed_rules(
+              "// zerodb-lint: allow(unit-mix , statusor-deref)")
+          == frozenset({"unit-mix", "statusor-deref"}))
+    check("suppress: malformed marker suppresses nothing",
+          suppress.allowed_rules("// zerodb-lint: allow()") == frozenset()
+          and suppress.allowed_rules("// zerodb-lint: allow(Bad_Rule)")
+          == frozenset())
+    lines = ["int a;",
+             "// zerodb-lint: allow(unit-mix)",
+             "Millis m = Millis(rows);",
+             "rows2ms(r);  // zerodb-lint: allow(unit-mix)"]
+    check("suppress: line above applies",
+          suppress.suppressed(lines, 2, "unit-mix"))
+    check("suppress: same line applies",
+          suppress.suppressed(lines, 3, "unit-mix"))
+    check("suppress: other rule untouched",
+          not suppress.suppressed(lines, 2, "hot-alloc"))
+    check("suppress: unmarked line untouched",
+          not suppress.suppressed(lines, 0, "unit-mix"))
+    check("suppress: out-of-range index is safe",
+          not suppress.suppressed(lines, 0, "unit-mix")
+          and not suppress.suppressed([], 0, "unit-mix"))
+
+
+class _FakeFinding:
+    def __init__(self, rel, line, rule, message):
+        self.rel = rel
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+
+def test_sarif(tmp):
+    # Empty run (e.g. an empty call graph produced zero findings): a valid
+    # log with the rule table intact, not a crash or an empty file.
+    path = os.path.join(tmp, "empty.sarif")
+    sarif.write_sarif(path, [], rules=("unit-mix", "hot-alloc"))
+    with open(path, encoding="utf-8") as f:
+        log = json.load(f)
+    run = log["runs"][0]
+    check("sarif: empty run is a valid 2.1.0 log",
+          log["version"] == "2.1.0" and run["results"] == []
+          and {r["id"] for r in run["tool"]["driver"]["rules"]}
+          == {"unit-mix", "hot-alloc"})
+
+    # Malformed findings (IR handed garbage lines/fields) are dropped,
+    # never raised: the reporter must not mask the analysis result.
+    findings = [
+        _FakeFinding("src/a.cc", 3, "unit-mix", "real finding"),
+        _FakeFinding("src/b.cc", "not-a-line", "unit-mix", "bad line"),
+        _FakeFinding("", 1, "unit-mix", "empty path"),
+        _FakeFinding("src/c.cc", -7, "hot-alloc", "clamped line"),
+        None,
+        _FakeFinding("src/d.cc", 2, "", "empty rule"),
+    ]
+    try:
+        doc = sarif.to_sarif(findings)
+        annotations = list(sarif.github_annotations(findings))
+        crashed = False
+    except Exception:  # noqa: BLE001 - the absence of this is the test
+        crashed = True
+        doc, annotations = {}, []
+    results = doc.get("runs", [{}])[0].get("results", []) if not crashed \
+        else []
+    check("sarif: malformed findings dropped, valid kept",
+          not crashed and len(results) == 2
+          and results[0]["locations"][0]["physicalLocation"]
+          ["region"]["startLine"] == 3
+          and results[1]["locations"][0]["physicalLocation"]
+          ["region"]["startLine"] == 1)
+    check("sarif: annotations skip malformed, escape properly",
+          len(annotations) == 2
+          and annotations[0].startswith("::error file=src/a.cc,line=3,")
+          and "%3A" in annotations[0])
+
+    newline_msg = [_FakeFinding("src/a.cc", 1, "unit-mix", "line1\nline2")]
+    check("sarif: newline in message escaped for ::error",
+          "%0A" in next(iter(sarif.github_annotations(newline_msg))))
+
+
 def main():
     with tempfile.TemporaryDirectory(prefix="zerodb-tooling-") as tmp:
         test_bench_summary(tmp)
         test_trace_validate(tmp)
         test_bench_compare(tmp)
+        test_suppress()
+        test_sarif(tmp)
     if _failures:
         print(f"tooling_test: FAIL ({len(_failures)}/{_checks} checks): "
               + ", ".join(_failures))

@@ -54,15 +54,18 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from analysis import suppress as _suppress  # noqa: E402
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 FIXTURE_DIR = os.path.join("scripts", "lint_fixtures")
 SCAN_ROOTS = ("src", "tests", "bench", "examples")
 EXTENSIONS = (".h", ".cc", ".cpp")
 
-# One rule or a comma-separated list, spaces allowed:
-# `// zerodb-lint: allow(raw-thread)`, `// zerodb-lint: allow(a, b)`.
-SUPPRESS_RE = re.compile(
-    r"zerodb-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+# Suppression syntax is shared with zerodb-analyzer; the single parser
+# lives in scripts/analysis/suppress.py (one parser, one behavior).
+SUPPRESS_RE = _suppress.SUPPRESS_RE
 EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")
 
 RAW_MUTEX_RE = re.compile(
@@ -160,13 +163,8 @@ def strip_code(lines):
 
 def suppressed(raw_lines, idx, rule):
     """True if line idx (0-based) or the line above carries
-    `// zerodb-lint: allow(rule)`."""
-    for j in (idx, idx - 1):
-        if 0 <= j < len(raw_lines):
-            m = SUPPRESS_RE.search(raw_lines[j])
-            if m and rule in [r.strip() for r in m.group(1).split(",")]:
-                return True
-    return False
+    `// zerodb-lint: allow(rule)` (shared parser, analysis/suppress.py)."""
+    return _suppress.suppressed(raw_lines, idx, rule)
 
 
 def has_nearby_comment(raw_lines, idx):

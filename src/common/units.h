@@ -1,0 +1,189 @@
+#ifndef ZERODB_COMMON_UNITS_H_
+#define ZERODB_COMMON_UNITS_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace zerodb {
+
+/// Strong value classes for the quantities the cost pipeline juggles.
+/// Everything the zero-shot model touches — runtimes, log-runtimes,
+/// cardinalities, widths, selectivities — is a `double` at the ABI level,
+/// and a single unit mix-up (log-space into linear-space, ms into a rows
+/// slot) silently corrupts training and every downstream prediction. These
+/// wrappers make the unit part of the signature.
+///
+/// Conventions (see DESIGN.md "Interprocedural dataflow"):
+///  - construction from a raw double is `explicit`; `.value()` is the only
+///    exit back to raw doubles. zerodb-analyzer's `unit-mix` pass seeds its
+///    tag lattice from these types, so a `.value()` double keeps its tag
+///    until it passes through a *named* conversion.
+///  - same-unit addition/subtraction/comparison is defined; cross-unit
+///    arithmetic is a compile error on typed paths and an analyzer finding
+///    on the raw-double paths the type system cannot see.
+///  - Millis <-> LogMillis is never a bare std::log/std::exp at call sites:
+///    `Millis::ToLog()` applies the models' historical clamp
+///    (log(max(ms, 1e-6))) and `Millis::FromLog()` inverts it, so every
+///    model readout stays bit-identical to the pre-units code.
+///  - Selectivity is produced from two Rows via `Selectivity::FromRows`
+///    (out/in clamped to [0, 10], expanding operators allowed), never by
+///    hand-dividing doubles.
+
+class LogMillis;
+
+/// A runtime (or runtime prediction) in wall-clock milliseconds.
+class Millis {
+ public:
+  constexpr Millis() = default;
+  explicit constexpr Millis(double ms) : ms_(ms) {}
+
+  constexpr double value() const { return ms_; }
+
+  /// Named conversion into log space with the clamp every model readout
+  /// has always used: log(max(ms, 1e-6)).
+  LogMillis ToLog() const;
+
+  /// Inverse of ToLog(): exp(log_ms).
+  static Millis FromLog(LogMillis log_ms);
+
+  Millis& operator+=(Millis other) {
+    ms_ += other.ms_;
+    return *this;
+  }
+  friend constexpr Millis operator+(Millis a, Millis b) {
+    return Millis(a.ms_ + b.ms_);
+  }
+  friend constexpr Millis operator-(Millis a, Millis b) {
+    return Millis(a.ms_ - b.ms_);
+  }
+  /// Scaling by a dimensionless factor (uncertainty spreads, thresholds).
+  friend constexpr Millis operator*(Millis a, double factor) {
+    return Millis(a.ms_ * factor);
+  }
+  friend constexpr Millis operator*(double factor, Millis a) {
+    return Millis(factor * a.ms_);
+  }
+  friend constexpr Millis operator/(Millis a, double divisor) {
+    return Millis(a.ms_ / divisor);
+  }
+  /// ms / ms is a dimensionless ratio (q-errors, improvement factors).
+  friend constexpr double operator/(Millis a, Millis b) {
+    return a.ms_ / b.ms_;
+  }
+  friend constexpr bool operator==(Millis a, Millis b) {
+    return a.ms_ == b.ms_;
+  }
+  friend constexpr bool operator!=(Millis a, Millis b) {
+    return a.ms_ != b.ms_;
+  }
+  friend constexpr bool operator<(Millis a, Millis b) { return a.ms_ < b.ms_; }
+  friend constexpr bool operator>(Millis a, Millis b) { return a.ms_ > b.ms_; }
+  friend constexpr bool operator<=(Millis a, Millis b) {
+    return a.ms_ <= b.ms_;
+  }
+  friend constexpr bool operator>=(Millis a, Millis b) {
+    return a.ms_ >= b.ms_;
+  }
+
+ private:
+  double ms_ = 0.0;
+};
+
+/// A log-transformed runtime: the regression target the neural models
+/// train on (runtimes span orders of magnitude). Only Millis::ToLog()
+/// produces one; only Millis::FromLog() turns it back.
+class LogMillis {
+ public:
+  constexpr LogMillis() = default;
+  explicit constexpr LogMillis(double log_ms) : log_ms_(log_ms) {}
+
+  constexpr double value() const { return log_ms_; }
+
+  friend constexpr bool operator==(LogMillis a, LogMillis b) {
+    return a.log_ms_ == b.log_ms_;
+  }
+  friend constexpr bool operator<(LogMillis a, LogMillis b) {
+    return a.log_ms_ < b.log_ms_;
+  }
+
+ private:
+  double log_ms_ = 0.0;
+};
+
+inline LogMillis Millis::ToLog() const {
+  return LogMillis(std::log(std::max(ms_, 1e-6)));
+}
+
+inline Millis Millis::FromLog(LogMillis log_ms) {
+  return Millis(std::exp(log_ms.value()));
+}
+
+/// A tuple/row count (cardinalities are fractional after estimation).
+class Rows {
+ public:
+  constexpr Rows() = default;
+  explicit constexpr Rows(double rows) : rows_(rows) {}
+
+  constexpr double value() const { return rows_; }
+
+  friend constexpr Rows operator+(Rows a, Rows b) {
+    return Rows(a.rows_ + b.rows_);
+  }
+  friend constexpr bool operator==(Rows a, Rows b) {
+    return a.rows_ == b.rows_;
+  }
+  friend constexpr bool operator<(Rows a, Rows b) { return a.rows_ < b.rows_; }
+  friend constexpr bool operator>=(Rows a, Rows b) {
+    return a.rows_ >= b.rows_;
+  }
+
+ private:
+  double rows_ = 0.0;
+};
+
+/// A byte count (tuple widths, page sizes).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  explicit constexpr Bytes(double bytes) : bytes_(bytes) {}
+
+  constexpr double value() const { return bytes_; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.bytes_ + b.bytes_);
+  }
+  friend constexpr bool operator==(Bytes a, Bytes b) {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  double bytes_ = 0.0;
+};
+
+/// An output/input cardinality ratio. Clamped to [0, 10] at the only
+/// sanctioned construction site (FromRows): expanding operators (joins)
+/// legitimately exceed 1, and 10 caps the feature range the paper uses.
+class Selectivity {
+ public:
+  constexpr Selectivity() = default;
+  explicit constexpr Selectivity(double ratio) : ratio_(ratio) {}
+
+  /// The named Rows -> Selectivity conversion: out / max(1, in), clamped.
+  static Selectivity FromRows(Rows out, Rows in) {
+    double denominator = std::max(1.0, in.value());
+    return Selectivity(std::clamp(out.value() / denominator, 0.0, 10.0));
+  }
+
+  constexpr double value() const { return ratio_; }
+
+  friend constexpr bool operator==(Selectivity a, Selectivity b) {
+    return a.ratio_ == b.ratio_;
+  }
+
+ private:
+  double ratio_ = 0.0;
+};
+
+}  // namespace zerodb
+
+#endif  // ZERODB_COMMON_UNITS_H_

@@ -20,6 +20,9 @@ struct RowBatch {
 
   /// Gathers one row as a slot-value vector (for predicate evaluation).
   void GetRow(size_t row, std::vector<double>* out) const {
+    // Callers reuse one buffer across rows: this resize allocates on the
+    // first call only and is amortized-free thereafter.
+    // zerodb-lint: allow(hot-alloc)
     out->resize(columns.size());
     for (size_t c = 0; c < columns.size(); ++c) (*out)[c] = columns[c][row];
   }

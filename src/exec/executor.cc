@@ -232,6 +232,7 @@ StatusOr<RowBatch> Executor::ExecSeqScan(PhysicalNode* node,
   if (node->predicate.has_value()) {
     TablePredicateEvaluator evaluator(*table, *node->predicate);
     s->predicate_evals = evaluator.leaves() * static_cast<int64_t>(n);
+    selected.reserve(n);  // worst case: every row matches
     for (size_t row = 0; row < n; ++row) {
       if (evaluator.Matches(row)) selected.push_back(static_cast<uint32_t>(row));
     }
@@ -275,6 +276,7 @@ StatusOr<RowBatch> Executor::ExecIndexScan(PhysicalNode* node,
     TablePredicateEvaluator evaluator(*table, *node->predicate);
     s->predicate_evals =
         evaluator.leaves() * static_cast<int64_t>(matched.size());
+    selected.reserve(matched.size());  // worst case: every match passes
     for (uint32_t row : matched) {
       if (evaluator.Matches(row)) selected.push_back(row);
     }
@@ -302,6 +304,7 @@ StatusOr<RowBatch> Executor::ExecFilter(PhysicalNode* node, RowBatch child,
       static_cast<int64_t>(n);
 
   std::vector<uint32_t> selected;
+  selected.reserve(n);  // worst case: every row passes
   std::vector<double> row;
   for (size_t i = 0; i < n; ++i) {
     child.GetRow(i, &row);
@@ -337,6 +340,10 @@ StatusOr<RowBatch> Executor::ExecHashJoin(PhysicalNode* node, RowBatch left,
 
   std::vector<uint32_t> left_sel;
   std::vector<uint32_t> right_sel;
+  // FK-join heuristic: about one match per probe row; larger outputs grow
+  // geometrically from here instead of from zero.
+  left_sel.reserve(probe_keys.size());
+  right_sel.reserve(probe_keys.size());
   for (size_t j = 0; j < probe_keys.size(); ++j) {
     auto [begin, end] = table.equal_range(probe_keys[j]);
     for (auto it = begin; it != end; ++it) {
@@ -376,6 +383,9 @@ StatusOr<RowBatch> Executor::ExecNestedLoopJoin(PhysicalNode* node,
 
   std::vector<uint32_t> left_sel;
   std::vector<uint32_t> right_sel;
+  // Same capacity heuristic as the hash join: one match per outer row.
+  left_sel.reserve(left_keys.size());
+  right_sel.reserve(left_keys.size());
   for (size_t i = 0; i < left_keys.size(); ++i) {
     for (size_t j = 0; j < right_keys.size(); ++j) {
       if (left_keys[i] == right_keys[j]) {
@@ -393,6 +403,7 @@ StatusOr<RowBatch> Executor::ExecNestedLoopJoin(PhysicalNode* node,
   batch.schema = left.schema;
   batch.schema.insert(batch.schema.end(), right.schema.begin(),
                       right.schema.end());
+  batch.columns.reserve(left.num_columns() + right.num_columns());
   for (const auto& column : left.columns) {
     batch.columns.push_back(GatherColumn(column, left_sel));
   }
@@ -424,6 +435,9 @@ StatusOr<RowBatch> Executor::ExecIndexNLJoin(PhysicalNode* node,
 
   std::vector<uint32_t> outer_sel;
   std::vector<uint32_t> inner_sel;
+  // One index match per outer row is the common case for FK lookups.
+  outer_sel.reserve(outer_keys.size());
+  inner_sel.reserve(outer_keys.size());
   std::vector<uint32_t> matches;
   for (size_t i = 0; i < outer_keys.size(); ++i) {
     matches.clear();
@@ -447,6 +461,8 @@ StatusOr<RowBatch> Executor::ExecIndexNLJoin(PhysicalNode* node,
 
   RowBatch batch;
   batch.schema = outer.schema;
+  batch.schema.reserve(outer.schema.size() + inner->num_columns());
+  batch.columns.reserve(outer.num_columns() + inner->num_columns());
   for (size_t c = 0; c < inner->num_columns(); ++c) {
     batch.schema.push_back(plan::OutputColumn{inner->name(), c, false});
   }
@@ -479,6 +495,7 @@ StatusOr<RowBatch> Executor::ExecSort(PhysicalNode* node, RowBatch child,
 
   RowBatch batch;
   batch.schema = child.schema;
+  batch.columns.reserve(child.num_columns());
   for (const auto& column : child.columns) {
     batch.columns.push_back(GatherColumn(column, order));
   }
@@ -541,7 +558,7 @@ StatusOr<RowBatch> Executor::ExecAggregate(PhysicalNode* node, RowBatch child,
     s->group_count = 1;
     batch.columns.resize(num_aggs);
     for (size_t a = 0; a < num_aggs; ++a) {
-      batch.columns[a].push_back(finalize(states[a], node->aggregates[a]));
+      batch.columns[a].assign(1, finalize(states[a], node->aggregates[a]));
     }
     return batch;
   }
@@ -590,6 +607,9 @@ StatusOr<RowBatch> Executor::ExecAggregate(PhysicalNode* node, RowBatch child,
             });
 
   batch.columns.assign(node->group_by_slots.size() + num_aggs, {});
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    batch.columns[c].reserve(ordered.size());
+  }
   for (const auto* entry : ordered) {
     const std::vector<double>& group_key = entry->first;
     const std::vector<AggState>& states = entry->second;

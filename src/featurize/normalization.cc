@@ -57,23 +57,26 @@ void TargetNorm::Set(double mean, double std) {
   fitted_ = true;
 }
 
-void TargetNorm::Fit(const std::vector<double>& values) {
+void TargetNorm::Fit(const std::vector<LogMillis>& values) {
   ZDB_CHECK(!values.empty());
-  mean_ = Mean(values);
-  double std = StdDev(values);
+  std::vector<double> raw;
+  raw.reserve(values.size());
+  for (LogMillis value : values) raw.push_back(value.value());
+  mean_ = Mean(raw);
+  double std = StdDev(raw);
   std_ = std < 1e-9 ? 1.0 : std;
   fitted_ = true;
 }
 
-double TargetNorm::Normalize(double value) const {
+double TargetNorm::Normalize(LogMillis value) const {
   ZDB_CHECK(fitted_);
-  ZDB_DCHECK(std::isfinite(value));
-  return (value - mean_) / std_;
+  ZDB_DCHECK(std::isfinite(value.value()));
+  return (value.value() - mean_) / std_;
 }
 
-double TargetNorm::Denormalize(double normalized) const {
+LogMillis TargetNorm::Denormalize(double normalized) const {
   ZDB_CHECK(fitted_);
-  return normalized * std_ + mean_;
+  return LogMillis(normalized * std_ + mean_);
 }
 
 }  // namespace zerodb::featurize

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/units.h"
+
 namespace zerodb::featurize {
 
 /// Per-dimension standardization (z-score) fitted on the training corpus
@@ -42,11 +44,17 @@ class FeatureNorm {
 /// Scalar standardization for the regression target (log runtime). Same
 /// fit-then-freeze contract as FeatureNorm: concurrent Normalize /
 /// Denormalize calls are safe once fitted.
+///
+/// The target is typed LogMillis end to end: models produce it with
+/// `Millis(record->runtime_ms).ToLog()` and invert readouts with
+/// `Millis::FromLog(Denormalize(...))`, so a linear-space runtime can never
+/// be normalized (or a normalized output mistaken for milliseconds)
+/// without going through the named conversions in common/units.h.
 class TargetNorm {
  public:
-  void Fit(const std::vector<double>& values);
-  double Normalize(double value) const;
-  double Denormalize(double normalized) const;
+  void Fit(const std::vector<LogMillis>& values);
+  double Normalize(LogMillis value) const;
+  LogMillis Denormalize(double normalized) const;
   bool fitted() const { return fitted_; }
   double mean() const { return mean_; }
   double std() const { return std_; }

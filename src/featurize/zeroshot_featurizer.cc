@@ -15,6 +15,11 @@ using plan::PhysicalOpType;
 
 float Log1pF(double x) { return static_cast<float>(Log1pSafe(x)); }
 
+// Named unit -> feature-space conversions: counts and widths enter the
+// feature vector only log1p-transformed, so the raw magnitudes never mix.
+float Log1pF(Rows rows) { return Log1pF(rows.value()); }
+float Log1pF(Bytes bytes) { return Log1pF(bytes.value()); }
+
 // Summarizes predicate structure into (leaves, eq leaves, range leaves,
 // depth, has_or).
 struct PredicateSummary {
@@ -64,11 +69,11 @@ int64_t RealOrEstimatedIndexHeight(const datagen::DatabaseEnv& env,
 
 }  // namespace
 
-double ZeroShotFeaturizer::NodeCardinality(const PhysicalNode& node) const {
-  if (mode_ == CardinalityMode::kEstimated) return node.est_cardinality;
+Rows ZeroShotFeaturizer::NodeCardinality(const PhysicalNode& node) const {
+  if (mode_ == CardinalityMode::kEstimated) return Rows(node.est_cardinality);
   ZDB_CHECK_GE(node.true_cardinality, 0.0)
       << "exact-cardinality featurization requires an executed plan";
-  return node.true_cardinality;
+  return Rows(node.true_cardinality);
 }
 
 size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
@@ -85,31 +90,31 @@ size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
   const storage::Database& db = *env.db;
   std::vector<float> f(kFeatureDim, 0.0f);
 
-  const double out_card = NodeCardinality(node);
+  const Rows out_card = NodeCardinality(node);
   f[0] = Log1pF(out_card);
-  f[4] = Log1pF(static_cast<double>(node.OutputWidthBytes(db)));
+  f[4] = Log1pF(Bytes(static_cast<double>(node.OutputWidthBytes(db))));
   f[19] = 1.0f;
 
   // Inputs.
-  double in_left = 0.0;
-  double in_right = 0.0;
+  Rows in_left;
+  Rows in_right;
   switch (node.type) {
     case PhysicalOpType::kSeqScan:
     case PhysicalOpType::kIndexScan: {
       const stats::TableStats& table_stats = env.stats.GetTable(node.table_name);
-      in_left = static_cast<double>(table_stats.num_rows);
+      in_left = Rows(static_cast<double>(table_stats.num_rows));
       f[3] = Log1pF(static_cast<double>(table_stats.num_pages));
-      f[5] = Log1pF(static_cast<double>(table_stats.row_width_bytes));
+      f[5] = Log1pF(Bytes(static_cast<double>(table_stats.row_width_bytes)));
       break;
     }
     case PhysicalOpType::kIndexNLJoin: {
       in_left = NodeCardinality(*node.children[0]);
       const stats::TableStats& inner_stats = env.stats.GetTable(node.table_name);
-      in_right = static_cast<double>(inner_stats.num_rows);
+      in_right = Rows(static_cast<double>(inner_stats.num_rows));
       f[3] = Log1pF(static_cast<double>(inner_stats.num_pages));
       f[5] = Log1pF(
-          static_cast<double>(node.children[0]->OutputWidthBytes(db)));
-      f[6] = Log1pF(static_cast<double>(inner_stats.row_width_bytes));
+          Bytes(static_cast<double>(node.children[0]->OutputWidthBytes(db))));
+      f[6] = Log1pF(Bytes(static_cast<double>(inner_stats.row_width_bytes)));
       break;
     }
     case PhysicalOpType::kHashJoin:
@@ -117,9 +122,9 @@ size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
       in_left = NodeCardinality(*node.children[0]);
       in_right = NodeCardinality(*node.children[1]);
       f[5] = Log1pF(
-          static_cast<double>(node.children[0]->OutputWidthBytes(db)));
+          Bytes(static_cast<double>(node.children[0]->OutputWidthBytes(db))));
       f[6] = Log1pF(
-          static_cast<double>(node.children[1]->OutputWidthBytes(db)));
+          Bytes(static_cast<double>(node.children[1]->OutputWidthBytes(db))));
       break;
     case PhysicalOpType::kFilter:
     case PhysicalOpType::kSort:
@@ -127,16 +132,12 @@ size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
     case PhysicalOpType::kSimpleAggregate:
       in_left = NodeCardinality(*node.children[0]);
       f[5] = Log1pF(
-          static_cast<double>(node.children[0]->OutputWidthBytes(db)));
+          Bytes(static_cast<double>(node.children[0]->OutputWidthBytes(db))));
       break;
   }
   f[1] = Log1pF(in_left);
   f[2] = Log1pF(in_right);
-  {
-    double denominator = std::max(1.0, in_left);
-    f[7] = static_cast<float>(
-        std::clamp(out_card / denominator, 0.0, 10.0));
-  }
+  f[7] = static_cast<float>(Selectivity::FromRows(out_card, in_left).value());
 
   // Predicate structure.
   if (node.predicate.has_value()) {

@@ -1,6 +1,7 @@
 #ifndef ZERODB_FEATURIZE_ZEROSHOT_FEATURIZER_H_
 #define ZERODB_FEATURIZE_ZEROSHOT_FEATURIZER_H_
 
+#include "common/units.h"
 #include "datagen/corpus.h"
 #include "featurize/plan_graph.h"
 #include "plan/physical.h"
@@ -42,7 +43,7 @@ class ZeroShotFeaturizer {
   size_t AddNode(const plan::PhysicalNode& node,
                  const datagen::DatabaseEnv& env, PlanGraph* graph) const;
 
-  double NodeCardinality(const plan::PhysicalNode& node) const;
+  Rows NodeCardinality(const plan::PhysicalNode& node) const;
 
   CardinalityMode mode_;
 };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/units.h"
 #include "nn/tensor.h"
 #include "models/record.h"
 
@@ -19,8 +20,10 @@ class CostPredictor {
 
   virtual std::string Name() const = 0;
 
-  /// Predicted runtimes in milliseconds, one per record.
-  virtual std::vector<double> PredictMs(
+  /// Predicted runtimes, one per record. Strongly typed Millis: readouts
+  /// come out of log space through Millis::FromLog, so a raw log-space or
+  /// normalized value cannot leak out of a model (common/units.h).
+  virtual std::vector<Millis> PredictMs(
       const std::vector<const QueryRecord*>& records) = 0;
 };
 

@@ -63,10 +63,10 @@ std::unique_ptr<NeuralCostModel> MscnCostModel::CloneReplica() const {
 void MscnCostModel::Prepare(
     const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(!records.empty());
-  std::vector<double> log_runtimes;
+  std::vector<LogMillis> log_runtimes;
   log_runtimes.reserve(records.size());
   for (const QueryRecord* record : records) {
-    log_runtimes.push_back(std::log(std::max(record->runtime_ms, 1e-6)));
+    log_runtimes.push_back(Millis(record->runtime_ms).ToLog());
   }
   target_norm_.Fit(log_runtimes);
 }
@@ -130,7 +130,7 @@ nn::Tensor MscnCostModel::LossOnBatch(
   for (const QueryRecord* record : batch) {
     featurized.push_back(featurizer_.Featurize(record->query, *record->env));
     targets.push_back(static_cast<float>(target_norm_.Normalize(
-        std::log(std::max(record->runtime_ms, 1e-6)))));
+        Millis(record->runtime_ms).ToLog())));
   }
   nn::Tensor predictions = Forward(featurized, training, rng);
   const size_t batch_size = targets.size();
@@ -139,7 +139,7 @@ nn::Tensor MscnCostModel::LossOnBatch(
   return nn::HuberLoss(predictions, target_tensor, 1.0f);
 }
 
-std::vector<double> MscnCostModel::PredictMs(
+std::vector<Millis> MscnCostModel::PredictMs(
     const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(target_norm_.fitted());
   if (records.empty()) return {};
@@ -149,10 +149,10 @@ std::vector<double> MscnCostModel::PredictMs(
     featurized.push_back(featurizer_.Featurize(record->query, *record->env));
   }
   nn::Tensor predictions = Forward(featurized, /*training=*/false, nullptr);
-  std::vector<double> out;
+  std::vector<Millis> out;
   out.reserve(records.size());
   for (size_t i = 0; i < records.size(); ++i) {
-    out.push_back(std::exp(target_norm_.Denormalize(predictions.data()[i])));
+    out.push_back(Millis::FromLog(target_norm_.Denormalize(predictions.data()[i])));
   }
   return out;
 }

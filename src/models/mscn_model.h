@@ -31,7 +31,7 @@ class MscnCostModel : public NeuralCostModel {
   void Prepare(const std::vector<const QueryRecord*>& records) override;
   nn::Tensor LossOnBatch(const std::vector<const QueryRecord*>& batch,
                          bool training, Rng* rng) override;
-  std::vector<double> PredictMs(
+  std::vector<Millis> PredictMs(
       const std::vector<const QueryRecord*>& records) override;
   std::vector<nn::Tensor> Parameters() const override;
 

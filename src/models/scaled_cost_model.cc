@@ -15,20 +15,23 @@ void ScaledOptCostModel::Fit(
   log_runtimes.reserve(records.size());
   for (const QueryRecord* record : records) {
     log_costs.push_back(std::log(std::max(record->opt_cost, 1e-6)));
-    log_runtimes.push_back(std::log(std::max(record->runtime_ms, 1e-6)));
+    log_runtimes.push_back(Millis(record->runtime_ms).ToLog().value());
   }
   fit_ = FitLeastSquares(log_costs, log_runtimes);
   fitted_ = true;
 }
 
-std::vector<double> ScaledOptCostModel::PredictMs(
+std::vector<Millis> ScaledOptCostModel::PredictMs(
     const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(fitted_) << "PredictMs before Fit";
-  std::vector<double> out;
+  std::vector<Millis> out;
   out.reserve(records.size());
   for (const QueryRecord* record : records) {
+    // opt_cost is the optimizer's unitless internal metric, not a runtime:
+    // its log stays a raw double, only the readout is Millis.
     double log_cost = std::log(std::max(record->opt_cost, 1e-6));
-    out.push_back(std::exp(fit_.slope * log_cost + fit_.intercept));
+    out.push_back(
+        Millis::FromLog(LogMillis(fit_.slope * log_cost + fit_.intercept)));
   }
   return out;
 }

@@ -21,7 +21,7 @@ class ScaledOptCostModel : public CostPredictor {
   /// Fits log(runtime) ~= slope * log(cost) + intercept on the records.
   void Fit(const std::vector<const QueryRecord*>& records);
 
-  std::vector<double> PredictMs(
+  std::vector<Millis> PredictMs(
       const std::vector<const QueryRecord*>& records) override;
 
   bool fitted() const { return fitted_; }

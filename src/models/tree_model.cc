@@ -118,10 +118,10 @@ void TreeMessagePassingModel::Prepare(
   }
   feature_norm_.Fit(rows);
 
-  std::vector<double> log_runtimes;
+  std::vector<LogMillis> log_runtimes;
   log_runtimes.reserve(records.size());
   for (const QueryRecord* record : records) {
-    log_runtimes.push_back(std::log(std::max(record->runtime_ms, 1e-6)));
+    log_runtimes.push_back(Millis(record->runtime_ms).ToLog());
   }
   target_norm_.Fit(log_runtimes);
 }
@@ -247,7 +247,7 @@ nn::Tensor TreeMessagePassingModel::LossOnBatch(
   for (const QueryRecord* record : batch) {
     graphs.push_back(FeaturizeNormalized(*record));
     targets.push_back(static_cast<float>(target_norm_.Normalize(
-        std::log(std::max(record->runtime_ms, 1e-6)))));
+        Millis(record->runtime_ms).ToLog())));
   }
   nn::Tensor predictions = Forward(graphs, training, rng);
   const size_t batch_size = targets.size();
@@ -256,7 +256,7 @@ nn::Tensor TreeMessagePassingModel::LossOnBatch(
   return nn::HuberLoss(predictions, target_tensor, 1.0f);
 }
 
-std::vector<double> TreeMessagePassingModel::PredictMs(
+std::vector<Millis> TreeMessagePassingModel::PredictMs(
     const std::vector<const QueryRecord*>& records) {
   ZDB_CHECK(target_norm_.fitted()) << "PredictMs before Prepare/training";
   if (records.empty()) return {};
@@ -264,11 +264,11 @@ std::vector<double> TreeMessagePassingModel::PredictMs(
       records.size(),
       [&](size_t i) { return FeaturizeNormalized(*records[i]); });
   nn::Tensor predictions = Forward(graphs, /*training=*/false, nullptr);
-  std::vector<double> out;
+  std::vector<Millis> out;
   out.reserve(records.size());
   for (size_t i = 0; i < records.size(); ++i) {
-    double log_ms = target_norm_.Denormalize(predictions.data()[i]);
-    out.push_back(std::exp(log_ms));
+    LogMillis log_ms = target_norm_.Denormalize(predictions.data()[i]);
+    out.push_back(Millis::FromLog(log_ms));
   }
   return out;
 }

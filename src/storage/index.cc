@@ -50,6 +50,7 @@ size_t OrderedIndex::LookupRange(double lo, double hi,
   auto end = std::upper_bound(begin, keys_.end(), hi);
   size_t first = static_cast<size_t>(begin - keys_.begin());
   size_t last = static_cast<size_t>(end - keys_.begin());
+  out->reserve(out->size() + (last - first));
   for (size_t i = first; i < last; ++i) out->push_back(row_ids_[i]);
   return last - first;
 }

@@ -38,4 +38,20 @@ QErrorStats ComputeQErrors(const std::vector<double>& predicted,
   return stats;
 }
 
+std::vector<double> QErrorsOf(const std::vector<Millis>& predicted,
+                              const std::vector<double>& truth) {
+  std::vector<double> raw;
+  raw.reserve(predicted.size());
+  for (Millis value : predicted) raw.push_back(value.value());
+  return QErrorsOf(raw, truth);
+}
+
+QErrorStats ComputeQErrors(const std::vector<Millis>& predicted,
+                           const std::vector<double>& truth) {
+  std::vector<double> raw;
+  raw.reserve(predicted.size());
+  for (Millis value : predicted) raw.push_back(value.value());
+  return ComputeQErrors(raw, truth);
+}
+
 }  // namespace zerodb::train

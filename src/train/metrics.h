@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
+
 namespace zerodb::train {
 
 /// Q-error summary statistics — the metric of the paper's Figure 4 and
@@ -22,8 +24,18 @@ struct QErrorStats {
 QErrorStats ComputeQErrors(const std::vector<double>& predicted,
                            const std::vector<double>& truth);
 
+/// Strongly typed form for model readouts: PredictMs returns Millis, the
+/// ground truth stays the records' raw runtime_ms doubles. Q-errors
+/// themselves are dimensionless ratios.
+QErrorStats ComputeQErrors(const std::vector<Millis>& predicted,
+                           const std::vector<double>& truth);
+
 /// Raw per-query Q-errors, for custom quantiles.
 std::vector<double> QErrorsOf(const std::vector<double>& predicted,
+                              const std::vector<double>& truth);
+
+/// Millis overload, mirroring ComputeQErrors.
+std::vector<double> QErrorsOf(const std::vector<Millis>& predicted,
                               const std::vector<double>& truth);
 
 }  // namespace zerodb::train

@@ -51,7 +51,7 @@ std::vector<IndexCandidate> IndexAdvisor::EnumerateCandidates(
   return candidates;
 }
 
-double IndexAdvisor::PredictWorkloadMs(
+Millis IndexAdvisor::PredictWorkloadMs(
     const datagen::DatabaseEnv& env,
     const std::vector<plan::QuerySpec>& workload,
     const std::vector<IndexCandidate>& indexes) {
@@ -60,7 +60,7 @@ double IndexAdvisor::PredictWorkloadMs(
     planner_options.hypothetical_indexes.push_back(
         optimizer::HypotheticalIndex{index.table, index.column_index});
   }
-  double total = 0.0;
+  Millis total;
   for (const plan::QuerySpec& query : workload) {
     auto ms = estimator_->EstimateQueryMs(env, query, planner_options);
     if (!ms.ok()) continue;  // unplannable queries contribute nothing
@@ -87,30 +87,33 @@ AdvisorResult IndexAdvisor::Recommend(
                      << "x predicted improvement per index";
   }
   result.baseline_total_ms = PredictWorkloadMs(env, workload, {});
-  double current = result.baseline_total_ms;
+  Millis current = result.baseline_total_ms;
 
   std::vector<IndexCandidate> remaining = EnumerateCandidates(env, workload);
   while (result.chosen.size() < options_.max_indexes && !remaining.empty()) {
-    double best_ms = current;
+    Millis best_ms = current;
     size_t best_index = remaining.size();
     for (size_t c = 0; c < remaining.size(); ++c) {
       std::vector<IndexCandidate> trial = result.chosen;
       trial.push_back(remaining[c]);
-      double ms = PredictWorkloadMs(env, workload, trial);
+      Millis ms = PredictWorkloadMs(env, workload, trial);
       if (ms < best_ms) {
         best_ms = ms;
         best_index = c;
       }
     }
+    // ms / ms is the dimensionless improvement factor compared against the
+    // (likewise dimensionless) min_improvement bar.
     if (best_index == remaining.size() ||
-        current / std::max(best_ms, 1e-9) < min_improvement) {
+        current / std::max(best_ms, Millis(1e-9)) < min_improvement) {
       break;  // no candidate helps enough
     }
     result.chosen.push_back(remaining[best_index]);
     remaining.erase(remaining.begin() + static_cast<long>(best_index));
     current = best_ms;
     ZDB_LOG(Debug) << "advisor chose " << result.chosen.back().table << "."
-                   << result.chosen.back().column << " -> " << current << "ms";
+                   << result.chosen.back().column << " -> " << current.value()
+                   << "ms";
   }
   result.final_total_ms = current;
   return result;

@@ -19,8 +19,8 @@ struct IndexCandidate {
 
 struct AdvisorResult {
   std::vector<IndexCandidate> chosen;
-  double baseline_total_ms = 0.0;   ///< predicted workload cost, no new indexes
-  double final_total_ms = 0.0;      ///< predicted cost with chosen indexes
+  Millis baseline_total_ms;   ///< predicted workload cost, no new indexes
+  Millis final_total_ms;      ///< predicted cost with chosen indexes
   /// True when the estimator's quality monitor reported prediction drift at
   /// recommendation time: the search then required degraded_min_improvement
   /// and these recommendations deserve extra scrutiny.
@@ -63,7 +63,7 @@ class IndexAdvisor {
 
  private:
   /// Predicted total workload runtime under a set of hypothetical indexes.
-  double PredictWorkloadMs(const datagen::DatabaseEnv& env,
+  Millis PredictWorkloadMs(const datagen::DatabaseEnv& env,
                            const std::vector<plan::QuerySpec>& workload,
                            const std::vector<IndexCandidate>& indexes);
 

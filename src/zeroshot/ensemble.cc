@@ -42,10 +42,14 @@ std::vector<UncertainPrediction> EnsembleEstimator::Predict(
   std::vector<std::vector<double>> member_logs;
   member_logs.reserve(members_.size());
   for (const auto& member : members_) {
-    std::vector<double> predictions = member->PredictMs(records);
+    std::vector<Millis> predictions = member->PredictMs(records);
     std::vector<double> logs;
     logs.reserve(predictions.size());
-    for (double p : predictions) logs.push_back(std::log(std::max(p, 1e-9)));
+    // Ensemble statistics use a tighter clamp (1e-9) than Millis::ToLog's
+    // model-readout clamp (1e-6), kept for bit-identical spread factors.
+    for (Millis p : predictions) {
+      logs.push_back(std::log(std::max(p.value(), 1e-9)));
+    }
     member_logs.push_back(std::move(logs));
   }
 
@@ -58,10 +62,10 @@ std::vector<UncertainPrediction> EnsembleEstimator::Predict(
     UncertainPrediction prediction;
     double mean_log = Mean(logs);
     double std_log = StdDev(logs);
-    prediction.runtime_ms = std::exp(mean_log);
+    prediction.runtime_ms = Millis::FromLog(LogMillis(mean_log));
     prediction.spread_factor = std::exp(std_log);
-    prediction.low_ms = std::exp(mean_log - std_log);
-    prediction.high_ms = std::exp(mean_log + std_log);
+    prediction.low_ms = Millis::FromLog(LogMillis(mean_log - std_log));
+    prediction.high_ms = Millis::FromLog(LogMillis(mean_log + std_log));
     prediction.uncertain =
         prediction.spread_factor > config_.uncertainty_threshold;
     out.push_back(prediction);
@@ -69,14 +73,14 @@ std::vector<UncertainPrediction> EnsembleEstimator::Predict(
   return out;
 }
 
-std::vector<double> EnsembleEstimator::PredictWithFallback(
+std::vector<Millis> EnsembleEstimator::PredictWithFallback(
     const std::vector<const train::QueryRecord*>& records,
     models::CostPredictor* fallback, size_t* num_fallbacks) {
   ZDB_CHECK(fallback != nullptr);
   std::vector<UncertainPrediction> predictions = Predict(records);
-  std::vector<double> fallback_values = fallback->PredictMs(records);
+  std::vector<Millis> fallback_values = fallback->PredictMs(records);
   ZDB_CHECK_EQ(fallback_values.size(), predictions.size());
-  std::vector<double> out;
+  std::vector<Millis> out;
   out.reserve(predictions.size());
   size_t fallbacks = 0;
   for (size_t q = 0; q < predictions.size(); ++q) {

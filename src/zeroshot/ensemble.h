@@ -15,10 +15,10 @@ namespace zerodb::zeroshot {
 /// exceeds the configured threshold — callers can fall back to traditional
 /// heuristics for those, exactly as the paper proposes.
 struct UncertainPrediction {
-  double runtime_ms = 0.0;      ///< geometric mean across the ensemble
+  Millis runtime_ms;            ///< geometric mean across the ensemble
   double spread_factor = 1.0;   ///< exp(stddev of log predictions), >= 1
-  double low_ms = 0.0;          ///< runtime_ms / spread_factor
-  double high_ms = 0.0;         ///< runtime_ms * spread_factor
+  Millis low_ms;                ///< runtime_ms / spread_factor
+  Millis high_ms;               ///< runtime_ms * spread_factor
   bool uncertain = false;
 };
 
@@ -51,7 +51,7 @@ class EnsembleEstimator {
   /// Predictions where uncertain queries fall back to the given predictor
   /// (e.g. a ScaledOptCostModel standing in for the classical optimizer
   /// cost model). Returns the values and how many fell back.
-  std::vector<double> PredictWithFallback(
+  std::vector<Millis> PredictWithFallback(
       const std::vector<const train::QueryRecord*>& records,
       models::CostPredictor* fallback, size_t* num_fallbacks = nullptr);
 

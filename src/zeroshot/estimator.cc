@@ -93,7 +93,7 @@ ZeroShotEstimator ZeroShotEstimator::TrainFromRecords(
   return estimator;
 }
 
-std::vector<double> ZeroShotEstimator::PredictMs(
+std::vector<Millis> ZeroShotEstimator::PredictMs(
     const std::vector<const train::QueryRecord*>& records) {
   ZDB_CHECK(model_ != nullptr);
   EstimatorMetrics& metrics = EstimatorMetrics::Get();
@@ -101,7 +101,7 @@ std::vector<double> ZeroShotEstimator::PredictMs(
   metrics.predictions->Add(static_cast<int64_t>(records.size()));
   obs::ScopedTimer timer(metrics.registry.enabled() ? metrics.predict_us
                                                     : nullptr);
-  std::vector<double> predicted;
+  std::vector<Millis> predicted;
   {
     obs::TimelineScope scope("zeroshot.predict", "zeroshot");
     scope.AddArg("records", static_cast<double>(records.size()));
@@ -112,14 +112,14 @@ std::vector<double> ZeroShotEstimator::PredictMs(
   if (quality_ != nullptr) {
     for (size_t i = 0; i < records.size(); ++i) {
       if (records[i]->runtime_ms > 0.0) {
-        quality_->Record(predicted[i], records[i]->runtime_ms);
+        quality_->Record(predicted[i].value(), records[i]->runtime_ms);
       }
     }
   }
   return predicted;
 }
 
-StatusOr<double> ZeroShotEstimator::EstimateQueryMs(
+StatusOr<Millis> ZeroShotEstimator::EstimateQueryMs(
     const datagen::DatabaseEnv& env, const plan::QuerySpec& query,
     const optimizer::PlannerOptions& planner_options) {
   ZDB_CHECK(model_ != nullptr);

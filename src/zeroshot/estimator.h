@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/units.h"
 #include "datagen/corpus.h"
 #include "models/zeroshot_model.h"
 #include "obs/quality.h"
@@ -46,14 +47,14 @@ class ZeroShotEstimator {
 
   /// Predicts runtimes for already-built records (e.g. an executed
   /// evaluation workload; required for exact-cardinality mode).
-  std::vector<double> PredictMs(
+  std::vector<Millis> PredictMs(
       const std::vector<const train::QueryRecord*>& records);
 
   /// The deployable path: plans `query` on the (unseen) database and
   /// predicts its runtime without executing anything. Only valid for
   /// estimated-cardinality models. `planner_options` may declare
   /// hypothetical indexes — the What-If mode of Section 4.1.
-  StatusOr<double> EstimateQueryMs(
+  StatusOr<Millis> EstimateQueryMs(
       const datagen::DatabaseEnv& env, const plan::QuerySpec& query,
       const optimizer::PlannerOptions& planner_options = {});
 
@@ -61,8 +62,11 @@ class ZeroShotEstimator {
   /// online quality monitor — call it whenever a predicted query was
   /// actually executed. PredictMs does this automatically for records that
   /// carry a measured runtime.
-  void RecordFeedback(double predicted_ms, double actual_ms) {
-    if (quality_ != nullptr) quality_->Record(predicted_ms, actual_ms);
+  void RecordFeedback(Millis predicted, Millis actual) {
+    // The quality monitor is generic obs-layer code: it compares the two
+    // in log-q-error space and never mixes them with other quantities, so
+    // the unit types stop at this boundary.
+    if (quality_ != nullptr) quality_->Record(predicted.value(), actual.value());
   }
 
   /// Rolling q-error / drift state for this model's live predictions.

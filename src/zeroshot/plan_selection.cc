@@ -80,7 +80,7 @@ StatusOr<PlanChoice> ChoosePlanWithModel(ZeroShotEstimator* estimator,
     record.plan = std::move(candidate);
     records.push_back(std::move(record));
   }
-  std::vector<double> predicted =
+  std::vector<Millis> predicted =
       estimator->PredictMs(train::MakeView(records));
 
   size_t best = 0;

@@ -22,7 +22,7 @@ std::vector<plan::PhysicalPlan> EnumerateCandidatePlans(
 
 struct PlanChoice {
   plan::PhysicalPlan plan;
-  double predicted_ms = 0.0;
+  Millis predicted_ms;
   size_t candidate_index = 0;   ///< into EnumerateCandidatePlans order
   size_t num_candidates = 0;
 };

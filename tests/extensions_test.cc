@@ -78,10 +78,10 @@ TEST_F(ExtensionsTest, EnsemblePredictsWithSpread) {
   auto predictions = ensemble.Predict(train::MakeView(eval));
   ASSERT_EQ(predictions.size(), eval.size());
   for (const UncertainPrediction& prediction : predictions) {
-    EXPECT_GT(prediction.runtime_ms, 0.0);
+    EXPECT_GT(prediction.runtime_ms.value(), 0.0);
     EXPECT_GE(prediction.spread_factor, 1.0);
-    EXPECT_LE(prediction.low_ms, prediction.runtime_ms + 1e-9);
-    EXPECT_GE(prediction.high_ms, prediction.runtime_ms - 1e-9);
+    EXPECT_LE(prediction.low_ms.value(), prediction.runtime_ms.value() + 1e-9);
+    EXPECT_GE(prediction.high_ms.value(), prediction.runtime_ms.value() - 1e-9);
     EXPECT_EQ(prediction.uncertain,
               prediction.spread_factor > config.uncertainty_threshold);
   }
@@ -137,7 +137,7 @@ TEST_F(ExtensionsTest, FallbackKicksInWhenUncertain) {
   auto fallback_only = fallback.PredictMs(view);
   for (size_t i = 0; i < view.size(); ++i) {
     if (num_fallbacks == 20) {
-      EXPECT_DOUBLE_EQ(predictions[i], fallback_only[i]);
+      EXPECT_DOUBLE_EQ(predictions[i].value(), fallback_only[i].value());
     }
   }
 }
@@ -172,7 +172,7 @@ TEST_F(ExtensionsTest, ModelChoosesAPlan) {
   for (int i = 0; i < 10; ++i) {
     auto choice = ChoosePlanWithModel(estimator_, *imdb_, generator.Next());
     ASSERT_TRUE(choice.ok()) << choice.status().ToString();
-    EXPECT_GT(choice->predicted_ms, 0.0);
+    EXPECT_GT(choice->predicted_ms.value(), 0.0);
     EXPECT_GE(choice->num_candidates, 1u);
     EXPECT_LT(choice->candidate_index, choice->num_candidates);
     ++chosen;
@@ -196,7 +196,8 @@ TEST_F(ExtensionsTest, SaveLoadRoundTripsPredictions) {
   for (size_t i = 0; i < original.size(); ++i) {
     // Normalization statistics are persisted as float32, so round-tripped
     // predictions agree to float precision, not bit-exactly.
-    EXPECT_NEAR(original[i], roundtrip[i], 1e-5 * (1.0 + original[i]));
+    EXPECT_NEAR(original[i].value(), roundtrip[i].value(),
+                1e-5 * (1.0 + original[i].value()));
   }
   std::remove(path.c_str());
 }

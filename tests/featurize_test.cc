@@ -249,9 +249,10 @@ TEST(NormalizationTest, FeatureNormStandardizes) {
 
 TEST(NormalizationTest, TargetNormRoundTrip) {
   TargetNorm norm;
-  norm.Fit({1.0, 2.0, 3.0, 4.0});
+  norm.Fit({LogMillis(1.0), LogMillis(2.0), LogMillis(3.0), LogMillis(4.0)});
   for (double v : {0.5, 2.5, 9.0}) {
-    EXPECT_NEAR(norm.Denormalize(norm.Normalize(v)), v, 1e-12);
+    EXPECT_NEAR(norm.Denormalize(norm.Normalize(LogMillis(v))).value(), v,
+                1e-12);
   }
 }
 

@@ -111,9 +111,9 @@ TEST_F(ModelsTest, ScaledOptCostFitsAndPredicts) {
   ASSERT_TRUE(model.fitted());
   auto predictions = model.PredictMs(view);
   ASSERT_EQ(predictions.size(), records_->size());
-  for (double p : predictions) {
-    EXPECT_GT(p, 0.0);
-    EXPECT_TRUE(std::isfinite(p));
+  for (Millis p : predictions) {
+    EXPECT_GT(p.value(), 0.0);
+    EXPECT_TRUE(std::isfinite(p.value()));
   }
   std::vector<double> truth;
   for (const auto& record : *records_) truth.push_back(record.runtime_ms);
@@ -151,7 +151,7 @@ TEST_F(ModelsTest, PredictionsAreDeterministic) {
   auto second = model.PredictMs(view);
   ASSERT_EQ(first.size(), second.size());
   for (size_t i = 0; i < first.size(); ++i) {
-    EXPECT_DOUBLE_EQ(first[i], second[i]);
+    EXPECT_DOUBLE_EQ(first[i].value(), second[i].value());
   }
 }
 
@@ -179,7 +179,8 @@ TEST(MetricsTest, QErrorStats) {
 }
 
 TEST(MetricsTest, EmptyInput) {
-  train::QErrorStats stats = train::ComputeQErrors({}, {});
+  train::QErrorStats stats =
+      train::ComputeQErrors(std::vector<double>{}, std::vector<double>{});
   EXPECT_EQ(stats.count, 0u);
 }
 

@@ -156,7 +156,8 @@ TEST_F(TrainTest, DeterministicTrainingGivenSeeds) {
   TrainResult result_b = TrainModel(&model_b, view, options);
   EXPECT_DOUBLE_EQ(result_a.final_train_loss, result_b.final_train_loss);
   std::vector<const QueryRecord*> probe = {&(*records_)[0]};
-  EXPECT_DOUBLE_EQ(model_a.PredictMs(probe)[0], model_b.PredictMs(probe)[0]);
+  EXPECT_DOUBLE_EQ(model_a.PredictMs(probe)[0].value(),
+                   model_b.PredictMs(probe)[0].value());
 }
 
 // The tentpole determinism contract: minibatches split into fixed 8-record
@@ -188,11 +189,11 @@ TEST_F(TrainTest, ThreadCountDoesNotChangeLossHistory) {
   ExpectSameHistory(serial, parallel);
   // The trained weights match too: identical predictions, bit for bit.
   std::vector<const QueryRecord*> probe = {&(*records_)[0], &(*records_)[7]};
-  std::vector<double> p_serial = model_serial.PredictMs(probe);
-  std::vector<double> p_parallel = model_parallel.PredictMs(probe);
+  std::vector<Millis> p_serial = model_serial.PredictMs(probe);
+  std::vector<Millis> p_parallel = model_parallel.PredictMs(probe);
   ASSERT_EQ(p_serial.size(), p_parallel.size());
   for (size_t i = 0; i < p_serial.size(); ++i) {
-    EXPECT_EQ(p_serial[i], p_parallel[i]);
+    EXPECT_EQ(p_serial[i].value(), p_parallel[i].value());
   }
 }
 

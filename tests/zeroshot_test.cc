@@ -73,8 +73,8 @@ TEST_F(ZeroShotTest, EstimateQueryWithoutExecution) {
   for (int i = 0; i < 5; ++i) {
     auto ms = estimator_->EstimateQueryMs(*imdb_, generator.Next());
     ASSERT_TRUE(ms.ok());
-    EXPECT_GT(*ms, 0.0);
-    EXPECT_TRUE(std::isfinite(*ms));
+    EXPECT_GT(ms->value(), 0.0);
+    EXPECT_TRUE(std::isfinite(ms->value()));
   }
 }
 
