@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "common/logging.h"
 #include "datagen/corpus.h"
@@ -16,10 +18,12 @@
 #include "obs/quality.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
+#include "plan/fingerprint.h"
 #include "stats/histogram.h"
 #include "train/dataset.h"
 #include "train/trainer.h"
 #include "workload/benchmarks.h"
+#include "zeroshot/predict_cache.h"
 
 namespace zerodb {
 namespace {
@@ -51,9 +55,26 @@ MicroState& State() {
   return *state;
 }
 
-// The tentpole's headline number: the 19-database corpus pipeline on 1
-// vs 4 threads. Generation fans out per database onto a local pool, so the
-// serial/parallel pair shares nothing but the (bit-identical) output.
+// --cache_capacity knob, filled in by main() before benchmarks run. Sizes
+// the PredictCache exercised by BM_PredictCacheLookup.
+size_t g_cache_capacity = 4096;
+
+// --batch_size knob: chunk size for BM_ZeroShotInferenceBatch, mirroring
+// ZeroShotConfig::serve_batch_size (0 = price the whole record set in one
+// forward pass). Lets a single binary measure the latency/throughput trade
+// of bounded serving batches without rebuilding.
+size_t g_serve_batch_size = 0;
+
+// The corpus pipeline on 1 vs 4 threads. Generation fans out per database
+// onto a local pool, so the serial/parallel pair shares nothing but the
+// (bit-identical) output. Two measurement caveats, both visible in the
+// committed baselines: on a single-core host threads:4 cannot beat
+// threads:1 in real time (the ~34.8ms vs ~37.1ms near-tie is expected, not
+// a parallelism bug — the small win is reduced main-thread bookkeeping),
+// and google-benchmark's default cpu_time counts only the main thread, so
+// pool-side work used to look ~5x cheaper than it was. MeasureProcessCPUTime
+// makes cpu_time cover the whole process: comparable across thread counts,
+// and roughly flat when the parallelization adds no overhead.
 void BM_CorpusGeneration(benchmark::State& state) {
   SetLogLevel(LogLevel::kWarning);
   const size_t threads = static_cast<size_t>(state.range(0));
@@ -73,7 +94,8 @@ BENCHMARK(BM_CorpusGeneration)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 void BM_HistogramBuild(benchmark::State& state) {
   Rng rng(1);
@@ -159,14 +181,83 @@ BENCHMARK(BM_ZeroShotInferenceSingle);
 void BM_ZeroShotInferenceBatch(benchmark::State& state) {
   MicroState& micro = State();
   auto view = train::MakeView(micro.records);
+  const size_t chunk =
+      g_serve_batch_size == 0 ? view.size() : g_serve_batch_size;
+  std::vector<const train::QueryRecord*> slice;
   for (auto _ : state) {
-    auto predictions = micro.model->PredictMs(view);
-    benchmark::DoNotOptimize(predictions);
+    for (size_t begin = 0; begin < view.size(); begin += chunk) {
+      const size_t end = std::min(view.size(), begin + chunk);
+      slice.assign(view.begin() + static_cast<ptrdiff_t>(begin),
+                   view.begin() + static_cast<ptrdiff_t>(end));
+      auto predictions = micro.model->PredictMs(slice);
+      benchmark::DoNotOptimize(predictions.data());
+    }
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(micro.records.size()));
 }
 BENCHMARK(BM_ZeroShotInferenceBatch);
+
+// The serving-path headline number: one inference-mode ForwardBatch over N
+// featurized plans, swept from single-plan serving (batch 1) to bulk
+// workload pricing (batch 64). items_per_second is plans/sec. Fitting
+// T(b) = F + L*b on this sweep: per-call overhead F is ~10us after op
+// fusion, but the per-plan floor L (~13us: featurization plus model FLOPs
+// at near single-core-peak GFLOP/s) dominates, capping the batch-32 vs
+// batch-1 ratio near 1.8x — fusion sped batch 1 up *more* than batch 32,
+// which lowers the ratio while raising absolute throughput at every batch
+// size (see DESIGN.md "Batched serving & prediction cache").
+void BM_ForwardBatch(benchmark::State& state) {
+  MicroState& micro = State();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const std::vector<const train::QueryRecord*> pool =
+      train::MakeView(micro.records);
+  // Rotate a batch-sized window through the whole record pool so every
+  // batch size prices the same plan mix — a fixed window would let batch 1
+  // measure whichever single plan it happened to pin.
+  size_t offset = 0;
+  std::vector<const train::QueryRecord*> view(batch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      view[i] = pool[(offset + i) % pool.size()];
+    }
+    offset = (offset + batch) % pool.size();
+    auto predictions = micro.model->ForwardBatch(view);
+    benchmark::DoNotOptimize(predictions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_ForwardBatch)
+    ->ArgName("batch")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+// The fast path a fingerprint-cache hit replaces a forward pass with:
+// canonical plan hashing plus one LRU lookup under the mutex. All lookups
+// hit (the loop re-fingerprints plans inserted during setup), so this is
+// the steady-state serving cost per cached plan.
+void BM_PredictCacheLookup(benchmark::State& state) {
+  MicroState& micro = State();
+  zeroshot::PredictCacheOptions options;
+  options.capacity = g_cache_capacity;
+  zeroshot::PredictCache cache(options);
+  for (const auto& record : micro.records) {
+    cache.Insert(plan::FingerprintPlan(record.plan), Millis(1.0));
+  }
+  size_t index = 0;
+  for (auto _ : state) {
+    const auto& record = micro.records[index++ % micro.records.size()];
+    auto hit = cache.Lookup(plan::FingerprintPlan(record.plan));
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictCacheLookup);
 
 void BM_ZeroShotTrainStep(benchmark::State& state) {
   MicroState& micro = State();
@@ -282,6 +373,20 @@ int main(int argc, char** argv) {
           arg.substr(std::string("--threads=").size()));
     } else if (arg == "--threads" && i + 1 < argc) {
       options.threads = zerodb::bench::ApplyThreadsFlag(argv[++i]);
+    } else if (arg.rfind("--cache_capacity=", 0) == 0) {
+      zerodb::g_cache_capacity = static_cast<size_t>(std::strtoul(
+          arg.substr(std::string("--cache_capacity=").size()).c_str(), nullptr,
+          10));
+    } else if (arg == "--cache_capacity" && i + 1 < argc) {
+      zerodb::g_cache_capacity =
+          static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--batch_size=", 0) == 0) {
+      zerodb::g_serve_batch_size = static_cast<size_t>(std::strtoul(
+          arg.substr(std::string("--batch_size=").size()).c_str(), nullptr,
+          10));
+    } else if (arg == "--batch_size" && i + 1 < argc) {
+      zerodb::g_serve_batch_size =
+          static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       passthrough.push_back(argv[i]);
     }

@@ -5,15 +5,25 @@
       --baseline BENCH_micro.json [--threshold 0.25] [--github-annotations]
 
 Reports per-benchmark real_time_ms and wall_clock_s movements between the
-two schema-v2 summaries (see bench_summary.py). Regressions beyond the
-threshold are printed — and, with --github-annotations, emitted as
+two summaries (schema v2 or v3; see bench_summary.py). Regressions beyond
+the threshold are printed — and, with --github-annotations, emitted as
 `::warning::` workflow annotations so they show up on the PR — but the exit
 code stays 0. Counters present in only one summary (a new or retired
 benchmark) are skipped with a note (`::notice` under --github-annotations)
 rather than silently dropped. Exit 0 despite regressions because
 micro-benchmarks on shared CI runners are too noisy to gate merges on —
-the annotation is the signal. Exit 1 is reserved for unusable
-input (missing/invalid fresh summary), 2 for usage errors.
+the annotation is the signal.
+
+--fail-on RATIO turns the soft report into a hard gate for the series
+named by --allowlist (comma-separated, repeatable; each entry matches a
+benchmark family by substring, so `BM_ForwardBatch` covers every
+`BM_ForwardBatch/batch:N`). An allowlisted series that slows down by more
+than RATIO fails the run: `::error` annotations under
+--github-annotations and exit code 3. Series outside the allowlist keep
+the warning-only behavior — the allowlist names the counters judged
+stable enough to gate merges on. --fail-on without --allowlist gates
+every series. Exit 1 is reserved for unusable input (missing/invalid
+fresh summary), 2 for usage errors, 3 for a tripped gate.
 
 A missing baseline is not an error (first run on a fresh branch): the
 script prints a note and exits 0.
@@ -81,13 +91,23 @@ def wall_clocks(summary):
     return out
 
 
-def compare(fresh, baseline, threshold):
-    """Returns (regressions, improvements, common_count, one_sided);
-    regression/improvement entries are (kind, name, baseline_value,
+def allowlisted(name, allowlist):
+    """True when `name` belongs to a gated benchmark family. Substring
+    match: an allowlist entry names a family (`BM_ForwardBatch`) and covers
+    every argumented instance (`BM_ForwardBatch/batch:32`)."""
+    return any(entry in name for entry in allowlist)
+
+
+def compare(fresh, baseline, threshold, fail_on=None, allowlist=()):
+    """Returns (gated, regressions, improvements, common_count, one_sided).
+    gated/regression/improvement entries are (kind, name, baseline_value,
     fresh_value, ratio-1); one_sided entries are (kind, name, side) for
     counters present in only one summary (new or retired benchmarks —
-    skipped, not compared)."""
-    regressions, improvements, one_sided = [], [], []
+    skipped, not compared). A slowdown lands in `gated` when --fail-on is
+    active, it exceeds fail_on, and the series is allowlisted (an empty
+    allowlist gates everything); otherwise slowdowns beyond `threshold`
+    land in `regressions`."""
+    gated, regressions, improvements, one_sided = [], [], [], []
     common = 0
     for kind, extract in (("bench", benchmark_times), ("wall", wall_clocks)):
         fresh_map = extract(fresh)
@@ -99,11 +119,15 @@ def compare(fresh, baseline, threshold):
             common += 1
             before, after = base_map[name], fresh_map[name]
             delta = after / before - 1.0
-            if delta > threshold:
+            gate_applies = fail_on is not None and (
+                not allowlist or allowlisted(name, allowlist))
+            if gate_applies and delta > fail_on:
+                gated.append((kind, name, before, after, delta))
+            elif delta > threshold:
                 regressions.append((kind, name, before, after, delta))
             elif delta < -threshold:
                 improvements.append((kind, name, before, after, delta))
-    return regressions, improvements, common, one_sided
+    return gated, regressions, improvements, common, one_sided
 
 
 def main():
@@ -117,9 +141,23 @@ def main():
                              "regression (default 0.25 = +25%%)")
     parser.add_argument("--github-annotations", action="store_true",
                         help="emit ::warning:: lines for regressions")
+    parser.add_argument("--fail-on", type=float, default=None,
+                        help="relative slowdown beyond which allowlisted "
+                             "series fail the run (exit 3); e.g. 0.35")
+    parser.add_argument("--allowlist", action="append", default=[],
+                        help="comma-separated benchmark families gated by "
+                             "--fail-on (substring match; repeatable); "
+                             "empty gates every series")
     args = parser.parse_args()
     if args.threshold <= 0:
         parser.error("--threshold must be > 0")
+    if args.fail_on is not None and args.fail_on <= 0:
+        parser.error("--fail-on must be > 0")
+    allowlist = [entry.strip()
+                 for chunk in args.allowlist
+                 for entry in chunk.split(",") if entry.strip()]
+    if allowlist and args.fail_on is None:
+        parser.error("--allowlist requires --fail-on")
 
     fresh = load_summary(args.fresh, required=True)
     baseline = load_summary(args.baseline, required=False)
@@ -129,9 +167,18 @@ def main():
         return 0
 
     base_commit = baseline.get("commit", "?")
-    regressions, improvements, common, one_sided = compare(
-        fresh, baseline, args.threshold)
+    gated, regressions, improvements, common, one_sided = compare(
+        fresh, baseline, args.threshold, fail_on=args.fail_on,
+        allowlist=allowlist)
     unit = {"bench": "ms", "wall": "s"}
+    for kind, name, before, after, delta in gated:
+        u = unit[kind]
+        message = (f"{name}: {before:.2f}{u} -> {after:.2f}{u} "
+                   f"(+{delta * 100.0:.0f}% vs baseline {base_commit}, "
+                   f"gate {args.fail_on * 100.0:.0f}%)")
+        print(f"bench_compare: GATED REGRESSION {message}")
+        if args.github_annotations:
+            print(f"::error title=bench gate::{message}")
     for kind, name, before, after, delta in regressions:
         u = unit[kind]
         message = (f"{name}: {before:.2f}{u} -> {after:.2f}{u} "
@@ -151,11 +198,12 @@ def main():
         if args.github_annotations:
             print(f"::notice title=bench one-sided counter::{message}")
     print(f"bench_compare: {common} series compared, "
+          f"{len(gated)} gated regression(s), "
           f"{len(regressions)} regression(s), "
           f"{len(improvements)} improvement(s) beyond "
           f"{args.threshold * 100.0:.0f}%, "
           f"{len(one_sided)} one-sided series skipped")
-    return 0
+    return 3 if gated else 0
 
 
 if __name__ == "__main__":

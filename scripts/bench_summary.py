@@ -11,11 +11,11 @@ Inputs
   --out <path>         where to write the summary (default BENCH_micro.json)
   --commit <sha>       recorded verbatim (default $GITHUB_SHA, else "local")
 
-Output schema (schema_version 2), validated before writing — an invalid
+Output schema (schema_version 3), validated before writing — an invalid
 summary exits non-zero so CI fails instead of uploading garbage:
 
   {
-    "schema_version": 2,
+    "schema_version": 3,
     "commit": str,
     "host": {"threads": int},
     "benchmarks": [
@@ -26,6 +26,13 @@ summary exits non-zero so CI fails instead of uploading garbage:
       "BM_CorpusGeneration": {"serial_ms": float, "parallel_ms": float,
                                "threads": int, "speedup": float}
     },
+    "forward_batch": {               # batched-inference throughput, from
+      "plans_per_sec": {str: float}, # BM_ForwardBatch/batch:N real_time
+      "speedup_32v1": float | None   # plans/sec at batch 32 over batch 1
+    },
+    "cache": {str: {                 # prediction cache, per metrics artifact
+      "hits": int, "misses": int, "evictions": int, "invalidations": int,
+      "hit_rate": float | None}},    # hits / (hits + misses)
     "wall_clock_s": {str: float},
     "pool": {str: {"tasks_scheduled": int, "tasks_run": int,
                     "parallel_for_calls": int,
@@ -48,7 +55,7 @@ import re
 import statistics
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
@@ -139,6 +146,45 @@ def find_speedups(benchmarks):
             "speedup": serial_ms / parallel_ms if parallel_ms > 0 else 0.0,
         }
     return speedups
+
+
+def find_forward_batch(benchmarks):
+    """Batched-inference throughput: BM_ForwardBatch/batch:N measures one
+    ForwardBatch call over N plans, so plans/sec = N / real_time. The
+    headline ratio is plans/sec at batch 32 over batch 1 — how much the
+    batched serving path amortizes per-call overhead."""
+    pattern = re.compile(r"^BM_ForwardBatch/batch:(?P<batch>\d+)$")
+    plans_per_sec = {}
+    for bench in benchmarks:
+        match = pattern.match(bench["name"])
+        if not match or bench["real_time_ms"] <= 0:
+            continue
+        batch = int(match.group("batch"))
+        plans_per_sec[str(batch)] = batch / (bench["real_time_ms"] / 1e3)
+    speedup = None
+    if "1" in plans_per_sec and "32" in plans_per_sec \
+            and plans_per_sec["1"] > 0:
+        speedup = plans_per_sec["32"] / plans_per_sec["1"]
+    return {"plans_per_sec": plans_per_sec, "speedup_32v1": speedup}
+
+
+def extract_cache_stats(artifact):
+    """Prediction-cache traffic from a metrics artifact's cache.* counters.
+    Returns None when the artifact predates the cache (no counters)."""
+    metrics = _as_dict(_as_dict(artifact).get("metrics"))
+    counters = _as_dict(metrics.get("counters"))
+    if not any(key.startswith("cache.") for key in counters):
+        return None
+    hits = _count(counters, "cache.hit")
+    misses = _count(counters, "cache.miss")
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "evictions": _count(counters, "cache.evict"),
+        "invalidations": _count(counters, "cache.invalidation"),
+        "hit_rate": hits / total if total > 0 else None,
+    }
 
 
 def _as_dict(value):
@@ -250,6 +296,34 @@ def validate(summary):
             isinstance(seconds, (int, float)) and seconds >= 0,
             f"wall_clock_s.{name}",
         )
+    forward_batch = summary.get("forward_batch")
+    expect(isinstance(forward_batch, dict), "forward_batch must be a dict")
+    throughput = forward_batch.get("plans_per_sec")
+    expect(isinstance(throughput, dict), "forward_batch.plans_per_sec")
+    for batch, value in throughput.items():
+        expect(
+            isinstance(batch, str) and batch.isdigit()
+            and isinstance(value, (int, float)) and value > 0,
+            f"forward_batch.plans_per_sec[{batch!r}]",
+        )
+    speedup = forward_batch.get("speedup_32v1")
+    expect(
+        speedup is None or (isinstance(speedup, (int, float)) and speedup > 0),
+        "forward_batch.speedup_32v1",
+    )
+    expect(isinstance(summary.get("cache"), dict), "cache must be a dict")
+    for name, stats in summary["cache"].items():
+        for key in ("hits", "misses", "evictions", "invalidations"):
+            expect(
+                isinstance(stats.get(key), int) and stats[key] >= 0,
+                f"cache.{name}.{key}",
+            )
+        rate = stats.get("hit_rate")
+        expect(
+            rate is None
+            or (isinstance(rate, (int, float)) and 0.0 <= rate <= 1.0),
+            f"cache.{name}.hit_rate",
+        )
     expect(isinstance(summary.get("pool"), dict), "pool must be a dict")
     expect(isinstance(summary.get("quality"), dict), "quality must be a dict")
     for name, stats in summary["quality"].items():
@@ -304,12 +378,19 @@ def main():
         stats = extract_quality_stats(artifact)
         if stats is not None:
             quality[name] = stats
+    cache = {}
+    for name, artifact in artifacts.items():
+        stats = extract_cache_stats(artifact)
+        if stats is not None:
+            cache[name] = stats
     summary = {
         "schema_version": SCHEMA_VERSION,
         "commit": args.commit,
         "host": {"threads": os.cpu_count() or 1},
         "benchmarks": benchmarks,
         "speedups": find_speedups(benchmarks),
+        "forward_batch": find_forward_batch(benchmarks),
+        "cache": cache,
         "wall_clock_s": parse_pairs(args.wall, float, "--wall"),
         "pool": pool,
         "quality": quality,
@@ -324,6 +405,22 @@ def main():
             f"bench_summary: {family}: {pair['serial_ms']:.1f} ms serial vs "
             f"{pair['parallel_ms']:.1f} ms at {pair['threads']} threads "
             f"({pair['speedup']:.2f}x)"
+        )
+    batch_speedup = summary["forward_batch"]["speedup_32v1"]
+    if batch_speedup is not None:
+        per_sec = summary["forward_batch"]["plans_per_sec"]
+        print(
+            f"bench_summary: forward batch: {per_sec['1']:.0f} plans/s "
+            f"serial vs {per_sec['32']:.0f} plans/s at batch 32 "
+            f"({batch_speedup:.2f}x)"
+        )
+    for name, stats in summary["cache"].items():
+        rate = stats["hit_rate"]
+        print(
+            f"bench_summary: {name}: cache "
+            f"{stats['hits']} hit(s) / {stats['misses']} miss(es), "
+            f"hit rate {f'{rate:.2f}' if rate is not None else 'n/a'}, "
+            f"{stats['evictions']} eviction(s)"
         )
     for name, stats in summary["quality"].items():
         p50 = stats["qerror_p50"]

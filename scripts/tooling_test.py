@@ -13,7 +13,9 @@ Covered:
   trace_validate.py  truncated JSON, wrong top-level shape, event missing ts
   bench_compare.py   missing baseline tolerated; regression detection and
                      non-fatal exit; corrupt baseline tolerated; one-sided
-                     counters skipped with a ::notice, never compared
+                     counters skipped with a ::notice, never compared;
+                     --fail-on hard gate trips (exit 3, ::error) on
+                     allowlisted families only and passes clean runs
   analysis/suppress  `zerodb-lint: allow(...)` parsing unit tests (shared
                      by zerodb_lint.py and every analyzer rule)
   analysis/sarif     SARIF writer and ::error emitter survive malformed
@@ -137,7 +139,43 @@ def test_bench_summary(tmp):
         summary = json.load(f)
     check("bench_summary happy path",
           result.returncode == 0
+          and summary["schema_version"] == 3
           and summary["benchmarks"][0]["name"] == "BM_X")
+
+    # Schema v3: BM_ForwardBatch series fold into plans/sec + the 32-vs-1
+    # speedup, and cache.* counters fold into a hit-rate section.
+    batched = write(tmp, "batched.json", json.dumps({"benchmarks": [
+        {"name": "BM_ForwardBatch/batch:1", "real_time": 25.0,
+         "cpu_time": 25.0, "iterations": 100, "time_unit": "us"},
+        {"name": "BM_ForwardBatch/batch:32", "real_time": 400.0,
+         "cpu_time": 400.0, "iterations": 100, "time_unit": "us"}]}))
+    cache_metrics = write(tmp, "cache_metrics.json", json.dumps({
+        "metrics": {"counters": {"cache.hit": 30, "cache.miss": 10,
+                                 "cache.evict": 2,
+                                 "cache.invalidation": 1}}}))
+    result = run_script("bench_summary.py", "--micro", batched,
+                        "--metrics", f"micro={cache_metrics}", "--out", out)
+    with open(out, encoding="utf-8") as f:
+        summary = json.load(f)
+    per_sec = summary["forward_batch"]["plans_per_sec"]
+    check("bench_summary forward_batch plans/sec and speedup",
+          result.returncode == 0
+          and round(per_sec["1"]) == 40000      # 1 plan / 25us
+          and round(per_sec["32"]) == 80000     # 32 plans / 400us
+          and abs(summary["forward_batch"]["speedup_32v1"] - 2.0) < 1e-9,
+          (result.stdout + result.stderr).strip()[:300])
+    check("bench_summary cache hit-rate section",
+          summary["cache"]["micro"]["hits"] == 30
+          and summary["cache"]["micro"]["evictions"] == 2
+          and abs(summary["cache"]["micro"]["hit_rate"] - 0.75) < 1e-9)
+    no_cache = write(tmp, "no_cache_metrics.json", json.dumps({
+        "metrics": {"counters": {"pool.tasks_run": 4}}}))
+    result = run_script("bench_summary.py", "--micro", batched,
+                        "--metrics", f"micro={no_cache}", "--out", out)
+    with open(out, encoding="utf-8") as f:
+        summary = json.load(f)
+    check("bench_summary cache section omits artifacts without counters",
+          result.returncode == 0 and summary["cache"] == {})
 
 
 def test_trace_validate(tmp):
@@ -229,6 +267,58 @@ def test_bench_compare(tmp):
           result.returncode == 0
           and "Traceback" not in result.stdout + result.stderr,
           (result.stdout + result.stderr).strip()[:200])
+
+    # The hard gate: an allowlisted series past --fail-on fails the run
+    # with exit 3 and an ::error annotation. fresh's BM_X is +100% over
+    # base; the wall clock series is not allowlisted so it stays a warning.
+    result = run_script("bench_compare.py", "--fresh", fresh,
+                        "--baseline", base, "--github-annotations",
+                        "--fail-on", "0.35", "--allowlist", "BM_X")
+    check("bench_compare gate trips on allowlisted regression",
+          result.returncode == 3
+          and "GATED REGRESSION" in result.stdout
+          and "::error" in result.stdout
+          and "1 gated regression(s)" in result.stdout,
+          (result.stdout + result.stderr).strip()[:300])
+
+    result = run_script("bench_compare.py", "--fresh", fresh,
+                        "--baseline", base, "--github-annotations",
+                        "--fail-on", "0.35", "--allowlist", "BM_Other")
+    check("bench_compare gate ignores non-allowlisted series",
+          result.returncode == 0
+          and "GATED" not in result.stdout
+          and "::error" not in result.stdout
+          and "::warning" in result.stdout,
+          (result.stdout + result.stderr).strip()[:300])
+
+    result = run_script("bench_compare.py", "--fresh", base,
+                        "--baseline", base, "--fail-on", "0.35",
+                        "--allowlist", "BM_X")
+    check("bench_compare gate passes when allowlisted series hold",
+          result.returncode == 0 and "0 gated" in result.stdout,
+          (result.stdout + result.stderr).strip()[:200])
+
+    # Allowlist entries name families: `BM_Fwd` must cover the argumented
+    # instance `BM_Fwd/batch:32` by substring.
+    def family(name, ms):
+        return write(tmp, name, json.dumps({
+            "schema_version": 3, "commit": name,
+            "benchmarks": [{"name": "BM_Fwd/batch:32", "real_time_ms": ms,
+                            "cpu_time_ms": ms, "iterations": 1}],
+            "wall_clock_s": {}}))
+    result = run_script("bench_compare.py",
+                        "--fresh", family("fam_fresh.json", 300.0),
+                        "--baseline", family("fam_base.json", 100.0),
+                        "--fail-on", "0.35", "--allowlist", "BM_Fwd,BM_Y")
+    check("bench_compare gate matches benchmark families by substring",
+          result.returncode == 3 and "BM_Fwd/batch:32" in result.stdout,
+          (result.stdout + result.stderr).strip()[:300])
+
+    expect_clean_failure(
+        "bench_compare --allowlist without --fail-on is a usage error",
+        run_script("bench_compare.py", "--fresh", fresh, "--baseline", base,
+                   "--allowlist", "BM_X"),
+        want_exit=2)
 
 
 def test_suppress():

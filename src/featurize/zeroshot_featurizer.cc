@@ -30,6 +30,14 @@ struct PredicateSummary {
   bool has_or = false;
 };
 
+bool HasOr(const plan::Predicate& predicate) {
+  if (predicate.kind() == plan::Predicate::Kind::kOr) return true;
+  for (const plan::Predicate& child : predicate.children()) {
+    if (HasOr(child)) return true;
+  }
+  return false;
+}
+
 void Summarize(const plan::Predicate& predicate, PredicateSummary* out) {
   out->leaves = predicate.NumComparisons();
   out->depth = predicate.Depth();
@@ -43,16 +51,7 @@ void Summarize(const plan::Predicate& predicate, PredicateSummary* out) {
       ++out->range_leaves;
     }
   }
-  // Detect OR anywhere in the tree.
-  std::function<bool(const plan::Predicate&)> has_or =
-      [&](const plan::Predicate& p) {
-        if (p.kind() == plan::Predicate::Kind::kOr) return true;
-        for (const plan::Predicate& child : p.children()) {
-          if (has_or(child)) return true;
-        }
-        return false;
-      };
-  out->has_or = has_or(predicate);
+  out->has_or = HasOr(predicate);
 }
 
 int64_t RealOrEstimatedIndexHeight(const datagen::DatabaseEnv& env,
@@ -76,23 +75,19 @@ Rows ZeroShotFeaturizer::NodeCardinality(const PhysicalNode& node) const {
   return Rows(node.true_cardinality);
 }
 
-size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
-                                   const datagen::DatabaseEnv& env,
-                                   PlanGraph* graph) const {
+size_t ZeroShotFeaturizer::AddNode(
+    const PhysicalNode& node, const datagen::DatabaseEnv& env,
+    const std::unordered_map<const plan::PhysicalNode*, int64_t>& widths,
+    PlanGraph* graph) const {
   const size_t index = graph->nodes.size();
   graph->nodes.emplace_back();
-  {
-    PlanGraphNode& graph_node = graph->nodes[index];
-    graph_node.op_type = static_cast<size_t>(node.type);
-    graph_node.features.assign(kFeatureDim, 0.0f);
-  }
+  graph->nodes[index].op_type = static_cast<size_t>(node.type);
 
-  const storage::Database& db = *env.db;
   std::vector<float> f(kFeatureDim, 0.0f);
 
   const Rows out_card = NodeCardinality(node);
   f[0] = Log1pF(out_card);
-  f[4] = Log1pF(Bytes(static_cast<double>(node.OutputWidthBytes(db))));
+  f[4] = Log1pF(Bytes(static_cast<double>(widths.at(&node))));
   f[19] = 1.0f;
 
   // Inputs.
@@ -113,7 +108,7 @@ size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
       in_right = Rows(static_cast<double>(inner_stats.num_rows));
       f[3] = Log1pF(static_cast<double>(inner_stats.num_pages));
       f[5] = Log1pF(
-          Bytes(static_cast<double>(node.children[0]->OutputWidthBytes(db))));
+          Bytes(static_cast<double>(widths.at(node.children[0].get()))));
       f[6] = Log1pF(Bytes(static_cast<double>(inner_stats.row_width_bytes)));
       break;
     }
@@ -122,9 +117,9 @@ size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
       in_left = NodeCardinality(*node.children[0]);
       in_right = NodeCardinality(*node.children[1]);
       f[5] = Log1pF(
-          Bytes(static_cast<double>(node.children[0]->OutputWidthBytes(db))));
+          Bytes(static_cast<double>(widths.at(node.children[0].get()))));
       f[6] = Log1pF(
-          Bytes(static_cast<double>(node.children[1]->OutputWidthBytes(db))));
+          Bytes(static_cast<double>(widths.at(node.children[1].get()))));
       break;
     case PhysicalOpType::kFilter:
     case PhysicalOpType::kSort:
@@ -132,7 +127,7 @@ size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
     case PhysicalOpType::kSimpleAggregate:
       in_left = NodeCardinality(*node.children[0]);
       f[5] = Log1pF(
-          Bytes(static_cast<double>(node.children[0]->OutputWidthBytes(db))));
+          Bytes(static_cast<double>(widths.at(node.children[0].get()))));
       break;
   }
   f[1] = Log1pF(in_left);
@@ -176,7 +171,7 @@ size_t ZeroShotFeaturizer::AddNode(const PhysicalNode& node,
   // Children after the parent (ComputeLevels relies on this order).
   std::vector<size_t> children;
   for (const auto& child : node.children) {
-    children.push_back(AddNode(*child, env, graph));
+    children.push_back(AddNode(*child, env, widths, graph));
   }
   graph->nodes[index].children = std::move(children);
   return index;
@@ -200,7 +195,9 @@ bool FeaturesAreFinite(const PlanGraph& graph) {
 PlanGraph ZeroShotFeaturizer::Featurize(const PhysicalNode& root,
                                         const datagen::DatabaseEnv& env) const {
   PlanGraph graph;
-  AddNode(root, env, &graph);
+  std::unordered_map<const PhysicalNode*, int64_t> widths;
+  root.ComputeOutputWidths(*env.db, &widths);
+  AddNode(root, env, widths, &graph);
   graph.ComputeLevels();
   ZDB_DCHECK(!graph.nodes.empty());
   ZDB_DCHECK(FeaturesAreFinite(graph));

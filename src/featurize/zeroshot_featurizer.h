@@ -1,6 +1,9 @@
 #ifndef ZERODB_FEATURIZE_ZEROSHOT_FEATURIZER_H_
 #define ZERODB_FEATURIZE_ZEROSHOT_FEATURIZER_H_
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "common/units.h"
 #include "datagen/corpus.h"
 #include "featurize/plan_graph.h"
@@ -40,8 +43,14 @@ class ZeroShotFeaturizer {
   CardinalityMode mode() const { return mode_; }
 
  private:
+  /// `widths` holds every subtree's output width, precomputed in one pass
+  /// by PhysicalNode::ComputeOutputWidths (per-node OutputWidthBytes calls
+  /// are quadratic over a plan and dominated featurization cost).
   size_t AddNode(const plan::PhysicalNode& node,
-                 const datagen::DatabaseEnv& env, PlanGraph* graph) const;
+                 const datagen::DatabaseEnv& env,
+                 const std::unordered_map<const plan::PhysicalNode*, int64_t>&
+                     widths,
+                 PlanGraph* graph) const;
 
   Rows NodeCardinality(const plan::PhysicalNode& node) const;
 

@@ -44,6 +44,17 @@ class NeuralCostModel : public CostPredictor {
   /// All trainable parameters.
   virtual std::vector<nn::Tensor> Parameters() const = 0;
 
+  /// Batched serving-path inference: prices every record in one forward
+  /// pass with autodiff graph capture disabled (nn::InferenceModeGuard), so
+  /// a whole candidate set amortizes per-op bookkeeping that PredictMs at
+  /// batch 1 pays in full. Semantically identical to PredictMs — same
+  /// values within float tolerance — just packed. The default delegates to
+  /// PredictMs for models without a dedicated batched path.
+  virtual std::vector<Millis> ForwardBatch(
+      const std::vector<const QueryRecord*>& records) {
+    return PredictMs(records);
+  }
+
   /// A same-architecture copy with its own parameter storage, holding the
   /// same parameter values and normalization state as this model. The
   /// parallel trainer gives each worker thread a replica so concurrent

@@ -183,8 +183,8 @@ nn::Tensor TreeMessagePassingModel::Forward(
     nn::Tensor input = nn::Tensor::FromData(
         positions.size(), config_.feature_dim, std::move(features));
     nn::Tensor encoded = encoders_[e].Forward(input, training, rng);
-    encodings = nn::Add(
-        encodings, nn::RowScatterAdd(encoded, positions, total_nodes));
+    encodings =
+        nn::RowScatterAddTo(std::move(encodings), encoded, std::move(positions));
   }
 
   // Bottom-up message passing by level. `hidden_states` accumulates each
@@ -223,8 +223,8 @@ nn::Tensor TreeMessagePassingModel::Forward(
       level_hidden = combine_.Forward(
           nn::ConcatCols({level_encodings, child_sum}), training, rng);
     }
-    hidden_states = nn::Add(
-        hidden_states, nn::RowScatterAdd(level_hidden, level_ids, total_nodes));
+    hidden_states = nn::RowScatterAddTo(std::move(hidden_states), level_hidden,
+                                        std::move(level_ids));
   }
 
   // Root readout.
@@ -258,11 +258,20 @@ nn::Tensor TreeMessagePassingModel::LossOnBatch(
 
 std::vector<Millis> TreeMessagePassingModel::PredictMs(
     const std::vector<const QueryRecord*>& records) {
-  ZDB_CHECK(target_norm_.fitted()) << "PredictMs before Prepare/training";
+  return ForwardBatch(records);
+}
+
+std::vector<Millis> TreeMessagePassingModel::ForwardBatch(
+    const std::vector<const QueryRecord*>& records) {
+  ZDB_CHECK(target_norm_.fitted()) << "ForwardBatch before Prepare/training";
   if (records.empty()) return {};
   std::vector<featurize::PlanGraph> graphs = featurize::FeaturizeAll(
       records.size(),
       [&](size_t i) { return FeaturizeNormalized(*records[i]); });
+  // Inference mode: the forward pass builds no autodiff graph (no parent
+  // edges, no backward closures), which is most of the per-op cost at small
+  // batch sizes and lets intermediates free as soon as they are consumed.
+  nn::InferenceModeGuard inference;
   nn::Tensor predictions = Forward(graphs, /*training=*/false, nullptr);
   std::vector<Millis> out;
   out.reserve(records.size());

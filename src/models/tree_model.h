@@ -43,6 +43,11 @@ class TreeMessagePassingModel : public NeuralCostModel {
                          bool training, Rng* rng) override;
   std::vector<Millis> PredictMs(
       const std::vector<const QueryRecord*>& records) override;
+  /// The serving path: one featurize + one forward pass for all records,
+  /// run under nn::InferenceModeGuard (no autodiff graph). PredictMs
+  /// forwards here, so both entry points return identical values.
+  std::vector<Millis> ForwardBatch(
+      const std::vector<const QueryRecord*>& records) override;
   std::vector<nn::Tensor> Parameters() const override;
 
   /// Persists weights + normalization statistics to a binary file. Load

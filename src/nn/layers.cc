@@ -43,12 +43,12 @@ Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
   bias_ = Tensor::Parameter(1, out_features, std::move(bias_data));
 }
 
-Tensor Linear::Forward(const Tensor& x) const {
+Tensor Linear::Forward(const Tensor& x, bool fuse_relu) const {
   ZDB_DCHECK_OK(ValidateFeatureDim(x, in_features_, "Linear::Forward input"));
   ZDB_DCHECK_OK(ValidateShape(weight_, in_features_, out_features_,
                               "Linear::Forward weight"));
   ZDB_CHECK_EQ(x.cols(), in_features_);
-  return AddBias(MatMul(x, weight_), bias_);
+  return LinearFused(x, weight_, bias_, fuse_relu);
 }
 
 Mlp::Mlp(const MlpConfig& config, Rng* rng) : config_(config) {
@@ -67,16 +67,19 @@ Tensor Mlp::Forward(const Tensor& x, bool training, Rng* rng) const {
   ZDB_DCHECK_OK(ValidateFinite(x, "Mlp::Forward input"));
   Tensor current = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    current = layers_[i].Forward(current);
     const bool is_output = (i + 1 == layers_.size());
-    if (is_output) {
-      current = ApplyActivation(current, config_.output_activation);
+    const Activation activation =
+        is_output ? config_.output_activation : config_.hidden_activation;
+    // ReLU rides inside the fused dense kernel (one pass over the output
+    // instead of three); other activations apply as a separate op.
+    if (activation == Activation::kRelu) {
+      current = layers_[i].Forward(current, /*fuse_relu=*/true);
     } else {
-      current = ApplyActivation(current, config_.hidden_activation);
-      if (config_.dropout > 0.0f && training) {
-        ZDB_CHECK(rng != nullptr) << "dropout requires an rng";
-        current = Dropout(current, config_.dropout, rng, training);
-      }
+      current = ApplyActivation(layers_[i].Forward(current), activation);
+    }
+    if (!is_output && config_.dropout > 0.0f && training) {
+      ZDB_CHECK(rng != nullptr) << "dropout requires an rng";
+      current = Dropout(current, config_.dropout, rng, training);
     }
   }
   ZDB_DCHECK_OK(ValidateFinite(current, "Mlp::Forward output"));

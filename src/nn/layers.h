@@ -22,7 +22,9 @@ class Linear {
   Linear() = default;
   Linear(size_t in_features, size_t out_features, Rng* rng);
 
-  Tensor Forward(const Tensor& x) const;
+  /// y = x W + b, with the ReLU fused into the same kernel pass when
+  /// `fuse_relu` is set (numerically identical to Relu(Forward(x))).
+  Tensor Forward(const Tensor& x, bool fuse_relu = false) const;
 
   size_t in_features() const { return in_features_; }
   size_t out_features() const { return out_features_; }

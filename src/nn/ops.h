@@ -15,6 +15,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 /// Adds a (1,n) bias row to every row of the (m,n) input.
 Tensor AddBias(const Tensor& x, const Tensor& bias);
 
+/// Fused dense layer: out = x (m,k) * weight (k,n) + bias (1,n), with an
+/// optional ReLU on the result. Numerically identical to
+/// Relu(AddBias(MatMul(x, weight), bias)) — the bias is added after the full
+/// k-accumulation and the row is rectified in the same pass — but touches
+/// each output row once while it is still in cache instead of streaming the
+/// (m,n) intermediate through memory twice, and builds one graph node
+/// instead of three.
+Tensor LinearFused(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                   bool relu);
+
 /// Elementwise sum of same-shape tensors.
 Tensor Add(const Tensor& a, const Tensor& b);
 
@@ -50,6 +60,17 @@ Tensor RowGather(const Tensor& x, std::vector<uint32_t> indices);
 /// The DeepSets "sum children" step of the message passing phase.
 Tensor RowScatterAdd(const Tensor& x, std::vector<uint32_t> indices,
                      size_t out_rows);
+
+/// Fused accumulator scatter: out = base; out[indices[i]] += x[i].
+/// Functionally Add(base, RowScatterAdd(x, indices, base.rows())) without
+/// materializing the zero-filled intermediate — the pattern the tree model
+/// uses to accumulate per-encoder and per-level rows into a shared
+/// (total_nodes, hidden) state. Under an InferenceModeGuard the rows are
+/// added into base's own buffer and `base` is returned, so an accumulation
+/// chain costs only the scattered writes; callers must treat `base` as
+/// consumed (reassign it to the result, keep no other live reference).
+Tensor RowScatterAddTo(Tensor base, const Tensor& x,
+                       std::vector<uint32_t> indices);
 
 /// Multiplies row i of x by factors[i] (constants, not differentiated).
 /// Used for mean pooling (factors = 1/set_size).

@@ -97,6 +97,20 @@ std::string Tensor::ShapeString() const {
   return StrFormat("(%zu, %zu)", rows(), cols());
 }
 
+namespace {
+
+// Depth counter rather than a bool so guards nest (an inference-mode caller
+// may invoke a helper that installs its own guard).
+thread_local int inference_depth = 0;
+
+}  // namespace
+
+InferenceModeGuard::InferenceModeGuard() { ++inference_depth; }
+
+InferenceModeGuard::~InferenceModeGuard() { --inference_depth; }
+
+bool InInferenceMode() { return inference_depth > 0; }
+
 Tensor MakeOpResult(size_t rows, size_t cols, const char* op,
                     std::vector<std::shared_ptr<Node>> parents,
                     std::function<void(Node*)> backward_fn) {
@@ -105,6 +119,12 @@ Tensor MakeOpResult(size_t rows, size_t cols, const char* op,
   node->cols = cols;
   node->values.assign(rows * cols, 0.0f);
   node->op = op;
+  if (InInferenceMode()) {
+    // Detached result: the op's forward code still writes values, but the
+    // graph ends here — no parent edges to keep inputs alive, no backward
+    // closure to allocate.
+    return Tensor(std::move(node));
+  }
   bool requires_grad = false;
   for (const auto& parent : parents) {
     if (parent->requires_grad) requires_grad = true;

@@ -87,10 +87,32 @@ class Tensor {
 };
 
 /// Creates a non-leaf node for an op result. Gradient tracking is enabled iff
-/// any parent requires grad.
+/// any parent requires grad. Under an InferenceModeGuard the result is
+/// detached instead: no parents, no backward_fn, requires_grad = false.
 Tensor MakeOpResult(size_t rows, size_t cols, const char* op,
                     std::vector<std::shared_ptr<Node>> parents,
                     std::function<void(Node*)> backward_fn);
+
+/// While alive on the current thread, every MakeOpResult produces a
+/// detached node: parents and backward closures are dropped and
+/// requires_grad is forced off, even when an input is a trainable
+/// parameter. That removes the autodiff bookkeeping — the dominant per-op
+/// cost of small-batch forward passes — and lets intermediate nodes free as
+/// soon as the ops consuming them finish. Backward() on anything computed
+/// under a guard fails its requires_grad check, so training code must never
+/// run inside one. Guards nest; the flag is thread-local, so pool workers
+/// are unaffected by a guard on the caller's thread.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+};
+
+/// True while an InferenceModeGuard is alive on this thread.
+bool InInferenceMode();
 
 }  // namespace zerodb::nn
 

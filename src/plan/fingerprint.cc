@@ -1,0 +1,121 @@
+#include "plan/fingerprint.h"
+
+#include <cstring>
+
+namespace zerodb::plan {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+// Fixed sentinel for a plan with no root (distinct from any real hash with
+// overwhelming probability, stable across runs).
+constexpr uint64_t kNullPlan = 0x9e3779b97f4a7c15ULL;
+
+inline uint64_t MixU64(uint64_t h, uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h = (h ^ (v & 0xffu)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+inline uint64_t MixDouble(uint64_t h, double v) {
+  // Hash the bit pattern, normalizing -0.0 to 0.0 so the two equal values
+  // (by operator==) cannot fingerprint differently. NaNs never reach plan
+  // annotations (validators reject them upstream).
+  if (v == 0.0) v = 0.0;
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return MixU64(h, bits);
+}
+
+inline uint64_t MixString(uint64_t h, std::string_view text) {
+  // Length-prefixed so ("ab", "c") and ("a", "bc") cannot collide when
+  // strings are mixed back to back.
+  h = MixU64(h, static_cast<uint64_t>(text.size()));
+  for (char c : text) {
+    h = (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t MixPredicate(uint64_t h, const Predicate& predicate) {
+  h = MixU64(h, static_cast<uint64_t>(predicate.kind()));
+  switch (predicate.kind()) {
+    case Predicate::Kind::kCompare:
+      h = MixU64(h, static_cast<uint64_t>(predicate.slot()));
+      h = MixU64(h, static_cast<uint64_t>(predicate.op()));
+      h = MixDouble(h, predicate.literal());
+      break;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      h = MixU64(h, static_cast<uint64_t>(predicate.children().size()));
+      for (const Predicate& child : predicate.children()) {
+        h = MixPredicate(h, child);
+      }
+      break;
+  }
+  return h;
+}
+
+uint64_t MixNode(uint64_t h, const PhysicalNode& node) {
+  h = MixU64(h, static_cast<uint64_t>(node.type));
+  h = MixString(h, node.table_name);
+  h = MixU64(h, node.predicate.has_value() ? 1u : 0u);
+  if (node.predicate.has_value()) h = MixPredicate(h, *node.predicate);
+  h = MixU64(h, static_cast<uint64_t>(node.index_column));
+  h = MixU64(h, node.range_lo.has_value() ? 1u : 0u);
+  if (node.range_lo.has_value()) h = MixDouble(h, *node.range_lo);
+  h = MixU64(h, node.range_hi.has_value() ? 1u : 0u);
+  if (node.range_hi.has_value()) h = MixDouble(h, *node.range_hi);
+  h = MixU64(h, static_cast<uint64_t>(node.left_key_slot));
+  h = MixU64(h, static_cast<uint64_t>(node.right_key_slot));
+  h = MixU64(h, static_cast<uint64_t>(node.group_by_slots.size()));
+  for (size_t slot : node.group_by_slots) {
+    h = MixU64(h, static_cast<uint64_t>(slot));
+  }
+  h = MixU64(h, static_cast<uint64_t>(node.aggregates.size()));
+  for (const AggregateExpr& aggregate : node.aggregates) {
+    h = MixU64(h, static_cast<uint64_t>(aggregate.func));
+    h = MixU64(h, aggregate.input_slot.has_value() ? 1u : 0u);
+    if (aggregate.input_slot.has_value()) {
+      h = MixU64(h, static_cast<uint64_t>(*aggregate.input_slot));
+    }
+  }
+  h = MixU64(h, static_cast<uint64_t>(node.sort_slots.size()));
+  for (size_t slot : node.sort_slots) {
+    h = MixU64(h, static_cast<uint64_t>(slot));
+  }
+  h = MixDouble(h, node.est_cardinality);
+  h = MixDouble(h, node.est_cost);
+  h = MixDouble(h, node.true_cardinality);
+  h = MixU64(h, static_cast<uint64_t>(node.children.size()));
+  for (const std::unique_ptr<PhysicalNode>& child : node.children) {
+    h = MixNode(h, *child);
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t FingerprintPlan(const PhysicalNode& root) {
+  return MixNode(kFnvOffset, root);
+}
+
+uint64_t FingerprintPlan(const PhysicalPlan& plan) {
+  if (plan.root == nullptr) return kNullPlan;
+  return FingerprintPlan(*plan.root);
+}
+
+uint64_t FingerprintCombine(uint64_t fingerprint, uint64_t value) {
+  return MixU64(fingerprint, value);
+}
+
+uint64_t FingerprintString(std::string_view text) {
+  return MixString(kFnvOffset, text);
+}
+
+}  // namespace zerodb::plan

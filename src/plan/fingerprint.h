@@ -1,0 +1,35 @@
+#ifndef ZERODB_PLAN_FINGERPRINT_H_
+#define ZERODB_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "plan/physical.h"
+
+namespace zerodb::plan {
+
+/// Canonical 64-bit fingerprint of a physical plan tree. Hashes, in
+/// pre-order: operator kind, table name, the full predicate structure
+/// (tree shape, slots, compare ops, literals), index column and key range,
+/// join key slots, group-by / aggregate / sort shape, and the annotation
+/// fields the featurizers read (est_cardinality, est_cost,
+/// true_cardinality). Every input of plan featurization except the
+/// database's own statistics is covered, so two plans with equal
+/// fingerprints featurize identically against the same database (modulo
+/// 64-bit collisions) — which is exactly what the prediction cache keys on.
+/// FNV-1a-based, deterministic across runs and platforms.
+uint64_t FingerprintPlan(const PhysicalNode& root);
+
+/// Fingerprint of a whole plan; a null root hashes to a fixed sentinel.
+uint64_t FingerprintPlan(const PhysicalPlan& plan);
+
+/// Mixes an extra 64-bit value into a fingerprint (cache callers append
+/// database identity, config epochs, ...). Not commutative.
+uint64_t FingerprintCombine(uint64_t fingerprint, uint64_t value);
+
+/// Standalone FNV-1a hash of a string (database names and the like).
+uint64_t FingerprintString(std::string_view text);
+
+}  // namespace zerodb::plan
+
+#endif  // ZERODB_PLAN_FINGERPRINT_H_

@@ -46,55 +46,10 @@ std::vector<OutputColumn> TableColumns(const storage::Database& db,
   return columns;
 }
 
-}  // namespace
-
-std::vector<OutputColumn> PhysicalNode::OutputSchema(
-    const storage::Database& db) const {
-  switch (type) {
-    case PhysicalOpType::kSeqScan:
-    case PhysicalOpType::kIndexScan:
-      return TableColumns(db, table_name);
-    case PhysicalOpType::kFilter:
-    case PhysicalOpType::kSort:
-      ZDB_CHECK_EQ(children.size(), 1u);
-      return children[0]->OutputSchema(db);
-    case PhysicalOpType::kHashJoin:
-    case PhysicalOpType::kNestedLoopJoin: {
-      ZDB_CHECK_EQ(children.size(), 2u);
-      std::vector<OutputColumn> schema = children[0]->OutputSchema(db);
-      std::vector<OutputColumn> right = children[1]->OutputSchema(db);
-      schema.insert(schema.end(), right.begin(), right.end());
-      return schema;
-    }
-    case PhysicalOpType::kIndexNLJoin: {
-      ZDB_CHECK_EQ(children.size(), 1u);
-      std::vector<OutputColumn> schema = children[0]->OutputSchema(db);
-      std::vector<OutputColumn> inner = TableColumns(db, table_name);
-      schema.insert(schema.end(), inner.begin(), inner.end());
-      return schema;
-    }
-    case PhysicalOpType::kHashAggregate:
-    case PhysicalOpType::kSimpleAggregate: {
-      ZDB_CHECK_EQ(children.size(), 1u);
-      std::vector<OutputColumn> child_schema = children[0]->OutputSchema(db);
-      std::vector<OutputColumn> schema;
-      for (size_t slot : group_by_slots) {
-        ZDB_CHECK_LT(slot, child_schema.size());
-        schema.push_back(child_schema[slot]);
-      }
-      for (size_t i = 0; i < aggregates.size(); ++i) {
-        schema.push_back(OutputColumn{"", i, true});
-      }
-      return schema;
-    }
-  }
-  ZDB_CHECK(false);
-  return {};
-}
-
-int64_t PhysicalNode::OutputWidthBytes(const storage::Database& db) const {
+int64_t SchemaWidthBytes(const std::vector<OutputColumn>& schema,
+                         const storage::Database& db) {
   int64_t width = 0;
-  for (const OutputColumn& column : OutputSchema(db)) {
+  for (const OutputColumn& column : schema) {
     if (column.synthetic) {
       width += 8;
       continue;
@@ -104,6 +59,77 @@ int64_t PhysicalNode::OutputWidthBytes(const storage::Database& db) const {
     width += table->column(column.column_index).AvgWidthBytes();
   }
   return std::max<int64_t>(width, 1);
+}
+
+// The one schema-derivation switch, shared by OutputSchema (widths ==
+// nullptr) and ComputeOutputWidths, which memoizes every subtree width in
+// a single post-order pass instead of re-deriving child schemas per call.
+std::vector<OutputColumn> SchemaOf(
+    const PhysicalNode& node, const storage::Database& db,
+    std::unordered_map<const PhysicalNode*, int64_t>* widths) {
+  std::vector<OutputColumn> schema;
+  switch (node.type) {
+    case PhysicalOpType::kSeqScan:
+    case PhysicalOpType::kIndexScan:
+      schema = TableColumns(db, node.table_name);
+      break;
+    case PhysicalOpType::kFilter:
+    case PhysicalOpType::kSort:
+      ZDB_CHECK_EQ(node.children.size(), 1u);
+      schema = SchemaOf(*node.children[0], db, widths);
+      break;
+    case PhysicalOpType::kHashJoin:
+    case PhysicalOpType::kNestedLoopJoin: {
+      ZDB_CHECK_EQ(node.children.size(), 2u);
+      schema = SchemaOf(*node.children[0], db, widths);
+      std::vector<OutputColumn> right = SchemaOf(*node.children[1], db, widths);
+      schema.insert(schema.end(), right.begin(), right.end());
+      break;
+    }
+    case PhysicalOpType::kIndexNLJoin: {
+      ZDB_CHECK_EQ(node.children.size(), 1u);
+      schema = SchemaOf(*node.children[0], db, widths);
+      std::vector<OutputColumn> inner = TableColumns(db, node.table_name);
+      schema.insert(schema.end(), inner.begin(), inner.end());
+      break;
+    }
+    case PhysicalOpType::kHashAggregate:
+    case PhysicalOpType::kSimpleAggregate: {
+      ZDB_CHECK_EQ(node.children.size(), 1u);
+      std::vector<OutputColumn> child_schema =
+          SchemaOf(*node.children[0], db, widths);
+      for (size_t slot : node.group_by_slots) {
+        ZDB_CHECK_LT(slot, child_schema.size());
+        schema.push_back(child_schema[slot]);
+      }
+      for (size_t i = 0; i < node.aggregates.size(); ++i) {
+        schema.push_back(OutputColumn{"", i, true});
+      }
+      break;
+    }
+  }
+  if (widths != nullptr) {
+    (*widths)[&node] = SchemaWidthBytes(schema, db);
+  }
+  return schema;
+}
+
+}  // namespace
+
+std::vector<OutputColumn> PhysicalNode::OutputSchema(
+    const storage::Database& db) const {
+  return SchemaOf(*this, db, nullptr);
+}
+
+int64_t PhysicalNode::OutputWidthBytes(const storage::Database& db) const {
+  return SchemaWidthBytes(OutputSchema(db), db);
+}
+
+void PhysicalNode::ComputeOutputWidths(
+    const storage::Database& db,
+    std::unordered_map<const PhysicalNode*, int64_t>* widths) const {
+  ZDB_CHECK(widths != nullptr);
+  SchemaOf(*this, db, widths);
 }
 
 size_t PhysicalNode::SubtreeSize() const {

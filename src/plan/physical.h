@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "plan/expr.h"
@@ -89,6 +90,15 @@ struct PhysicalNode {
 
   /// Average output tuple width in bytes.
   int64_t OutputWidthBytes(const storage::Database& db) const;
+
+  /// Fills `widths` with OutputWidthBytes for this node and every
+  /// descendant in one post-order pass. OutputWidthBytes rebuilds the
+  /// output schema recursively on each call, so per-node calls across a
+  /// whole plan are quadratic in plan size — featurization, which needs
+  /// every node's width, uses this instead.
+  void ComputeOutputWidths(
+      const storage::Database& db,
+      std::unordered_map<const PhysicalNode*, int64_t>* widths) const;
 
   /// Number of nodes in this subtree.
   size_t SubtreeSize() const;

@@ -60,9 +60,14 @@ Millis IndexAdvisor::PredictWorkloadMs(
     planner_options.hypothetical_indexes.push_back(
         optimizer::HypotheticalIndex{index.table, index.column_index});
   }
+  // One batched call plans every query and prices all cache misses in a
+  // single forward pass; the greedy loop in Recommend re-prices
+  // mostly-identical plans, so most of these come straight from the
+  // estimator's fingerprint cache.
+  std::vector<StatusOr<Millis>> estimates =
+      estimator_->EstimateQueryBatchMs(env, workload, planner_options);
   Millis total;
-  for (const plan::QuerySpec& query : workload) {
-    auto ms = estimator_->EstimateQueryMs(env, query, planner_options);
+  for (const StatusOr<Millis>& ms : estimates) {
     if (!ms.ok()) continue;  // unplannable queries contribute nothing
     total += *ms;
   }

@@ -1,9 +1,12 @@
 #include "zeroshot/estimator.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace_event.h"
+#include "plan/fingerprint.h"
 
 namespace zerodb::zeroshot {
 
@@ -29,6 +32,21 @@ struct EstimatorMetrics {
     return *metrics;
   }
 };
+
+// Features depend on the plan *and* on the database whose statistics
+// featurize it, so the cache key mixes database identity (env address +
+// name) into the canonical plan fingerprint. Envs outlive the estimator —
+// records keep env pointers by the same contract — so the address is
+// stable for the cache's lifetime; the name guards against an env being
+// destroyed and another reallocated at the same address across runs of a
+// bench loop.
+uint64_t CacheKey(const train::QueryRecord& record) {
+  uint64_t key = plan::FingerprintPlan(record.plan);
+  key = plan::FingerprintCombine(
+      key, static_cast<uint64_t>(reinterpret_cast<uintptr_t>(record.env)));
+  return plan::FingerprintCombine(key,
+                                  plan::FingerprintString(record.db_name));
+}
 
 }  // namespace
 
@@ -90,7 +108,42 @@ ZeroShotEstimator ZeroShotEstimator::TrainFromRecords(
       estimator.model_.get(), train::MakeView(estimator.training_records_),
       config.trainer);
   estimator.quality_ = std::make_unique<obs::PredictionQualityMonitor>();
+  // The cache is created after training, so it starts empty — (re)training
+  // always begins with an invalidated cache by construction.
+  if (config.cache.capacity > 0) {
+    estimator.cache_ = std::make_unique<PredictCache>(config.cache);
+  }
+  estimator.serve_batch_size_ = config.serve_batch_size;
   return estimator;
+}
+
+void ZeroShotEstimator::MaybeInvalidateOnDrift() {
+  if (quality_ == nullptr || cache_ == nullptr) return;
+  const int64_t events = quality_->drift_events();
+  if (events > seen_drift_events_) {
+    seen_drift_events_ = events;
+    ZDB_LOG(Warning) << "estimator: drift event detected; invalidating "
+                     << cache_->size() << " cached predictions";
+    cache_->Invalidate();
+  }
+}
+
+std::vector<Millis> ZeroShotEstimator::ForwardInChunks(
+    const std::vector<const train::QueryRecord*>& records) {
+  const size_t chunk =
+      serve_batch_size_ == 0 ? records.size() : serve_batch_size_;
+  if (chunk >= records.size()) return model_->ForwardBatch(records);
+  std::vector<Millis> out;
+  out.reserve(records.size());
+  for (size_t begin = 0; begin < records.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, records.size());
+    std::vector<const train::QueryRecord*> slice(
+        records.begin() + static_cast<std::ptrdiff_t>(begin),
+        records.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<Millis> part = model_->ForwardBatch(slice);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
 }
 
 std::vector<Millis> ZeroShotEstimator::PredictMs(
@@ -101,11 +154,39 @@ std::vector<Millis> ZeroShotEstimator::PredictMs(
   metrics.predictions->Add(static_cast<int64_t>(records.size()));
   obs::ScopedTimer timer(metrics.registry.enabled() ? metrics.predict_us
                                                     : nullptr);
-  std::vector<Millis> predicted;
-  {
+  MaybeInvalidateOnDrift();
+  std::vector<Millis> predicted(records.size());
+  std::vector<uint64_t> miss_keys;
+  std::vector<size_t> miss_positions;
+  std::vector<const train::QueryRecord*> miss_records;
+  if (cache_ != nullptr) {
+    miss_keys.reserve(records.size());
+    miss_positions.reserve(records.size());
+    miss_records.reserve(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      const uint64_t key = CacheKey(*records[i]);
+      if (std::optional<Millis> hit = cache_->Lookup(key)) {
+        predicted[i] = *hit;
+        continue;
+      }
+      miss_keys.push_back(key);
+      miss_positions.push_back(i);
+      miss_records.push_back(records[i]);
+    }
+  } else {
+    miss_positions.reserve(records.size());
+    for (size_t i = 0; i < records.size(); ++i) miss_positions.push_back(i);
+    miss_records = records;
+  }
+  if (!miss_records.empty()) {
     obs::TimelineScope scope("zeroshot.predict", "zeroshot");
     scope.AddArg("records", static_cast<double>(records.size()));
-    predicted = model_->PredictMs(records);
+    scope.AddArg("cache_misses", static_cast<double>(miss_records.size()));
+    std::vector<Millis> fresh = ForwardInChunks(miss_records);
+    for (size_t j = 0; j < miss_positions.size(); ++j) {
+      predicted[miss_positions[j]] = fresh[j];
+      if (cache_ != nullptr) cache_->Insert(miss_keys[j], fresh[j]);
+    }
   }
   // Records that carry a measured runtime (executed evaluation workloads)
   // double as serving-time feedback for the quality monitor.
@@ -146,7 +227,63 @@ StatusOr<Millis> ZeroShotEstimator::EstimateQueryMs(
   record.plan = std::move(plan);
   record.opt_cost = record.plan.root->est_cost;
   std::vector<const train::QueryRecord*> view = {&record};
-  return model_->PredictMs(view)[0];
+  // Through PredictMs (not the model directly) so the prediction is served
+  // from — and inserted into — the fingerprint cache.
+  return PredictMs(view)[0];
+}
+
+std::vector<StatusOr<Millis>> ZeroShotEstimator::EstimateQueryBatchMs(
+    const datagen::DatabaseEnv& env,
+    const std::vector<plan::QuerySpec>& queries,
+    const optimizer::PlannerOptions& planner_options) {
+  ZDB_CHECK(model_ != nullptr);
+  std::vector<StatusOr<Millis>> out;
+  out.reserve(queries.size());
+  if (model_->cardinality_mode() != featurize::CardinalityMode::kEstimated) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out.emplace_back(Status::InvalidArgument(
+          "EstimateQueryBatchMs requires an estimated-cardinality model "
+          "(exact cardinalities only exist after execution)"));
+    }
+    return out;
+  }
+  EstimatorMetrics& metrics = EstimatorMetrics::Get();
+  metrics.estimate_query_calls->Add(static_cast<int64_t>(queries.size()));
+  obs::TimelineScope scope("zeroshot.estimate_batch", "zeroshot");
+  scope.AddArg("queries", static_cast<double>(queries.size()));
+  optimizer::Planner planner(env.db.get(), &env.stats, optimizer::CostParams(),
+                             planner_options);
+  std::vector<train::QueryRecord> records;
+  records.reserve(queries.size());
+  std::vector<size_t> positions;  // out[] index each record prices
+  positions.reserve(queries.size());
+  for (const plan::QuerySpec& query : queries) {
+    StatusOr<plan::PhysicalPlan> planned = [&] {
+      obs::ScopedTimer timer(metrics.registry.enabled() ? metrics.plan_us
+                                                        : nullptr);
+      return planner.Plan(query);
+    }();
+    if (!planned.ok()) {
+      out.emplace_back(planned.status());
+      continue;
+    }
+    train::QueryRecord record;
+    record.env = &env;
+    record.db_name = env.db->name();
+    record.query = query;
+    record.plan = std::move(*planned);
+    record.opt_cost = record.plan.root->est_cost;
+    positions.push_back(out.size());
+    records.push_back(std::move(record));
+    out.emplace_back(Millis(0.0));  // overwritten by the batched prediction
+  }
+  if (!records.empty()) {
+    std::vector<Millis> predicted = PredictMs(train::MakeView(records));
+    for (size_t j = 0; j < positions.size(); ++j) {
+      out[positions[j]] = predicted[j];
+    }
+  }
+  return out;
 }
 
 }  // namespace zerodb::zeroshot

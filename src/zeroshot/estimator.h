@@ -13,6 +13,7 @@
 #include "train/dataset.h"
 #include "train/trainer.h"
 #include "workload/benchmarks.h"
+#include "zeroshot/predict_cache.h"
 
 namespace zerodb::zeroshot {
 
@@ -27,6 +28,13 @@ struct ZeroShotConfig {
   train::TrainerOptions trainer;
   models::ZeroShotCostModel::Options model;
   uint64_t seed = 7;
+
+  /// Serving knobs. Predictions are memoized by plan fingerprint + database
+  /// identity (set `cache.capacity = 0` to disable); cache misses go through
+  /// the model's batched ForwardBatch in chunks of `serve_batch_size`
+  /// records (0 = one forward pass per PredictMs call, no chunking).
+  PredictCacheOptions cache;
+  size_t serve_batch_size = 0;
 };
 
 /// The public face of the reproduction: train once on many databases, then
@@ -58,6 +66,17 @@ class ZeroShotEstimator {
       const datagen::DatabaseEnv& env, const plan::QuerySpec& query,
       const optimizer::PlannerOptions& planner_options = {});
 
+  /// Plans and prices a whole workload in one batched forward pass (cache
+  /// misses only): the serving-path companion to EstimateQueryMs for
+  /// callers like the what-if advisor that price N queries against the
+  /// same hypothetical index set. One entry per query, in order;
+  /// unplannable queries carry the planner's status, and a model in
+  /// exact-cardinality mode fails every entry.
+  std::vector<StatusOr<Millis>> EstimateQueryBatchMs(
+      const datagen::DatabaseEnv& env,
+      const std::vector<plan::QuerySpec>& queries,
+      const optimizer::PlannerOptions& planner_options = {});
+
   /// Feeds one serving-time (prediction, observed runtime) pair into the
   /// online quality monitor — call it whenever a predicted query was
   /// actually executed. PredictMs does this automatically for records that
@@ -75,6 +94,17 @@ class ZeroShotEstimator {
     return quality_.get();
   }
 
+  /// The plan-fingerprint prediction cache fronting the model; non-null
+  /// after Train/TrainFromRecords unless `config.cache.capacity` was 0.
+  const PredictCache* predict_cache() const { return cache_.get(); }
+
+  /// Drops every cached prediction. Runs automatically whenever the
+  /// quality monitor reports a new drift event; call it manually after any
+  /// out-of-band weight change (LoadWeights-style swaps).
+  void InvalidatePredictionCache() {
+    if (cache_ != nullptr) cache_->Invalidate();
+  }
+
   models::ZeroShotCostModel& model() { return *model_; }
   const train::TrainResult& train_result() const { return train_result_; }
   const std::vector<train::QueryRecord>& training_records() const {
@@ -84,10 +114,22 @@ class ZeroShotEstimator {
  private:
   ZeroShotEstimator() = default;
 
+  /// Invalidates the cache when the drift detector fired since the last
+  /// check — stale predictions from a drifting model must not outlive the
+  /// signal that flagged them.
+  void MaybeInvalidateOnDrift();
+
+  /// Runs ForwardBatch over `records` in serve_batch_size chunks.
+  std::vector<Millis> ForwardInChunks(
+      const std::vector<const train::QueryRecord*>& records);
+
   std::unique_ptr<models::ZeroShotCostModel> model_;
   train::TrainResult train_result_;
   std::vector<train::QueryRecord> training_records_;
   std::unique_ptr<obs::PredictionQualityMonitor> quality_;
+  std::unique_ptr<PredictCache> cache_;
+  size_t serve_batch_size_ = 0;
+  int64_t seen_drift_events_ = 0;
 };
 
 /// Collects the zero-shot training set: `queries_per_database` labeled

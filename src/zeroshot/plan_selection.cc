@@ -68,7 +68,8 @@ StatusOr<PlanChoice> ChoosePlanWithModel(ZeroShotEstimator* estimator,
     return Status::InvalidArgument("query produced no candidate plans");
   }
 
-  // Score all candidates in one model batch.
+  // Score all candidates through the estimator's serving path: one
+  // fingerprint-cache sweep plus a single ForwardBatch over the misses.
   std::vector<train::QueryRecord> records;
   records.reserve(candidates.size());
   for (plan::PhysicalPlan& candidate : candidates) {

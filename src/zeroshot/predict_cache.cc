@@ -1,0 +1,146 @@
+#include "zeroshot/predict_cache.h"
+
+#include <chrono>
+
+#include "common/sync.h"
+
+namespace zerodb::zeroshot {
+
+namespace {
+
+obs::MetricsRegistry& RegistryOrGlobal(obs::MetricsRegistry* registry) {
+  return registry != nullptr ? *registry : obs::MetricsRegistry::Global();
+}
+
+double SteadyNowMs() {
+  // TTL expiry is inherently wall-clock; predictions themselves stay
+  // deterministic (expiry only forces a recompute of the same value).
+  // zerodb-lint: allow(nondet-call)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PredictCache::PredictCache(PredictCacheOptions options)
+    : options_(std::move(options)),
+      hit_counter_(RegistryOrGlobal(options_.registry)
+                       .GetCounter("cache.hit")),
+      miss_counter_(RegistryOrGlobal(options_.registry)
+                        .GetCounter("cache.miss")),
+      evict_counter_(RegistryOrGlobal(options_.registry)
+                         .GetCounter("cache.evict")),
+      invalidation_counter_(RegistryOrGlobal(options_.registry)
+                                .GetCounter("cache.invalidation")),
+      hit_rate_gauge_(RegistryOrGlobal(options_.registry)
+                          .GetGauge("cache.hit_rate")),
+      size_gauge_(RegistryOrGlobal(options_.registry)
+                      .GetGauge("cache.size")) {}
+
+double PredictCache::NowMs() const {
+  if (options_.now_ms != nullptr) return options_.now_ms();
+  return SteadyNowMs();
+}
+
+void PredictCache::UpdateGaugesLocked() {
+  mu_.AssertHeld();
+  const int64_t lookups = hits_ + misses_;
+  if (lookups > 0) {
+    hit_rate_gauge_->Set(static_cast<double>(hits_) /
+                         static_cast<double>(lookups));
+  }
+  size_gauge_->Set(static_cast<double>(lru_.size()));
+}
+
+std::optional<Millis> PredictCache::Lookup(uint64_t key) {
+  if (options_.capacity == 0) return std::nullopt;
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    miss_counter_->Add(1);
+    UpdateGaugesLocked();
+    return std::nullopt;
+  }
+  if (options_.ttl_ms > 0.0 &&
+      NowMs() - it->second->inserted_at_ms > options_.ttl_ms) {
+    // Expired: drop it and report a miss (plus the eviction) so the caller
+    // recomputes and re-inserts a fresh value.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++misses_;
+    ++evictions_;
+    miss_counter_->Add(1);
+    evict_counter_->Add(1);
+    UpdateGaugesLocked();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  hit_counter_->Add(1);
+  UpdateGaugesLocked();
+  return it->second->predicted;
+}
+
+void PredictCache::Insert(uint64_t key, Millis predicted) {
+  if (options_.capacity == 0) return;
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->predicted = predicted;
+    it->second->inserted_at_ms = options_.ttl_ms > 0.0 ? NowMs() : 0.0;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    UpdateGaugesLocked();
+    return;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.predicted = predicted;
+  entry.inserted_at_ms = options_.ttl_ms > 0.0 ? NowMs() : 0.0;
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    evict_counter_->Add(1);
+  }
+  UpdateGaugesLocked();
+}
+
+void PredictCache::Invalidate() {
+  MutexLock lock(&mu_);
+  lru_.clear();
+  index_.clear();
+  ++invalidations_;
+  invalidation_counter_->Add(1);
+  UpdateGaugesLocked();
+}
+
+size_t PredictCache::size() const {
+  MutexLock lock(&mu_);
+  return lru_.size();
+}
+
+int64_t PredictCache::hits() const {
+  MutexLock lock(&mu_);
+  return hits_;
+}
+
+int64_t PredictCache::misses() const {
+  MutexLock lock(&mu_);
+  return misses_;
+}
+
+int64_t PredictCache::evictions() const {
+  MutexLock lock(&mu_);
+  return evictions_;
+}
+
+int64_t PredictCache::invalidations() const {
+  MutexLock lock(&mu_);
+  return invalidations_;
+}
+
+}  // namespace zerodb::zeroshot

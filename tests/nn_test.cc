@@ -461,5 +461,156 @@ TEST(SerializeTest, MissingFileIsIOError) {
   EXPECT_EQ(s.code(), StatusCode::kIOError);
 }
 
+// The blocked MatMul kernel (4-wide k blocking) reorders float summation
+// versus the scalar i-k-j reference, so it must match within tolerance,
+// not bitwise. k values straddle the block boundary on purpose: 1 and 3
+// run only the scalar tail, 4 and 8 only blocks, 7 both.
+TEST(OpsTest, MatMulBlockedMatchesReference) {
+  Rng rng(99);
+  for (size_t k : {1u, 3u, 4u, 7u, 8u}) {
+    const size_t m = 5;
+    const size_t n = 6;
+    std::vector<float> a_data(m * k);
+    std::vector<float> b_data(k * n);
+    for (float& v : a_data) {
+      v = static_cast<float>(rng.UniformDouble(-2.0, 2.0));
+    }
+    // Sprinkle zeros so the kernel's zero-block skip path runs too.
+    a_data[0] = 0.0f;
+    if (k >= 4) {
+      for (size_t j = 0; j < k; ++j) a_data[1 * k + j] = 0.0f;
+    }
+    for (float& v : b_data) {
+      v = static_cast<float>(rng.UniformDouble(-2.0, 2.0));
+    }
+    Tensor a = Tensor::FromData(m, k, a_data);
+    Tensor b = Tensor::FromData(k, n, b_data);
+    Tensor c = MatMul(a, b);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double reference = 0.0;
+        for (size_t kk = 0; kk < k; ++kk) {
+          reference += static_cast<double>(a_data[i * k + kk]) *
+                       static_cast<double>(b_data[kk * n + j]);
+        }
+        EXPECT_NEAR(c.at(i, j), static_cast<float>(reference), 1e-4f)
+            << "k=" << k << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(OpsTest, LinearFusedMatchesComposition) {
+  // LinearFused promises bitwise-identical results to the three-op
+  // composition (bias after the full k-accumulation, then ReLU), so exact
+  // equality — not tolerance — is the contract.
+  Tensor x = Tensor::FromData(3, 5, {0.3f, -1.2f, 0.7f, 2.1f, -0.4f,
+                                     1.1f, 0.0f, -0.9f, 0.5f, 1.7f,
+                                     -2.2f, 0.8f, 1.3f, -0.1f, 0.6f});
+  Rng rng(7);
+  std::vector<float> w_data(5 * 4);
+  for (float& v : w_data) {
+    v = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+  }
+  Tensor w = Tensor::FromData(5, 4, w_data);
+  Tensor bias = Tensor::FromData(1, 4, {0.1f, -0.2f, 0.3f, -0.4f});
+  Tensor composed = Relu(AddBias(MatMul(x, w), bias));
+  Tensor fused = LinearFused(x, w, bias, /*relu=*/true);
+  ASSERT_EQ(fused.rows(), composed.rows());
+  ASSERT_EQ(fused.cols(), composed.cols());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused.data()[i], composed.data()[i]) << "element " << i;
+  }
+  Tensor fused_linear = LinearFused(x, w, bias, /*relu=*/false);
+  Tensor composed_linear = AddBias(MatMul(x, w), bias);
+  for (size_t i = 0; i < fused_linear.size(); ++i) {
+    EXPECT_EQ(fused_linear.data()[i], composed_linear.data()[i])
+        << "element " << i;
+  }
+}
+
+TEST(AutogradTest, LinearFusedWeightGradient) {
+  Tensor w = Tensor::Parameter(3, 2, {0.4f, -0.3f, 0.2f, 0.6f, -0.5f, 0.1f});
+  Tensor x = Tensor::FromData(2, 3, {1, -2, 0.5f, 2, 1, -1});
+  Tensor bias = Tensor::FromData(1, 2, {0.3f, -0.2f});
+  Tensor target = Tensor::FromData(2, 1, {1.0f, -1.0f});
+  auto loss_fn = [&]() {
+    Tensor h = LinearFused(x, w, bias, /*relu=*/true);
+    Tensor col = MatMul(h, Tensor::FromData(2, 1, {1.0f, -1.0f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(AutogradTest, LinearFusedBiasGradient) {
+  // 0.3 keeps every pre-activation a safe margin away from the ReLU kink:
+  // the numeric gradient straddles z = 0 and diverges from the analytic
+  // one when a perturbation flips the unit's activation.
+  Tensor bias = Tensor::Parameter(1, 2, {0.3f, -0.15f});
+  Tensor x = Tensor::FromData(2, 3, {1, -2, 0.5f, 2, 1, -1});
+  Tensor w = Tensor::FromData(3, 2, {0.4f, -0.3f, 0.2f, 0.6f, -0.5f, 0.1f});
+  Tensor target = Tensor::FromData(2, 1, {1.0f, -1.0f});
+  auto loss_fn = [&]() {
+    Tensor h = LinearFused(x, w, bias, /*relu=*/true);
+    Tensor col = MatMul(h, Tensor::FromData(2, 1, {1.0f, 1.0f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(bias, loss_fn);
+}
+
+TEST(OpsTest, RowScatterAddToMatchesComposition) {
+  Tensor base = Tensor::FromData(3, 2, {1, 1, 2, 2, 3, 3});
+  Tensor x = Tensor::FromData(2, 2, {10, 10, 20, 20});
+  Tensor composed = Add(base, RowScatterAdd(x, {0, 2}, 3));
+  Tensor fused = RowScatterAddTo(base, x, {0, 2});
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused.data()[i], composed.data()[i]) << "element " << i;
+  }
+}
+
+TEST(AutogradTest, RowScatterAddToGradient) {
+  Tensor w = Tensor::Parameter(2, 2, {0.3f, -0.4f, 0.5f, 0.2f});
+  Tensor base = Tensor::FromData(3, 2, {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f});
+  Tensor target = Tensor::FromData(3, 1, {1.0f, 0.0f, -1.0f});
+  auto loss_fn = [&]() {
+    Tensor acc = RowScatterAddTo(base, w, {2, 0});
+    Tensor col = MatMul(acc, Tensor::FromData(2, 1, {1.0f, -1.0f}));
+    return MseLoss(col, target);
+  };
+  CheckGradients(w, loss_fn);
+}
+
+TEST(InferenceModeTest, ResultsAreDetached) {
+  Tensor w = Tensor::Parameter(3, 2, {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f});
+  Tensor bias = Tensor::FromData(1, 2, {0.1f, -0.1f});
+  Tensor x = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor attached = LinearFused(x, w, bias, /*relu=*/true);
+  EXPECT_TRUE(attached.requires_grad());
+  {
+    InferenceModeGuard inference;
+    EXPECT_TRUE(InInferenceMode());
+    Tensor detached = LinearFused(x, w, bias, /*relu=*/true);
+    EXPECT_FALSE(detached.requires_grad());
+    // Values are unaffected by the mode — only the graph is skipped.
+    for (size_t i = 0; i < detached.size(); ++i) {
+      EXPECT_EQ(detached.data()[i], attached.data()[i]);
+    }
+  }
+  EXPECT_FALSE(InInferenceMode());
+}
+
+TEST(InferenceModeTest, RowScatterAddToReusesBaseBuffer) {
+  InferenceModeGuard inference;
+  Tensor base = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  const float* buffer = base.data().data();
+  Tensor x = Tensor::FromData(1, 2, {10, 20});
+  Tensor out = RowScatterAddTo(std::move(base), x, {1});
+  // In-place contract: the accumulation happened in base's own buffer.
+  EXPECT_EQ(out.data().data(), buffer);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 13.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 24.0f);
+}
+
 }  // namespace
 }  // namespace zerodb::nn

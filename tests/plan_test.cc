@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "catalog/schema.h"
 #include "plan/expr.h"
+#include "plan/fingerprint.h"
 #include "plan/physical.h"
 #include "plan/query.h"
 #include "storage/database.h"
@@ -203,6 +206,108 @@ TEST(PhysicalPlanTest, OpNamesComplete) {
                "HashAggregate");
   EXPECT_STREQ(PhysicalOpName(PhysicalOpType::kSimpleAggregate),
                "SimpleAggregate");
+}
+
+std::unique_ptr<PhysicalNode> MakeJoinAggPlan() {
+  auto join = MakeHashJoin(MakeSeqScan("a", Predicate::Compare(1, CompareOp::kGt, 5)),
+                           MakeSeqScan("b", std::nullopt), 0, 1);
+  join->est_cardinality = 12.0;
+  join->est_cost = 48.0;
+  return MakeSimpleAggregate(std::move(join),
+                             {AggregateExpr{AggFunc::kCount, std::nullopt}});
+}
+
+TEST(FingerprintTest, DeterministicAndStableAcrossClone) {
+  auto plan = MakeJoinAggPlan();
+  const uint64_t fp = FingerprintPlan(*plan);
+  EXPECT_EQ(fp, FingerprintPlan(*plan));
+  auto clone = plan->Clone();
+  EXPECT_EQ(fp, FingerprintPlan(*clone));
+}
+
+TEST(FingerprintTest, DiffersOnStructureChange) {
+  auto plan = MakeJoinAggPlan();
+  const uint64_t fp = FingerprintPlan(*plan);
+
+  // Swap the join algorithm: same children, different operator kind.
+  auto nl_join = MakeNestedLoopJoin(
+      MakeSeqScan("a", Predicate::Compare(1, CompareOp::kGt, 5)),
+      MakeSeqScan("b", std::nullopt), 0, 1);
+  nl_join->est_cardinality = 12.0;
+  nl_join->est_cost = 48.0;
+  auto variant = MakeSimpleAggregate(
+      std::move(nl_join), {AggregateExpr{AggFunc::kCount, std::nullopt}});
+  EXPECT_NE(fp, FingerprintPlan(*variant));
+
+  // Drop the aggregate on top: different tree shape.
+  auto bare_join = MakeHashJoin(
+      MakeSeqScan("a", Predicate::Compare(1, CompareOp::kGt, 5)),
+      MakeSeqScan("b", std::nullopt), 0, 1);
+  bare_join->est_cardinality = 12.0;
+  bare_join->est_cost = 48.0;
+  EXPECT_NE(fp, FingerprintPlan(*bare_join));
+}
+
+TEST(FingerprintTest, DiffersOnPredicateAndTableChange) {
+  auto scan = MakeSeqScan("a", Predicate::Compare(1, CompareOp::kGt, 5));
+  const uint64_t fp = FingerprintPlan(*scan);
+
+  auto other_literal = MakeSeqScan("a", Predicate::Compare(1, CompareOp::kGt, 6));
+  EXPECT_NE(fp, FingerprintPlan(*other_literal));
+
+  auto other_op = MakeSeqScan("a", Predicate::Compare(1, CompareOp::kGe, 5));
+  EXPECT_NE(fp, FingerprintPlan(*other_op));
+
+  auto other_table = MakeSeqScan("b", Predicate::Compare(1, CompareOp::kGt, 5));
+  EXPECT_NE(fp, FingerprintPlan(*other_table));
+
+  auto no_predicate = MakeSeqScan("a", std::nullopt);
+  EXPECT_NE(fp, FingerprintPlan(*no_predicate));
+}
+
+TEST(FingerprintTest, DiffersOnAnnotationChange) {
+  auto plan = MakeJoinAggPlan();
+  const uint64_t fp = FingerprintPlan(*plan);
+  auto clone = plan->Clone();
+  clone->children[0]->est_cardinality += 1.0;
+  EXPECT_NE(fp, FingerprintPlan(*clone));
+
+  auto clone2 = plan->Clone();
+  clone2->children[0]->true_cardinality = 11.0;
+  EXPECT_NE(fp, FingerprintPlan(*clone2));
+}
+
+TEST(FingerprintTest, NullPlanHashesToSentinel) {
+  PhysicalPlan empty;
+  PhysicalPlan also_empty;
+  EXPECT_EQ(FingerprintPlan(empty), FingerprintPlan(also_empty));
+
+  PhysicalPlan real;
+  real.root = MakeSeqScan("a", std::nullopt);
+  EXPECT_NE(FingerprintPlan(real), FingerprintPlan(empty));
+  EXPECT_EQ(FingerprintPlan(real), FingerprintPlan(*real.root));
+}
+
+TEST(FingerprintTest, CombineIsOrderSensitive) {
+  const uint64_t base = FingerprintString("db");
+  const uint64_t ab = FingerprintCombine(FingerprintCombine(base, 1), 2);
+  const uint64_t ba = FingerprintCombine(FingerprintCombine(base, 2), 1);
+  EXPECT_NE(ab, ba);
+  EXPECT_NE(FingerprintCombine(base, 1), base);
+  EXPECT_NE(FingerprintString("db"), FingerprintString("db2"));
+}
+
+TEST(PhysicalPlanTest, ComputeOutputWidthsMatchesPerNodeCalls) {
+  storage::Database db = MakeDb();
+  auto plan = MakeJoinAggPlan();
+  std::unordered_map<const PhysicalNode*, int64_t> widths;
+  plan->ComputeOutputWidths(db, &widths);
+  EXPECT_EQ(widths.size(), plan->SubtreeSize());
+  plan->Visit([&](const PhysicalNode& node) {
+    auto it = widths.find(&node);
+    ASSERT_NE(it, widths.end());
+    EXPECT_EQ(it->second, node.OutputWidthBytes(db));
+  });
 }
 
 }  // namespace

@@ -160,5 +160,73 @@ TEST_F(ZeroShotTest, ExactModeRejectsEstimateQuery) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(ZeroShotTest, BatchedForwardMatchesSerial) {
+  // The batched serving path must be a pure packing optimization: pricing a
+  // workload in one ForwardBatch call and pricing each record alone must
+  // agree. Per-row accumulation order is independent of batch composition,
+  // so the tolerance is tight.
+  auto queries = workload::MakeBenchmark(workload::BenchmarkWorkload::kSynthetic,
+                                         *imdb_, 100, 9);
+  auto eval = train::CollectRecords(*imdb_, queries, train::CollectOptions());
+  ASSERT_GE(eval.size(), 60u);
+  auto view = train::MakeView(eval);
+  auto batched = estimator_->model().ForwardBatch(view);
+  ASSERT_EQ(batched.size(), view.size());
+  for (size_t i = 0; i < view.size(); ++i) {
+    auto serial = estimator_->model().ForwardBatch({view[i]});
+    ASSERT_EQ(serial.size(), 1u);
+    EXPECT_NEAR(batched[i].value(), serial[0].value(), 1e-5)
+        << "record " << i;
+  }
+}
+
+TEST_F(ZeroShotTest, PredictionCacheHitsAndInvalidation) {
+  const PredictCache* cache = estimator_->predict_cache();
+  ASSERT_NE(cache, nullptr);
+  workload::QueryGenerator generator(
+      imdb_, workload::TrainingWorkloadConfig(), 29);
+  plan::QuerySpec query = generator.Next();
+
+  // Counters are cumulative across the shared fixture, so assert on deltas.
+  auto first = estimator_->EstimateQueryMs(*imdb_, query);
+  ASSERT_TRUE(first.ok());
+  const int64_t hits_before = cache->hits();
+  auto second = estimator_->EstimateQueryMs(*imdb_, query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache->hits(), hits_before + 1);
+  EXPECT_DOUBLE_EQ(second->value(), first->value());
+
+  const int64_t invalidations_before = cache->invalidations();
+  estimator_->InvalidatePredictionCache();
+  EXPECT_EQ(cache->invalidations(), invalidations_before + 1);
+  EXPECT_EQ(cache->size(), 0u);
+
+  // After invalidation the same query misses, recomputes, and lands on the
+  // same value (the weights have not changed).
+  const int64_t misses_before = cache->misses();
+  auto third = estimator_->EstimateQueryMs(*imdb_, query);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(cache->misses(), misses_before + 1);
+  EXPECT_DOUBLE_EQ(third->value(), first->value());
+}
+
+TEST_F(ZeroShotTest, BatchEstimateMatchesSerialEstimate) {
+  workload::QueryGenerator generator(
+      imdb_, workload::TrainingWorkloadConfig(), 31);
+  std::vector<plan::QuerySpec> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(generator.Next());
+  auto batch = estimator_->EstimateQueryBatchMs(*imdb_, queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  // Drop the entries the batch call just cached so the serial path below
+  // recomputes through the model instead of trivially replaying the cache.
+  estimator_->InvalidatePredictionCache();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << "query " << i;
+    auto serial = estimator_->EstimateQueryMs(*imdb_, queries[i]);
+    ASSERT_TRUE(serial.ok()) << "query " << i;
+    EXPECT_NEAR(batch[i]->value(), serial->value(), 1e-5) << "query " << i;
+  }
+}
+
 }  // namespace
 }  // namespace zerodb::zeroshot
