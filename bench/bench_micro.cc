@@ -6,10 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 
 #include "bench_common.h"
 #include "common/logging.h"
 #include "datagen/corpus.h"
+#include "nn/arena.h"
 #include "nn/optimizer.h"
 #include "featurize/zeroshot_featurizer.h"
 #include "models/zeroshot_model.h"
@@ -327,6 +330,109 @@ BENCHMARK(BM_ExecutorMetricsOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2);
+
+// Whole-training-path throughput: epochs over the 128-record workload with
+// the pooled-memory arena, the graph-structure cache and the fused backward
+// in play. plans_per_sec is the headline number (plans trained per second of
+// process CPU time); allocs_per_batch counts nn-layer heap events (node
+// make_shared fallbacks + buffer-pool misses) per minibatch shard-sweep and
+// should sit near zero at steady state — the pre-PR fresh-allocation path
+// paid hundreds per batch. Batches are counted with the injectable arena
+// stats hook (one GraphArena::Reset per shard).
+std::atomic<int64_t> g_arena_resets{0};
+
+void BM_TrainEpoch(benchmark::State& state) {
+  MicroState& micro = State();
+  auto view = train::MakeView(micro.records);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const bool pooled = state.range(1) != 0;
+  nn::InstallArenaStatsHook(
+      [](const nn::ArenaStats&) { g_arena_resets.fetch_add(1); });
+  g_arena_resets = 0;
+  const nn::AutodiffAllocCounters before = nn::GlobalAllocCounters();
+  const size_t kEpochs = 4;
+  for (auto _ : state) {
+    models::ZeroShotCostModel::Options options;
+    options.hidden_dim = 64;
+    models::ZeroShotCostModel model(options);
+    train::TrainerOptions trainer;
+    trainer.max_epochs = kEpochs;
+    trainer.early_stop_patience = 1000;
+    trainer.validation_fraction = 0.0;
+    trainer.num_threads = threads;
+    trainer.pooled_memory = pooled;
+    train::TrainResult result = train::TrainModel(&model, view, trainer);
+    benchmark::DoNotOptimize(result.final_train_loss);
+  }
+  const nn::AutodiffAllocCounters after = nn::GlobalAllocCounters();
+  nn::InstallArenaStatsHook(nullptr);
+  const double allocs = static_cast<double>(
+      (after.heap_nodes - before.heap_nodes) +
+      (after.pool_misses - before.pool_misses));
+  // One arena Reset per shard; a batch is a sweep over its shards. The
+  // fresh-allocation variant never resets an arena, so fall back to the
+  // analytic batch count (iterations x epochs x batches per epoch).
+  const double shards_per_batch =
+      std::ceil(32.0 / 8.0);  // batch_size / kShardRecords
+  double batches = static_cast<double>(g_arena_resets.load()) /
+                   std::max(1.0, shards_per_batch);
+  if (batches <= 0) {
+    batches = static_cast<double>(state.iterations()) * kEpochs *
+              std::ceil(static_cast<double>(view.size()) / 32.0);
+  }
+  state.counters["allocs_per_batch"] = benchmark::Counter(allocs / batches);
+  state.counters["plans_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * view.size() * kEpochs),
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(view.size() * kEpochs));
+}
+BENCHMARK(BM_TrainEpoch)
+    ->ArgNames({"threads", "pooled"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({1, 0})  // fresh-allocation reference: allocs_per_batch contrast
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// The fused Linear backward (single pass: relu mask, dX, dW, dB) across
+// batch sizes, under a per-iteration arena epoch — the inner loop of every
+// training step, isolated from featurization and the optimizer.
+void BM_BackwardFused(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t dim = 64;
+  Rng rng(17);
+  std::vector<float> input(batch * dim);
+  for (float& v : input) v = static_cast<float>(rng.UniformDouble(-1, 1));
+  std::vector<float> weights(dim * dim);
+  for (float& v : weights) v = static_cast<float>(rng.UniformDouble(-0.2, 0.2));
+  nn::Tensor w = nn::Tensor::Parameter(dim, dim, weights);
+  nn::Tensor b = nn::Tensor::Parameter(1, dim, std::vector<float>(dim, 0.1f));
+  nn::Tensor v = nn::Tensor::Parameter(dim, 1, std::vector<float>(dim, 0.2f));
+  nn::GraphArena arena;
+  for (auto _ : state) {
+    nn::ArenaGuard guard(&arena);
+    {
+      nn::Tensor x = nn::Tensor::FromData(batch, dim, input);
+      nn::Tensor h = nn::LinearFused(x, w, b, /*fuse_relu=*/true);
+      nn::Tensor loss =
+          nn::MseLoss(nn::MatMul(h, v), nn::Tensor::Zeros(batch, 1));
+      loss.Backward();
+      benchmark::DoNotOptimize(w.grad().data());
+    }
+    w.ZeroGrad();
+    b.ZeroGrad();
+    v.ZeroGrad();
+    arena.Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_BackwardFused)
+    ->ArgName("batch")
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128);
 
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -11,11 +11,11 @@ Inputs
   --out <path>         where to write the summary (default BENCH_micro.json)
   --commit <sha>       recorded verbatim (default $GITHUB_SHA, else "local")
 
-Output schema (schema_version 3), validated before writing — an invalid
+Output schema (schema_version 4), validated before writing — an invalid
 summary exits non-zero so CI fails instead of uploading garbage:
 
   {
-    "schema_version": 3,
+    "schema_version": 4,
     "commit": str,
     "host": {"threads": int},
     "benchmarks": [
@@ -29,6 +29,16 @@ summary exits non-zero so CI fails instead of uploading garbage:
     "forward_batch": {               # batched-inference throughput, from
       "plans_per_sec": {str: float}, # BM_ForwardBatch/batch:N real_time
       "speedup_32v1": float | None   # plans/sec at batch 32 over batch 1
+    },
+    "train": {                       # training-path throughput, from the
+      "plans_per_sec": {str: float}, # BM_TrainEpoch/threads:N/pooled:1
+                                     # user counters (plans trained per
+                                     # second of process CPU time)
+      "allocs_per_batch": {          # nn-layer heap events per minibatch
+        "pooled": float | None,      # arena path (threads:1/pooled:1)
+        "fresh": float | None        # fresh-allocation path (pooled:0)
+      },
+      "alloc_reduction": float | None  # fresh / pooled
     },
     "cache": {str: {                 # prediction cache, per metrics artifact
       "hits": int, "misses": int, "evictions": int, "invalidations": int,
@@ -55,7 +65,7 @@ import re
 import statistics
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
@@ -166,6 +176,44 @@ def find_forward_batch(benchmarks):
             and plans_per_sec["1"] > 0:
         speedup = plans_per_sec["32"] / plans_per_sec["1"]
     return {"plans_per_sec": plans_per_sec, "speedup_32v1": speedup}
+
+
+def find_train(micro):
+    """Training-path throughput from BM_TrainEpoch's user counters, read
+    from the raw google-benchmark entries (summarize_micro keeps only the
+    timing triple). plans_per_sec comes from the pooled rows per thread
+    count; allocs_per_batch contrasts the threads:1 pooled row against the
+    threads:1 fresh-allocation (pooled:0) reference row."""
+    entries = micro.get("benchmarks") if isinstance(micro, dict) else None
+    if not isinstance(entries, list):
+        entries = []
+    pattern = re.compile(
+        r"^BM_TrainEpoch/threads:(?P<threads>\d+)/pooled:(?P<pooled>\d+)")
+    plans_per_sec = {}
+    allocs = {"pooled": None, "fresh": None}
+    for entry in entries:
+        if not isinstance(entry, dict) or entry.get("run_type") == "aggregate":
+            continue
+        match = pattern.match(entry.get("name") or "")
+        if not match:
+            continue
+        threads = match.group("threads")
+        pooled = match.group("pooled") != "0"
+        pps = entry.get("plans_per_sec")
+        if pooled and isinstance(pps, (int, float)) and pps > 0:
+            plans_per_sec[threads] = float(pps)
+        if threads == "1":
+            apb = entry.get("allocs_per_batch")
+            if isinstance(apb, (int, float)) and apb >= 0:
+                allocs["pooled" if pooled else "fresh"] = float(apb)
+    reduction = None
+    if allocs["pooled"] and allocs["fresh"]:
+        reduction = allocs["fresh"] / allocs["pooled"]
+    return {
+        "plans_per_sec": plans_per_sec,
+        "allocs_per_batch": allocs,
+        "alloc_reduction": reduction,
+    }
 
 
 def extract_cache_stats(artifact):
@@ -311,6 +359,30 @@ def validate(summary):
         speedup is None or (isinstance(speedup, (int, float)) and speedup > 0),
         "forward_batch.speedup_32v1",
     )
+    train = summary.get("train")
+    expect(isinstance(train, dict), "train must be a dict")
+    train_throughput = train.get("plans_per_sec")
+    expect(isinstance(train_throughput, dict), "train.plans_per_sec")
+    for threads, value in train_throughput.items():
+        expect(
+            isinstance(threads, str) and threads.isdigit()
+            and isinstance(value, (int, float)) and value > 0,
+            f"train.plans_per_sec[{threads!r}]",
+        )
+    train_allocs = train.get("allocs_per_batch")
+    expect(isinstance(train_allocs, dict), "train.allocs_per_batch")
+    for key in ("pooled", "fresh"):
+        value = train_allocs.get(key)
+        expect(
+            value is None or (isinstance(value, (int, float)) and value >= 0),
+            f"train.allocs_per_batch.{key}",
+        )
+    reduction = train.get("alloc_reduction")
+    expect(
+        reduction is None
+        or (isinstance(reduction, (int, float)) and reduction > 0),
+        "train.alloc_reduction",
+    )
     expect(isinstance(summary.get("cache"), dict), "cache must be a dict")
     for name, stats in summary["cache"].items():
         for key in ("hits", "misses", "evictions", "invalidations"):
@@ -364,7 +436,8 @@ def main():
     )
     args = parser.parse_args()
 
-    benchmarks = summarize_micro(load_json(args.micro))
+    micro = load_json(args.micro)
+    benchmarks = summarize_micro(micro)
     artifacts = {
         name: load_json(path)
         for name, path in parse_pairs(args.metrics, str, "--metrics").items()
@@ -390,6 +463,7 @@ def main():
         "benchmarks": benchmarks,
         "speedups": find_speedups(benchmarks),
         "forward_batch": find_forward_batch(benchmarks),
+        "train": find_train(micro),
         "cache": cache,
         "wall_clock_s": parse_pairs(args.wall, float, "--wall"),
         "pool": pool,
@@ -413,6 +487,19 @@ def main():
             f"bench_summary: forward batch: {per_sec['1']:.0f} plans/s "
             f"serial vs {per_sec['32']:.0f} plans/s at batch 32 "
             f"({batch_speedup:.2f}x)"
+        )
+    train = summary["train"]
+    if train["plans_per_sec"]:
+        rates = ", ".join(
+            f"{value:.0f} plans/s at {threads} thread(s)"
+            for threads, value in sorted(train["plans_per_sec"].items())
+        )
+        reduction = train["alloc_reduction"]
+        print(
+            f"bench_summary: train: {rates}; allocs/batch "
+            f"pooled={train['allocs_per_batch']['pooled']} "
+            f"fresh={train['allocs_per_batch']['fresh']} "
+            f"({f'{reduction:.1f}x fewer' if reduction else 'n/a'})"
         )
     for name, stats in summary["cache"].items():
         rate = stats["hit_rate"]

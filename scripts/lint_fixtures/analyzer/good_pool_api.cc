@@ -1,0 +1,35 @@
+// Fixture: hot-alloc pool-API allow-list — the arena/buffer-pool
+// implementation allocates by design (slab growth, bucket miss); it is
+// exempt by qualified name so the pool sources carry no inline
+// suppressions. (bad_hot_alloc.cc pins that non-pool callees on the same
+// kind of hot path are still flagged.)
+// analyzer-fixture: module(train)
+namespace zerodb {
+
+struct GraphArena {
+  void* NewNode();
+  std::vector<char*> slabs_;
+};
+
+void* GraphArena::NewNode() {
+  char* slab = new char[4096];  // pool slow path: exempt by allow-list
+  slabs_.push_back(slab);       // exempt by allow-list
+  return slab;
+}
+
+void AcquirePooledFloats(std::vector<std::vector<float>>* pool) {
+  pool->push_back(std::vector<float>(8));  // exempt by allow-list
+}
+
+void RunShard(const std::vector<double>& batch, GraphArena* arena,
+              std::vector<std::vector<float>>* pool,
+              std::vector<double>* out) {
+  out->reserve(batch.size());
+  for (double v : batch) {
+    arena->NewNode();
+    AcquirePooledFloats(pool);
+    out->push_back(v);
+  }
+}
+
+}  // namespace zerodb

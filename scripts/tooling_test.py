@@ -139,7 +139,7 @@ def test_bench_summary(tmp):
         summary = json.load(f)
     check("bench_summary happy path",
           result.returncode == 0
-          and summary["schema_version"] == 3
+          and summary["schema_version"] == 4
           and summary["benchmarks"][0]["name"] == "BM_X")
 
     # Schema v3: BM_ForwardBatch series fold into plans/sec + the 32-vs-1
@@ -168,6 +168,36 @@ def test_bench_summary(tmp):
           summary["cache"]["micro"]["hits"] == 30
           and summary["cache"]["micro"]["evictions"] == 2
           and abs(summary["cache"]["micro"]["hit_rate"] - 0.75) < 1e-9)
+    # Schema v4: BM_TrainEpoch user counters fold into the train section —
+    # plans/sec per thread count from the pooled rows, allocs/batch from the
+    # threads:1 pooled-vs-fresh pair.
+    train_micro = write(tmp, "train.json", json.dumps({"benchmarks": [
+        {"name": "BM_TrainEpoch/threads:1/pooled:1/process_time/real_time",
+         "real_time": 40.0, "cpu_time": 40.0, "iterations": 5,
+         "time_unit": "ms", "plans_per_sec": 12800.0,
+         "allocs_per_batch": 25.0},
+        {"name": "BM_TrainEpoch/threads:4/pooled:1/process_time/real_time",
+         "real_time": 42.0, "cpu_time": 42.0, "iterations": 5,
+         "time_unit": "ms", "plans_per_sec": 12000.0,
+         "allocs_per_batch": 30.0},
+        {"name": "BM_TrainEpoch/threads:1/pooled:0/process_time/real_time",
+         "real_time": 44.0, "cpu_time": 44.0, "iterations": 5,
+         "time_unit": "ms", "plans_per_sec": 11000.0,
+         "allocs_per_batch": 500.0}]}))
+    result = run_script("bench_summary.py", "--micro", train_micro,
+                        "--out", out)
+    with open(out, encoding="utf-8") as f:
+        summary = json.load(f)
+    train = summary["train"]
+    check("bench_summary train section",
+          result.returncode == 0
+          and round(train["plans_per_sec"]["1"]) == 12800
+          and round(train["plans_per_sec"]["4"]) == 12000
+          and train["allocs_per_batch"]["pooled"] == 25.0
+          and train["allocs_per_batch"]["fresh"] == 500.0
+          and abs(train["alloc_reduction"] - 20.0) < 1e-9,
+          (result.stdout + result.stderr).strip()[:300])
+
     no_cache = write(tmp, "no_cache_metrics.json", json.dumps({
         "metrics": {"counters": {"pool.tasks_run": 4}}}))
     result = run_script("bench_summary.py", "--micro", batched,

@@ -6,9 +6,11 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "featurize/parallel.h"
+#include "nn/arena.h"
 #include "nn/ops.h"
 #include "nn/validate.h"
 #include "nn/serialize.h"
+#include "plan/fingerprint.h"
 
 namespace zerodb::models {
 
@@ -23,6 +25,15 @@ nn::MlpConfig MakeMlpConfig(size_t in, size_t hidden, size_t out,
   config.hidden_activation = nn::Activation::kRelu;
   config.dropout = dropout;
   return config;
+}
+
+// Copies scratch indices into a pooled buffer the op can consume by value.
+// Under a trainer arena the buffer recycles on Reset; otherwise it is a
+// plain heap vector, as before.
+std::vector<uint32_t> PooledIndexCopy(const std::vector<uint32_t>& src) {
+  std::vector<uint32_t> out = nn::AcquirePooledIndices(src.size());
+  std::copy(src.begin(), src.end(), out.begin());
+  return out;
 }
 
 }  // namespace
@@ -85,6 +96,7 @@ Status TreeMessagePassingModel::LoadWeights(const std::string& path) {
   ZDB_RETURN_NOT_OK(nn::LoadParameters(tensors, path));
   feature_norm_.Set(feature_mean.data(), feature_std.data());
   target_norm_.Set(target.data()[0], target.data()[1]);
+  InvalidateGraphCache();
   return Status::OK();
 }
 
@@ -99,6 +111,7 @@ void TreeMessagePassingModel::CopyTreeStateFrom(
   }
   feature_norm_ = other.feature_norm_;
   target_norm_ = other.target_norm_;
+  InvalidateGraphCache();
 }
 
 void TreeMessagePassingModel::Prepare(
@@ -124,6 +137,7 @@ void TreeMessagePassingModel::Prepare(
     log_runtimes.push_back(Millis(record->runtime_ms).ToLog());
   }
   target_norm_.Fit(log_runtimes);
+  InvalidateGraphCache();
 }
 
 featurize::PlanGraph TreeMessagePassingModel::FeaturizeNormalized(
@@ -135,77 +149,106 @@ featurize::PlanGraph TreeMessagePassingModel::FeaturizeNormalized(
   return graph;
 }
 
+void TreeMessagePassingModel::InvalidateGraphCache() {
+  graph_cache_.clear();
+  overflow_graphs_.clear();
+}
+
+const featurize::PlanGraph* TreeMessagePassingModel::FeaturizeNormalizedCached(
+    const QueryRecord& record) {
+  if (config_.graph_cache_capacity > 0) {
+    const uint64_t key = plan::FingerprintCombine(
+        plan::FingerprintPlan(record.plan),
+        plan::FingerprintString(record.db_name));
+    auto it = graph_cache_.find(key);
+    if (it != graph_cache_.end()) return &it->second;
+    if (graph_cache_.size() < config_.graph_cache_capacity) {
+      auto inserted = graph_cache_.emplace(key, FeaturizeNormalized(record));
+      return &inserted.first->second;
+    }
+  }
+  // Cache disabled or full: featurize into per-batch overflow storage.
+  overflow_graphs_.push_back(FeaturizeNormalized(record));
+  return &overflow_graphs_.back();
+}
+
 nn::Tensor TreeMessagePassingModel::Forward(
-    const std::vector<featurize::PlanGraph>& graphs, bool training, Rng* rng) {
+    const std::vector<const featurize::PlanGraph*>& graphs, bool training,
+    Rng* rng) {
   ZDB_CHECK(!graphs.empty());
   const size_t hidden = config_.hidden_dim;
 
-  // Flatten all nodes into one global table.
-  struct GlobalNode {
-    size_t encoder = 0;
-    size_t level = 0;
-    const std::vector<float>* features = nullptr;
-    std::vector<uint32_t> children;  // global ids
-  };
-  std::vector<GlobalNode> nodes;
-  std::vector<uint32_t> root_ids;
+  // Flatten all nodes into one global table — parallel arrays plus a CSR
+  // children list instead of per-node vectors, so the flattening costs zero
+  // allocations once the scratch capacities warm up.
+  ForwardScratch& s = scratch_;
+  s.encoder_of.clear();
+  s.level_of.clear();
+  s.features_of.clear();
+  s.children_flat.clear();
+  s.child_offsets.clear();
+  std::vector<uint32_t> root_ids = nn::AcquirePooledIndices(graphs.size());
   size_t max_level = 0;
-  for (const featurize::PlanGraph& graph : graphs) {
-    const uint32_t base = static_cast<uint32_t>(nodes.size());
-    root_ids.push_back(base + static_cast<uint32_t>(graph.root()));
+  s.child_offsets.push_back(0);
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    const featurize::PlanGraph& graph = *graphs[g];
+    const uint32_t base = static_cast<uint32_t>(s.encoder_of.size());
+    root_ids[g] = base + static_cast<uint32_t>(graph.root());
     for (const featurize::PlanGraphNode& node : graph.nodes) {
-      GlobalNode global;
-      global.encoder = EncoderIdFor(node.op_type);
-      global.level = node.level;
-      global.features = &node.features;
+      s.encoder_of.push_back(static_cast<uint32_t>(EncoderIdFor(node.op_type)));
+      s.level_of.push_back(static_cast<uint32_t>(node.level));
+      s.features_of.push_back(&node.features);
       for (size_t child : node.children) {
-        global.children.push_back(base + static_cast<uint32_t>(child));
+        s.children_flat.push_back(base + static_cast<uint32_t>(child));
       }
+      s.child_offsets.push_back(static_cast<uint32_t>(s.children_flat.size()));
       max_level = std::max(max_level, node.level);
-      nodes.push_back(std::move(global));
     }
   }
-  const size_t total_nodes = nodes.size();
+  const size_t total_nodes = s.encoder_of.size();
 
   // Encode all nodes, grouped by encoder type, scattered back into a
   // (total_nodes, hidden) matrix.
   nn::Tensor encodings = nn::Tensor::Zeros(total_nodes, hidden);
   for (size_t e = 0; e < config_.num_encoders; ++e) {
-    std::vector<float> features;
-    std::vector<uint32_t> positions;
+    s.positions.clear();
+    s.features.clear();
     for (size_t n = 0; n < total_nodes; ++n) {
-      if (nodes[n].encoder != e) continue;
-      positions.push_back(static_cast<uint32_t>(n));
-      features.insert(features.end(), nodes[n].features->begin(),
-                      nodes[n].features->end());
+      if (s.encoder_of[n] != e) continue;
+      s.positions.push_back(static_cast<uint32_t>(n));
+      s.features.insert(s.features.end(), s.features_of[n]->begin(),
+                        s.features_of[n]->end());
     }
-    if (positions.empty()) continue;
+    if (s.positions.empty()) continue;
+    std::vector<float> packed = nn::AcquirePooledFloats(s.features.size());
+    std::copy(s.features.begin(), s.features.end(), packed.begin());
     nn::Tensor input = nn::Tensor::FromData(
-        positions.size(), config_.feature_dim, std::move(features));
+        s.positions.size(), config_.feature_dim, std::move(packed));
     nn::Tensor encoded = encoders_[e].Forward(input, training, rng);
-    encodings =
-        nn::RowScatterAddTo(std::move(encodings), encoded, std::move(positions));
+    encodings = nn::RowScatterAddTo(std::move(encodings), encoded,
+                                    PooledIndexCopy(s.positions));
   }
 
   // Bottom-up message passing by level. `hidden_states` accumulates each
   // level's rows at their global positions.
   nn::Tensor hidden_states = nn::Tensor::Zeros(total_nodes, hidden);
   for (size_t level = 0; level <= max_level; ++level) {
-    std::vector<uint32_t> level_ids;
-    std::vector<uint32_t> child_ids;
-    std::vector<uint32_t> child_parents;  // local index within level
+    s.level_ids.clear();
+    s.child_ids.clear();
+    s.child_parents.clear();  // local index within level
     for (size_t n = 0; n < total_nodes; ++n) {
-      if (nodes[n].level != level) continue;
-      const uint32_t local = static_cast<uint32_t>(level_ids.size());
-      level_ids.push_back(static_cast<uint32_t>(n));
-      for (uint32_t child : nodes[n].children) {
-        child_ids.push_back(child);
-        child_parents.push_back(local);
+      if (s.level_of[n] != level) continue;
+      const uint32_t local = static_cast<uint32_t>(s.level_ids.size());
+      s.level_ids.push_back(static_cast<uint32_t>(n));
+      for (uint32_t c = s.child_offsets[n]; c < s.child_offsets[n + 1]; ++c) {
+        s.child_ids.push_back(s.children_flat[c]);
+        s.child_parents.push_back(local);
       }
     }
-    if (level_ids.empty()) continue;
+    if (s.level_ids.empty()) continue;
 
-    nn::Tensor level_encodings = nn::RowGather(encodings, level_ids);
+    nn::Tensor level_encodings =
+        nn::RowGather(encodings, PooledIndexCopy(s.level_ids));
     nn::Tensor level_hidden;
     if (level == 0) {
       // Leaves: the initial hidden state is the node encoding.
@@ -214,21 +257,22 @@ nn::Tensor TreeMessagePassingModel::Forward(
       // DeepSets: sum the children's hidden states, then combine with the
       // parent encoding through the combine MLP.
       nn::Tensor child_sum;
-      if (child_ids.empty()) {
-        child_sum = nn::Tensor::Zeros(level_ids.size(), hidden);
+      if (s.child_ids.empty()) {
+        child_sum = nn::Tensor::Zeros(s.level_ids.size(), hidden);
       } else {
-        child_sum = nn::RowScatterAdd(nn::RowGather(hidden_states, child_ids),
-                                      child_parents, level_ids.size());
+        child_sum = nn::RowScatterAdd(
+            nn::RowGather(hidden_states, PooledIndexCopy(s.child_ids)),
+            PooledIndexCopy(s.child_parents), s.level_ids.size());
       }
       level_hidden = combine_.Forward(
           nn::ConcatCols({level_encodings, child_sum}), training, rng);
     }
     hidden_states = nn::RowScatterAddTo(std::move(hidden_states), level_hidden,
-                                        std::move(level_ids));
+                                        PooledIndexCopy(s.level_ids));
   }
 
   // Root readout.
-  nn::Tensor roots = nn::RowGather(hidden_states, root_ids);
+  nn::Tensor roots = nn::RowGather(hidden_states, std::move(root_ids));
   nn::Tensor predictions = readout_.Forward(roots, training, rng);
   ZDB_DCHECK_OK(
       nn::ValidateShape(predictions, graphs.size(), 1, "tree model readout"));
@@ -240,19 +284,17 @@ nn::Tensor TreeMessagePassingModel::LossOnBatch(
     const std::vector<const QueryRecord*>& batch, bool training,
     Rng* rng) {
   ZDB_CHECK(!batch.empty());
-  std::vector<featurize::PlanGraph> graphs;
-  graphs.reserve(batch.size());
-  std::vector<float> targets;
-  targets.reserve(batch.size());
-  for (const QueryRecord* record : batch) {
-    graphs.push_back(FeaturizeNormalized(*record));
-    targets.push_back(static_cast<float>(target_norm_.Normalize(
-        Millis(record->runtime_ms).ToLog())));
+  overflow_graphs_.clear();
+  scratch_.batch_graphs.clear();
+  std::vector<float> targets = nn::AcquirePooledFloats(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    scratch_.batch_graphs.push_back(FeaturizeNormalizedCached(*batch[i]));
+    targets[i] = static_cast<float>(target_norm_.Normalize(
+        Millis(batch[i]->runtime_ms).ToLog()));
   }
-  nn::Tensor predictions = Forward(graphs, training, rng);
-  const size_t batch_size = targets.size();
+  nn::Tensor predictions = Forward(scratch_.batch_graphs, training, rng);
   nn::Tensor target_tensor =
-      nn::Tensor::FromData(batch_size, 1, std::move(targets));
+      nn::Tensor::FromData(batch.size(), 1, std::move(targets));
   return nn::HuberLoss(predictions, target_tensor, 1.0f);
 }
 
@@ -268,11 +310,14 @@ std::vector<Millis> TreeMessagePassingModel::ForwardBatch(
   std::vector<featurize::PlanGraph> graphs = featurize::FeaturizeAll(
       records.size(),
       [&](size_t i) { return FeaturizeNormalized(*records[i]); });
+  std::vector<const featurize::PlanGraph*> graph_ptrs;
+  graph_ptrs.reserve(graphs.size());
+  for (const featurize::PlanGraph& graph : graphs) graph_ptrs.push_back(&graph);
   // Inference mode: the forward pass builds no autodiff graph (no parent
-  // edges, no backward closures), which is most of the per-op cost at small
+  // edges, no backward contexts), which is most of the per-op cost at small
   // batch sizes and lets intermediates free as soon as they are consumed.
   nn::InferenceModeGuard inference;
-  nn::Tensor predictions = Forward(graphs, /*training=*/false, nullptr);
+  nn::Tensor predictions = Forward(graph_ptrs, /*training=*/false, nullptr);
   std::vector<Millis> out;
   out.reserve(records.size());
   for (size_t i = 0; i < records.size(); ++i) {

@@ -1,9 +1,11 @@
 #ifndef ZERODB_MODELS_TREE_MODEL_H_
 #define ZERODB_MODELS_TREE_MODEL_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "featurize/normalization.h"
@@ -23,6 +25,14 @@ struct TreeModelConfig {
   size_t readout_layers = 2;   ///< hidden layers in the readout MLP
   float dropout = 0.0f;
   uint64_t init_seed = 1;
+  /// Training-path cache of normalized plan graphs, keyed by plan
+  /// fingerprint + database name: plans recur every epoch, and featurizing
+  /// them is the dominant per-batch rebuild cost. 0 disables. The cache is
+  /// per-model-instance (each trainer replica fills its own), consulted only
+  /// from the serial LossOnBatch path, and cleared whenever normalization
+  /// changes — featurization is deterministic, so cached and fresh graphs
+  /// are identical and the loss history does not depend on cache state.
+  size_t graph_cache_capacity = 8192;
 };
 
 /// The paper's model architecture (Section 3.1): encode each plan node with
@@ -74,11 +84,22 @@ class TreeMessagePassingModel : public NeuralCostModel {
  private:
   /// Batched forward pass over the graphs; returns (B, 1) normalized
   /// log-runtime predictions.
-  nn::Tensor Forward(const std::vector<featurize::PlanGraph>& graphs,
+  nn::Tensor Forward(const std::vector<const featurize::PlanGraph*>& graphs,
                      bool training, Rng* rng);
 
   featurize::PlanGraph FeaturizeNormalized(
       const QueryRecord& record) const;
+
+  /// Training-path featurization through the graph cache (see
+  /// TreeModelConfig::graph_cache_capacity). The returned pointer is valid
+  /// until the next Prepare/LoadWeights/CopyTreeStateFrom (cached graphs) or
+  /// the next LossOnBatch (overflow graphs). Not thread-safe; only the
+  /// serial LossOnBatch path uses it.
+  const featurize::PlanGraph* FeaturizeNormalizedCached(
+      const QueryRecord& record);
+
+  /// Drops every cached graph; called whenever normalization state changes.
+  void InvalidateGraphCache();
 
   TreeModelConfig config_;
   std::vector<nn::Mlp> encoders_;
@@ -86,6 +107,31 @@ class TreeMessagePassingModel : public NeuralCostModel {
   nn::Mlp readout_;
   featurize::FeatureNorm feature_norm_;
   featurize::TargetNorm target_norm_;
+
+  /// key = FingerprintCombine(FingerprintPlan(plan), db name). Values are
+  /// stable across inserts (node-based map), so Forward can hold pointers.
+  std::unordered_map<uint64_t, featurize::PlanGraph> graph_cache_;
+  /// Graphs featurized when the cache is full or disabled; cleared per
+  /// batch. Deque: growth must not move earlier elements mid-batch.
+  std::deque<featurize::PlanGraph> overflow_graphs_;
+
+  /// Reused per-batch scratch (capacities reach steady state after the
+  /// first batch). The model is thread-compatible, not thread-safe, so one
+  /// forward pass at a time owns these.
+  struct ForwardScratch {
+    std::vector<const featurize::PlanGraph*> batch_graphs;
+    std::vector<uint32_t> encoder_of;   ///< per global node
+    std::vector<uint32_t> level_of;     ///< per global node
+    std::vector<const std::vector<float>*> features_of;
+    std::vector<uint32_t> children_flat;   ///< CSR child ids, parent-major
+    std::vector<uint32_t> child_offsets;   ///< size total_nodes + 1
+    std::vector<uint32_t> positions;       ///< per-encoder gather scratch
+    std::vector<float> features;           ///< per-encoder packed features
+    std::vector<uint32_t> level_ids;
+    std::vector<uint32_t> child_ids;
+    std::vector<uint32_t> child_parents;
+  };
+  ForwardScratch scratch_;
 };
 
 }  // namespace zerodb::models

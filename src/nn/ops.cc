@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "nn/arena.h"
 
 namespace zerodb::nn {
 
@@ -78,15 +79,30 @@ void MatMulTransAAccumulate(const float* a, size_t a_rows, size_t a_cols,
 }
 
 // C += A * B^T where A is (m, k), B is (n, k); result (m, n).
+// Each dot product accumulates into 8 independent lanes that are combined
+// in a fixed tree order: a single scalar accumulator serializes the whole
+// reduction (the compiler may not reassociate floats), while per-lane
+// chains keep the k loop in SIMD registers. The order is the same on every
+// run and every thread count, so determinism contracts are unaffected —
+// only the (fixed) summation order differs from a naive scalar loop.
 void MatMulTransBAccumulate(const float* a, size_t a_rows, size_t a_cols,
                             const float* b, size_t b_rows, float* c) {
+  const size_t k_blocked = a_cols - a_cols % 8;
   for (size_t i = 0; i < a_rows; ++i) {
     const float* a_row = a + i * a_cols;
     float* c_row = c + i * b_rows;
     for (size_t j = 0; j < b_rows; ++j) {
       const float* b_row = b + j * a_cols;
-      float dot = 0.0f;
-      for (size_t k = 0; k < a_cols; ++k) {
+      float lanes[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+      size_t k = 0;
+      for (; k < k_blocked; k += 8) {
+        for (size_t l = 0; l < 8; ++l) {
+          lanes[l] += a_row[k + l] * b_row[k + l];
+        }
+      }
+      float dot = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+                  ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+      for (; k < a_cols; ++k) {
         dot += a_row[k] * b_row[k];
       }
       c_row[j] += dot;
@@ -94,7 +110,400 @@ void MatMulTransBAccumulate(const float* a, size_t a_rows, size_t a_cols,
   }
 }
 
+// ---- Backward rules, dispatched from RunNodeBackward ----------------------
+//
+// Each reads its op context from the node's POD fields / aux buffers and
+// recovers shapes from the node and its parents. Accumulation order within
+// every destination buffer is fixed — independent of thread count, arena
+// state, and graph-cache state — so the loss-history equality contracts
+// (threads=1 vs threads=N, pooled vs fresh allocation) hold bitwise.
+
+void BackwardMatMul(Node* node) {
+  Node* a_node = node->parents[0].get();
+  Node* b_node = node->parents[1].get();
+  const size_t m = node->rows;
+  const size_t n = node->cols;
+  const size_t k = a_node->cols;
+  if (WantsGrad(*a_node)) {
+    // dA += dC * B^T : (m,n) x (n,k)^T-of-(k,n)
+    MatMulTransBAccumulate(node->grad.data(), m, n, b_node->values.data(), k,
+                           a_node->grad.data());
+  }
+  if (WantsGrad(*b_node)) {
+    // dB += A^T * dC : (m,k)^T x (m,n)
+    MatMulTransAAccumulate(a_node->values.data(), m, k, node->grad.data(), n,
+                           b_node->grad.data());
+  }
+}
+
+void BackwardAddBias(Node* node) {
+  Node* x_node = node->parents[0].get();
+  Node* b_node = node->parents[1].get();
+  const size_t m = node->rows;
+  const size_t n = node->cols;
+  if (WantsGrad(*x_node)) {
+    for (size_t i = 0; i < m * n; ++i) x_node->grad[i] += node->grad[i];
+  }
+  if (WantsGrad(*b_node)) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        b_node->grad[j] += node->grad[i * n + j];
+      }
+    }
+  }
+}
+
+// Single-pass fused backward: one sweep over the output rows computes the
+// activation-gated dZ row in a pooled scratch buffer and immediately feeds
+// it to all three gradient accumulations while it is still in cache —
+// instead of materializing the full (m,n) dZ and streaming it three times.
+// Per-destination accumulation order is unchanged from the unfused version:
+// dX rows are independent, and dW / dB both accumulated batch-row-outermost
+// before (MatMulTransAAccumulate iterates k = batch row outermost), so
+// results are bit-identical.
+void BackwardLinearFused(Node* node) {
+  Node* x_node = node->parents[0].get();
+  Node* w_node = node->parents[1].get();
+  Node* b_node = node->parents[2].get();
+  const size_t m = node->rows;
+  const size_t n = node->cols;
+  const size_t k = x_node->cols;
+  const bool relu = node->u0 != 0;
+  const bool want_x = WantsGrad(*x_node);
+  const bool want_w = WantsGrad(*w_node);
+  const bool want_b = WantsGrad(*b_node);
+  std::vector<float> dz_row = node->arena != nullptr
+                                  ? node->arena->AcquireFloats(n)
+                                  : std::vector<float>(n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* grad_row = node->grad.data() + i * n;
+    const float* out_row = node->values.data() + i * n;
+    // dZ = dOut gated by the activation. The mask comes from the stored
+    // *post*-ReLU values: out > 0 iff the pre-activation was > 0, and both
+    // conventions pass zero gradient at exactly 0 — identical to Relu's
+    // backward on the pre-activation.
+    if (relu) {
+      for (size_t j = 0; j < n; ++j) {
+        dz_row[j] = out_row[j] > 0.0f ? grad_row[j] : 0.0f;
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) dz_row[j] = grad_row[j];
+    }
+    if (want_x) {
+      // dX_i += dZ_i * W^T
+      MatMulTransBAccumulate(dz_row.data(), 1, n, w_node->values.data(), k,
+                             x_node->grad.data() + i * k);
+    }
+    if (want_w) {
+      // dW += X_i^T * dZ_i (rank-1 update, same k-outer order as the full
+      // X^T * dZ accumulation)
+      MatMulTransAAccumulate(x_node->values.data() + i * k, 1, k,
+                             dz_row.data(), n, w_node->grad.data());
+    }
+    if (want_b) {
+      for (size_t j = 0; j < n; ++j) b_node->grad[j] += dz_row[j];
+    }
+  }
+  if (node->arena != nullptr) node->arena->ReleaseFloats(std::move(dz_row));
+}
+
+void BackwardAdd(Node* node) {
+  Node* a_node = node->parents[0].get();
+  Node* b_node = node->parents[1].get();
+  const size_t count = node->size();
+  if (WantsGrad(*a_node)) {
+    for (size_t i = 0; i < count; ++i) a_node->grad[i] += node->grad[i];
+  }
+  if (WantsGrad(*b_node)) {
+    for (size_t i = 0; i < count; ++i) b_node->grad[i] += node->grad[i];
+  }
+}
+
+void BackwardSub(Node* node) {
+  Node* a_node = node->parents[0].get();
+  Node* b_node = node->parents[1].get();
+  const size_t count = node->size();
+  if (WantsGrad(*a_node)) {
+    for (size_t i = 0; i < count; ++i) a_node->grad[i] += node->grad[i];
+  }
+  if (WantsGrad(*b_node)) {
+    for (size_t i = 0; i < count; ++i) b_node->grad[i] -= node->grad[i];
+  }
+}
+
+void BackwardMul(Node* node) {
+  Node* a_node = node->parents[0].get();
+  Node* b_node = node->parents[1].get();
+  const size_t count = node->size();
+  if (WantsGrad(*a_node)) {
+    for (size_t i = 0; i < count; ++i) {
+      a_node->grad[i] += node->grad[i] * b_node->values[i];
+    }
+  }
+  if (WantsGrad(*b_node)) {
+    for (size_t i = 0; i < count; ++i) {
+      b_node->grad[i] += node->grad[i] * a_node->values[i];
+    }
+  }
+}
+
+void BackwardScale(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t count = node->size();
+  const float factor = node->f0;
+  for (size_t i = 0; i < count; ++i) {
+    x_node->grad[i] += node->grad[i] * factor;
+  }
+}
+
+void BackwardRelu(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t count = node->size();
+  for (size_t i = 0; i < count; ++i) {
+    if (x_node->values[i] > 0.0f) x_node->grad[i] += node->grad[i];
+  }
+}
+
+void BackwardLeakyRelu(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t count = node->size();
+  const float negative_slope = node->f0;
+  for (size_t i = 0; i < count; ++i) {
+    float slope = x_node->values[i] > 0.0f ? 1.0f : negative_slope;
+    x_node->grad[i] += node->grad[i] * slope;
+  }
+}
+
+void BackwardSigmoid(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t count = node->size();
+  for (size_t i = 0; i < count; ++i) {
+    const float out = node->values[i];
+    x_node->grad[i] += node->grad[i] * out * (1.0f - out);
+  }
+}
+
+void BackwardTanh(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t count = node->size();
+  for (size_t i = 0; i < count; ++i) {
+    const float out = node->values[i];
+    x_node->grad[i] += node->grad[i] * (1.0f - out * out);
+  }
+}
+
+void BackwardDropout(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t count = node->size();
+  const std::vector<float>& mask = node->aux_floats;
+  for (size_t i = 0; i < count; ++i) {
+    x_node->grad[i] += node->grad[i] * mask[i];
+  }
+}
+
+void BackwardRowGather(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t n = node->cols;
+  const std::vector<uint32_t>& indices = node->aux_indices;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const size_t src = indices[i];
+    for (size_t j = 0; j < n; ++j) {
+      x_node->grad[src * n + j] += node->grad[i * n + j];
+    }
+  }
+}
+
+void BackwardRowScatterAdd(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t n = node->cols;
+  const std::vector<uint32_t>& indices = node->aux_indices;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const size_t dst = indices[i];
+    for (size_t j = 0; j < n; ++j) {
+      x_node->grad[i * n + j] += node->grad[dst * n + j];
+    }
+  }
+}
+
+void BackwardRowScatterAddTo(Node* node) {
+  Node* base_node = node->parents[0].get();
+  Node* x_node = node->parents[1].get();
+  const size_t n = node->cols;
+  if (WantsGrad(*base_node)) {
+    for (size_t i = 0; i < node->size(); ++i) {
+      base_node->grad[i] += node->grad[i];
+    }
+  }
+  if (WantsGrad(*x_node)) {
+    const std::vector<uint32_t>& indices = node->aux_indices;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const size_t dst = indices[i];
+      for (size_t j = 0; j < n; ++j) {
+        x_node->grad[i * n + j] += node->grad[dst * n + j];
+      }
+    }
+  }
+}
+
+void BackwardScaleRows(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t n = node->cols;
+  const std::vector<float>& factors = node->aux_floats;
+  for (size_t i = 0; i < factors.size(); ++i) {
+    const float factor = factors[i];
+    for (size_t j = 0; j < n; ++j) {
+      x_node->grad[i * n + j] += node->grad[i * n + j] * factor;
+    }
+  }
+}
+
+void BackwardConcatCols(Node* node) {
+  const size_t m = node->rows;
+  const size_t total_cols = node->cols;
+  size_t col_offset = 0;
+  for (const auto& parent : node->parents) {
+    const size_t part_cols = parent->cols;
+    if (WantsGrad(*parent)) {
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < part_cols; ++j) {
+          parent->grad[i * part_cols + j] +=
+              node->grad[i * total_cols + col_offset + j];
+        }
+      }
+    }
+    col_offset += part_cols;
+  }
+}
+
+void BackwardConcatRows(Node* node) {
+  const size_t n = node->cols;
+  size_t row_offset = 0;
+  for (const auto& parent : node->parents) {
+    const size_t count = parent->rows * n;
+    if (WantsGrad(*parent)) {
+      for (size_t i = 0; i < count; ++i) {
+        parent->grad[i] += node->grad[row_offset * n + i];
+      }
+    }
+    row_offset += parent->rows;
+  }
+}
+
+void BackwardLayerNorm(Node* node) {
+  Node* x_node = node->parents[0].get();
+  if (!WantsGrad(*x_node)) return;
+  const size_t m = node->rows;
+  const size_t n = node->cols;
+  const std::vector<float>& inv_std = node->aux_floats;
+  // dL/dx_j = s * (dy_j - mean(dy) - y_j * mean(dy * y)), with
+  // y the normalized output and s the inverse stddev.
+  for (size_t i = 0; i < m; ++i) {
+    const float s = inv_std[i];
+    double mean_dy = 0.0;
+    double mean_dy_y = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const float dy = node->grad[i * n + j];
+      const float y = node->values[i * n + j];
+      mean_dy += dy;
+      mean_dy_y += static_cast<double>(dy) * y;
+    }
+    mean_dy /= static_cast<double>(n);
+    mean_dy_y /= static_cast<double>(n);
+    for (size_t j = 0; j < n; ++j) {
+      const float dy = node->grad[i * n + j];
+      const float y = node->values[i * n + j];
+      x_node->grad[i * n + j] +=
+          static_cast<float>(s * (dy - mean_dy - y * mean_dy_y));
+    }
+  }
+}
+
+void BackwardMseLoss(Node* node) {
+  Node* pred = node->parents[0].get();
+  Node* target = node->parents[1].get();
+  if (!WantsGrad(*pred)) return;
+  const size_t count = pred->rows;
+  const float scale = node->grad[0] * 2.0f / static_cast<float>(count);
+  for (size_t i = 0; i < count; ++i) {
+    pred->grad[i] += scale * (pred->values[i] - target->values[i]);
+  }
+}
+
+void BackwardHuberLoss(Node* node) {
+  Node* pred = node->parents[0].get();
+  Node* target = node->parents[1].get();
+  if (!WantsGrad(*pred)) return;
+  const size_t count = pred->rows;
+  const float delta = node->f0;
+  const float scale = node->grad[0] / static_cast<float>(count);
+  for (size_t i = 0; i < count; ++i) {
+    float diff = pred->values[i] - target->values[i];
+    float grad =
+        std::fabs(diff) <= delta ? diff : (diff > 0.0f ? delta : -delta);
+    pred->grad[i] += scale * grad;
+  }
+}
+
 }  // namespace
+
+void RunNodeBackward(Node* node) {
+  switch (node->tag) {
+    case BackwardTag::kLeaf:
+      return;
+    case BackwardTag::kMatMul:
+      return BackwardMatMul(node);
+    case BackwardTag::kAddBias:
+      return BackwardAddBias(node);
+    case BackwardTag::kLinearFused:
+      return BackwardLinearFused(node);
+    case BackwardTag::kAdd:
+      return BackwardAdd(node);
+    case BackwardTag::kSub:
+      return BackwardSub(node);
+    case BackwardTag::kMul:
+      return BackwardMul(node);
+    case BackwardTag::kScale:
+      return BackwardScale(node);
+    case BackwardTag::kRelu:
+      return BackwardRelu(node);
+    case BackwardTag::kLeakyRelu:
+      return BackwardLeakyRelu(node);
+    case BackwardTag::kSigmoid:
+      return BackwardSigmoid(node);
+    case BackwardTag::kTanh:
+      return BackwardTanh(node);
+    case BackwardTag::kDropout:
+      return BackwardDropout(node);
+    case BackwardTag::kRowGather:
+      return BackwardRowGather(node);
+    case BackwardTag::kRowScatterAdd:
+      return BackwardRowScatterAdd(node);
+    case BackwardTag::kRowScatterAddTo:
+      return BackwardRowScatterAddTo(node);
+    case BackwardTag::kScaleRows:
+      return BackwardScaleRows(node);
+    case BackwardTag::kConcatCols:
+      return BackwardConcatCols(node);
+    case BackwardTag::kConcatRows:
+      return BackwardConcatRows(node);
+    case BackwardTag::kLayerNorm:
+      return BackwardLayerNorm(node);
+    case BackwardTag::kMseLoss:
+      return BackwardMseLoss(node);
+    case BackwardTag::kHuberLoss:
+      return BackwardHuberLoss(node);
+  }
+  ZDB_CHECK(false) << "unknown backward tag";
+}
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   ZDB_CHECK_EQ(a.cols(), b.rows())
@@ -103,22 +512,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
-  Tensor out = MakeOpResult(
-      m, n, "matmul", {a.node(), b.node()}, [m, k, n](Node* node) {
-        Node* a_node = node->parents[0].get();
-        Node* b_node = node->parents[1].get();
-        if (WantsGrad(*a_node)) {
-          // dA += dC * B^T : (m,n) x (n,k)^T-of-(k,n)
-          MatMulTransBAccumulate(node->grad.data(), m, n,
-                                 b_node->values.data(), k,
-                                 a_node->grad.data());
-        }
-        if (WantsGrad(*b_node)) {
-          // dB += A^T * dC : (m,k)^T x (m,n)
-          MatMulTransAAccumulate(a_node->values.data(), m, k,
-                                 node->grad.data(), n, b_node->grad.data());
-        }
-      });
+  Tensor out = MakeOpResult(m, n, "matmul", BackwardTag::kMatMul, {&a, &b});
   MatMulAccumulate(a.data().data(), m, k, b.data().data(), n,
                    out.mutable_data().data());
   return out;
@@ -129,21 +523,8 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
   ZDB_CHECK_EQ(bias.cols(), x.cols());
   const size_t m = x.rows();
   const size_t n = x.cols();
-  Tensor out = MakeOpResult(
-      m, n, "add_bias", {x.node(), bias.node()}, [m, n](Node* node) {
-        Node* x_node = node->parents[0].get();
-        Node* b_node = node->parents[1].get();
-        if (WantsGrad(*x_node)) {
-          for (size_t i = 0; i < m * n; ++i) x_node->grad[i] += node->grad[i];
-        }
-        if (WantsGrad(*b_node)) {
-          for (size_t i = 0; i < m; ++i) {
-            for (size_t j = 0; j < n; ++j) {
-              b_node->grad[j] += node->grad[i * n + j];
-            }
-          }
-        }
-      });
+  Tensor out =
+      MakeOpResult(m, n, "add_bias", BackwardTag::kAddBias, {&x, &bias});
   // Row-at-a-time over raw pointers: the j loop is two contiguous streams
   // plus one store, which vectorizes cleanly.
   const float* x_ptr = x.data().data();
@@ -169,40 +550,9 @@ Tensor LinearFused(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const size_t m = x.rows();
   const size_t k = x.cols();
   const size_t n = weight.cols();
-  Tensor out = MakeOpResult(
-      m, n, "linear_fused", {x.node(), weight.node(), bias.node()},
-      [m, k, n, relu](Node* node) {
-        Node* x_node = node->parents[0].get();
-        Node* w_node = node->parents[1].get();
-        Node* b_node = node->parents[2].get();
-        // dZ = dOut gated by the activation. The mask comes from the stored
-        // *post*-ReLU values: out > 0 iff the pre-activation was > 0, and
-        // both conventions pass zero gradient at exactly 0 — identical to
-        // Relu's backward on the pre-activation.
-        std::vector<float> dz(node->grad);
-        if (relu) {
-          for (size_t i = 0; i < m * n; ++i) {
-            if (node->values[i] <= 0.0f) dz[i] = 0.0f;
-          }
-        }
-        if (WantsGrad(*x_node)) {
-          // dX += dZ * W^T : (m,n) x (n,k)^T-of-(k,n)
-          MatMulTransBAccumulate(dz.data(), m, n, w_node->values.data(), k,
-                                 x_node->grad.data());
-        }
-        if (WantsGrad(*w_node)) {
-          // dW += X^T * dZ : (m,k)^T x (m,n)
-          MatMulTransAAccumulate(x_node->values.data(), m, k, dz.data(), n,
-                                 w_node->grad.data());
-        }
-        if (WantsGrad(*b_node)) {
-          for (size_t i = 0; i < m; ++i) {
-            for (size_t j = 0; j < n; ++j) {
-              b_node->grad[j] += dz[i * n + j];
-            }
-          }
-        }
-      });
+  Tensor out = MakeOpResult(m, n, "linear_fused", BackwardTag::kLinearFused,
+                            {&x, &weight, &bias});
+  out.node()->u0 = relu ? 1 : 0;
   const float* x_ptr = x.data().data();
   const float* w_ptr = weight.data().data();
   const float* b_ptr = bias.data().data();
@@ -227,26 +577,11 @@ Tensor LinearFused(const Tensor& x, const Tensor& weight, const Tensor& bias,
 namespace {
 
 Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name,
-                         float (*fwd)(float, float),
-                         void (*bwd)(float a, float b, float dout, float* da,
-                                     float* db)) {
+                         BackwardTag tag, float (*fwd)(float, float)) {
   ZDB_CHECK_EQ(a.rows(), b.rows());
   ZDB_CHECK_EQ(a.cols(), b.cols());
   const size_t count = a.size();
-  Tensor out = MakeOpResult(
-      a.rows(), a.cols(), name, {a.node(), b.node()}, [count, bwd](Node* node) {
-        Node* a_node = node->parents[0].get();
-        Node* b_node = node->parents[1].get();
-        const bool want_a = WantsGrad(*a_node);
-        const bool want_b = WantsGrad(*b_node);
-        for (size_t i = 0; i < count; ++i) {
-          float da = 0.0f;
-          float db = 0.0f;
-          bwd(a_node->values[i], b_node->values[i], node->grad[i], &da, &db);
-          if (want_a) a_node->grad[i] += da;
-          if (want_b) b_node->grad[i] += db;
-        }
-      });
+  Tensor out = MakeOpResult(a.rows(), a.cols(), name, tag, {&a, &b});
   auto& out_data = out.mutable_data();
   for (size_t i = 0; i < count; ++i) {
     out_data[i] = fwd(a.data()[i], b.data()[i]);
@@ -257,42 +592,25 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name,
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(
-      a, b, "add", [](float x, float y) { return x + y; },
-      [](float, float, float dout, float* da, float* db) {
-        *da = dout;
-        *db = dout;
-      });
+  return ElementwiseBinary(a, b, "add", BackwardTag::kAdd,
+                           [](float x, float y) { return x + y; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(
-      a, b, "sub", [](float x, float y) { return x - y; },
-      [](float, float, float dout, float* da, float* db) {
-        *da = dout;
-        *db = -dout;
-      });
+  return ElementwiseBinary(a, b, "sub", BackwardTag::kSub,
+                           [](float x, float y) { return x - y; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(
-      a, b, "mul", [](float x, float y) { return x * y; },
-      [](float x, float y, float dout, float* da, float* db) {
-        *da = dout * y;
-        *db = dout * x;
-      });
+  return ElementwiseBinary(a, b, "mul", BackwardTag::kMul,
+                           [](float x, float y) { return x * y; });
 }
 
 Tensor Scale(const Tensor& x, float factor) {
   const size_t count = x.size();
-  Tensor out = MakeOpResult(
-      x.rows(), x.cols(), "scale", {x.node()}, [count, factor](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        for (size_t i = 0; i < count; ++i) {
-          x_node->grad[i] += node->grad[i] * factor;
-        }
-      });
+  Tensor out = MakeOpResult(x.rows(), x.cols(), "scale", BackwardTag::kScale,
+                            {&x});
+  out.node()->f0 = factor;
   auto& out_data = out.mutable_data();
   for (size_t i = 0; i < count; ++i) out_data[i] = x.data()[i] * factor;
   return out;
@@ -300,20 +618,10 @@ Tensor Scale(const Tensor& x, float factor) {
 
 namespace {
 
-Tensor ElementwiseUnary(const Tensor& x, const char* name,
-                        float (*fwd)(float),
-                        float (*grad_from_out)(float out, float in)) {
+Tensor ElementwiseUnary(const Tensor& x, const char* name, BackwardTag tag,
+                        float (*fwd)(float)) {
   const size_t count = x.size();
-  Tensor out = MakeOpResult(
-      x.rows(), x.cols(), name, {x.node()},
-      [count, grad_from_out](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        for (size_t i = 0; i < count; ++i) {
-          x_node->grad[i] +=
-              node->grad[i] * grad_from_out(node->values[i], x_node->values[i]);
-        }
-      });
+  Tensor out = MakeOpResult(x.rows(), x.cols(), name, tag, {&x});
   auto& out_data = out.mutable_data();
   for (size_t i = 0; i < count; ++i) out_data[i] = fwd(x.data()[i]);
   return out;
@@ -326,14 +634,8 @@ Tensor Relu(const Tensor& x) {
   // branch-free vector max, and the hot path skips the indirect fwd call
   // per element.
   const size_t count = x.size();
-  Tensor out = MakeOpResult(
-      x.rows(), x.cols(), "relu", {x.node()}, [count](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        for (size_t i = 0; i < count; ++i) {
-          if (x_node->values[i] > 0.0f) x_node->grad[i] += node->grad[i];
-        }
-      });
+  Tensor out =
+      MakeOpResult(x.rows(), x.cols(), "relu", BackwardTag::kRelu, {&x});
   const float* x_ptr = x.data().data();
   float* out_ptr = out.mutable_data().data();
   for (size_t i = 0; i < count; ++i) {
@@ -344,16 +646,9 @@ Tensor Relu(const Tensor& x) {
 
 Tensor LeakyRelu(const Tensor& x, float negative_slope) {
   const size_t count = x.size();
-  Tensor out = MakeOpResult(
-      x.rows(), x.cols(), "leaky_relu", {x.node()},
-      [count, negative_slope](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        for (size_t i = 0; i < count; ++i) {
-          float slope = x_node->values[i] > 0.0f ? 1.0f : negative_slope;
-          x_node->grad[i] += node->grad[i] * slope;
-        }
-      });
+  Tensor out = MakeOpResult(x.rows(), x.cols(), "leaky_relu",
+                            BackwardTag::kLeakyRelu, {&x});
+  out.node()->f0 = negative_slope;
   auto& out_data = out.mutable_data();
   for (size_t i = 0; i < count; ++i) {
     float v = x.data()[i];
@@ -363,37 +658,32 @@ Tensor LeakyRelu(const Tensor& x, float negative_slope) {
 }
 
 Tensor Sigmoid(const Tensor& x) {
-  return ElementwiseUnary(
-      x, "sigmoid", [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
-      [](float out, float) { return out * (1.0f - out); });
+  return ElementwiseUnary(x, "sigmoid", BackwardTag::kSigmoid, [](float v) {
+    return 1.0f / (1.0f + std::exp(-v));
+  });
 }
 
 Tensor Tanh(const Tensor& x) {
-  return ElementwiseUnary(
-      x, "tanh", [](float v) { return std::tanh(v); },
-      [](float out, float) { return 1.0f - out * out; });
+  return ElementwiseUnary(x, "tanh", BackwardTag::kTanh,
+                          [](float v) { return std::tanh(v); });
 }
 
 Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
   ZDB_CHECK(p >= 0.0f && p < 1.0f);
   if (!training || p == 0.0f) return x;
   const size_t count = x.size();
-  // Build the mask up front so forward and backward agree.
-  auto mask = std::make_shared<std::vector<float>>(count);
+  // Build the mask up front so forward and backward agree. It rides in the
+  // node's pooled aux buffer — no shared_ptr allocation per dropout op.
+  std::vector<float> mask = AcquirePooledFloats(count);
   const float keep_scale = 1.0f / (1.0f - p);
   for (size_t i = 0; i < count; ++i) {
-    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+    mask[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
   }
-  Tensor out = MakeOpResult(
-      x.rows(), x.cols(), "dropout", {x.node()}, [count, mask](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        for (size_t i = 0; i < count; ++i) {
-          x_node->grad[i] += node->grad[i] * (*mask)[i];
-        }
-      });
+  Tensor out =
+      MakeOpResult(x.rows(), x.cols(), "dropout", BackwardTag::kDropout, {&x});
   auto& out_data = out.mutable_data();
-  for (size_t i = 0; i < count; ++i) out_data[i] = x.data()[i] * (*mask)[i];
+  for (size_t i = 0; i < count; ++i) out_data[i] = x.data()[i] * mask[i];
+  out.node()->aux_floats = std::move(mask);
   return out;
 }
 
@@ -401,28 +691,17 @@ Tensor RowGather(const Tensor& x, std::vector<uint32_t> indices) {
   const size_t n = x.cols();
   const size_t out_rows = indices.size();
   for (uint32_t index : indices) ZDB_CHECK_LT(index, x.rows());
-  auto shared_indices =
-      std::make_shared<std::vector<uint32_t>>(std::move(indices));
-  Tensor out = MakeOpResult(
-      out_rows, n, "row_gather", {x.node()},
-      [n, shared_indices](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        for (size_t i = 0; i < shared_indices->size(); ++i) {
-          const size_t src = (*shared_indices)[i];
-          for (size_t j = 0; j < n; ++j) {
-            x_node->grad[src * n + j] += node->grad[i * n + j];
-          }
-        }
-      });
+  Tensor out =
+      MakeOpResult(out_rows, n, "row_gather", BackwardTag::kRowGather, {&x});
   auto& out_data = out.mutable_data();
   const auto& x_data = x.data();
   for (size_t i = 0; i < out_rows; ++i) {
-    const size_t src = (*shared_indices)[i];
+    const size_t src = indices[i];
     for (size_t j = 0; j < n; ++j) {
       out_data[i * n + j] = x_data[src * n + j];
     }
   }
+  out.node()->aux_indices = std::move(indices);
   return out;
 }
 
@@ -431,28 +710,17 @@ Tensor RowScatterAdd(const Tensor& x, std::vector<uint32_t> indices,
   ZDB_CHECK_EQ(indices.size(), x.rows());
   const size_t n = x.cols();
   for (uint32_t index : indices) ZDB_CHECK_LT(index, out_rows);
-  auto shared_indices =
-      std::make_shared<std::vector<uint32_t>>(std::move(indices));
-  Tensor out = MakeOpResult(
-      out_rows, n, "row_scatter_add", {x.node()},
-      [n, shared_indices](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        for (size_t i = 0; i < shared_indices->size(); ++i) {
-          const size_t dst = (*shared_indices)[i];
-          for (size_t j = 0; j < n; ++j) {
-            x_node->grad[i * n + j] += node->grad[dst * n + j];
-          }
-        }
-      });
+  Tensor out = MakeOpResult(out_rows, n, "row_scatter_add",
+                            BackwardTag::kRowScatterAdd, {&x});
   auto& out_data = out.mutable_data();
   const auto& x_data = x.data();
-  for (size_t i = 0; i < shared_indices->size(); ++i) {
-    const size_t dst = (*shared_indices)[i];
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const size_t dst = indices[i];
     for (size_t j = 0; j < n; ++j) {
       out_data[dst * n + j] += x_data[i * n + j];
     }
   }
+  out.node()->aux_indices = std::move(indices);
   return out;
 }
 
@@ -476,62 +744,35 @@ Tensor RowScatterAddTo(Tensor base, const Tensor& x,
     }
     return base;
   }
-  auto shared_indices =
-      std::make_shared<std::vector<uint32_t>>(std::move(indices));
-  Tensor out = MakeOpResult(
-      base.rows(), n, "row_scatter_add_to", {base.node(), x.node()},
-      [n, shared_indices](Node* node) {
-        Node* base_node = node->parents[0].get();
-        Node* x_node = node->parents[1].get();
-        if (WantsGrad(*base_node)) {
-          for (size_t i = 0; i < node->size(); ++i) {
-            base_node->grad[i] += node->grad[i];
-          }
-        }
-        if (WantsGrad(*x_node)) {
-          for (size_t i = 0; i < shared_indices->size(); ++i) {
-            const size_t dst = (*shared_indices)[i];
-            for (size_t j = 0; j < n; ++j) {
-              x_node->grad[i * n + j] += node->grad[dst * n + j];
-            }
-          }
-        }
-      });
+  Tensor out = MakeOpResult(base.rows(), n, "row_scatter_add_to",
+                            BackwardTag::kRowScatterAddTo, {&base, &x});
   auto& out_data = out.mutable_data();
   out_data = base.data();
   const auto& x_data = x.data();
-  for (size_t i = 0; i < shared_indices->size(); ++i) {
-    const size_t dst = (*shared_indices)[i];
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const size_t dst = indices[i];
     for (size_t j = 0; j < n; ++j) {
       out_data[dst * n + j] += x_data[i * n + j];
     }
   }
+  out.node()->aux_indices = std::move(indices);
   return out;
 }
 
 Tensor ScaleRows(const Tensor& x, std::vector<float> factors) {
   ZDB_CHECK_EQ(factors.size(), x.rows());
   const size_t n = x.cols();
-  auto shared_factors = std::make_shared<std::vector<float>>(std::move(factors));
-  Tensor out = MakeOpResult(
-      x.rows(), n, "scale_rows", {x.node()}, [n, shared_factors](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        for (size_t i = 0; i < shared_factors->size(); ++i) {
-          const float factor = (*shared_factors)[i];
-          for (size_t j = 0; j < n; ++j) {
-            x_node->grad[i * n + j] += node->grad[i * n + j] * factor;
-          }
-        }
-      });
+  Tensor out = MakeOpResult(x.rows(), n, "scale_rows",
+                            BackwardTag::kScaleRows, {&x});
   auto& out_data = out.mutable_data();
   const auto& x_data = x.data();
-  for (size_t i = 0; i < shared_factors->size(); ++i) {
-    const float factor = (*shared_factors)[i];
+  for (size_t i = 0; i < factors.size(); ++i) {
+    const float factor = factors[i];
     for (size_t j = 0; j < n; ++j) {
       out_data[i * n + j] = x_data[i * n + j] * factor;
     }
   }
+  out.node()->aux_floats = std::move(factors);
   return out;
 }
 
@@ -539,36 +780,20 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
   ZDB_CHECK(!parts.empty());
   const size_t m = parts[0].rows();
   size_t total_cols = 0;
-  std::vector<std::shared_ptr<Node>> parents;
-  parents.reserve(parts.size());
   for (const Tensor& part : parts) {
     ZDB_CHECK_EQ(part.rows(), m);
     total_cols += part.cols();
-    parents.push_back(part.node());
   }
-  Tensor out = MakeOpResult(
-      m, total_cols, "concat_cols", parents, [m, total_cols](Node* node) {
-        size_t col_offset = 0;
-        for (const auto& parent : node->parents) {
-          const size_t part_cols = parent->cols;
-          if (WantsGrad(*parent)) {
-            for (size_t i = 0; i < m; ++i) {
-              for (size_t j = 0; j < part_cols; ++j) {
-                parent->grad[i * part_cols + j] +=
-                    node->grad[i * total_cols + col_offset + j];
-              }
-            }
-          }
-          col_offset += part_cols;
-        }
-      });
+  Tensor out = MakeOpResult(m, total_cols, "concat_cols",
+                            BackwardTag::kConcatCols, parts);
   auto& out_data = out.mutable_data();
   size_t col_offset = 0;
   for (const Tensor& part : parts) {
     const size_t part_cols = part.cols();
     for (size_t i = 0; i < m; ++i) {
       for (size_t j = 0; j < part_cols; ++j) {
-        out_data[i * total_cols + col_offset + j] = part.data()[i * part_cols + j];
+        out_data[i * total_cols + col_offset + j] =
+            part.data()[i * part_cols + j];
       }
     }
     col_offset += part_cols;
@@ -580,26 +805,12 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   ZDB_CHECK(!parts.empty());
   const size_t n = parts[0].cols();
   size_t total_rows = 0;
-  std::vector<std::shared_ptr<Node>> parents;
-  parents.reserve(parts.size());
   for (const Tensor& part : parts) {
     ZDB_CHECK_EQ(part.cols(), n);
     total_rows += part.rows();
-    parents.push_back(part.node());
   }
-  Tensor out = MakeOpResult(
-      total_rows, n, "concat_rows", parents, [n](Node* node) {
-        size_t row_offset = 0;
-        for (const auto& parent : node->parents) {
-          const size_t count = parent->rows * n;
-          if (WantsGrad(*parent)) {
-            for (size_t i = 0; i < count; ++i) {
-              parent->grad[i] += node->grad[row_offset * n + i];
-            }
-          }
-          row_offset += parent->rows;
-        }
-      });
+  Tensor out = MakeOpResult(total_rows, n, "concat_rows",
+                            BackwardTag::kConcatRows, parts);
   auto& out_data = out.mutable_data();
   size_t row_offset = 0;
   for (const Tensor& part : parts) {
@@ -616,9 +827,11 @@ Tensor LayerNorm(const Tensor& x, float epsilon) {
   const size_t m = x.rows();
   const size_t n = x.cols();
   ZDB_CHECK_GT(n, 0u);
-  // Precompute per-row mean and inverse stddev; backward reuses them.
-  auto mean = std::make_shared<std::vector<float>>(m);
-  auto inv_std = std::make_shared<std::vector<float>>(m);
+  // Precompute per-row mean and inverse stddev; backward reuses the inverse
+  // stddev (stored in the node's pooled aux buffer), the mean is forward-only
+  // scratch.
+  std::vector<float> mean = AcquirePooledFloats(m);
+  std::vector<float> inv_std = AcquirePooledFloats(m);
   const auto& x_data = x.data();
   for (size_t i = 0; i < m; ++i) {
     double sum = 0.0;
@@ -630,41 +843,19 @@ Tensor LayerNorm(const Tensor& x, float epsilon) {
       var += d * d;
     }
     var /= static_cast<double>(n);
-    (*mean)[i] = static_cast<float>(mu);
-    (*inv_std)[i] = static_cast<float>(1.0 / std::sqrt(var + epsilon));
+    mean[i] = static_cast<float>(mu);
+    inv_std[i] = static_cast<float>(1.0 / std::sqrt(var + epsilon));
   }
-  Tensor out = MakeOpResult(
-      m, n, "layer_norm", {x.node()}, [m, n, mean, inv_std](Node* node) {
-        Node* x_node = node->parents[0].get();
-        if (!WantsGrad(*x_node)) return;
-        // dL/dx_j = s * (dy_j - mean(dy) - y_j * mean(dy * y)), with
-        // y the normalized output and s the inverse stddev.
-        for (size_t i = 0; i < m; ++i) {
-          const float s = (*inv_std)[i];
-          double mean_dy = 0.0;
-          double mean_dy_y = 0.0;
-          for (size_t j = 0; j < n; ++j) {
-            const float dy = node->grad[i * n + j];
-            const float y = node->values[i * n + j];
-            mean_dy += dy;
-            mean_dy_y += static_cast<double>(dy) * y;
-          }
-          mean_dy /= static_cast<double>(n);
-          mean_dy_y /= static_cast<double>(n);
-          for (size_t j = 0; j < n; ++j) {
-            const float dy = node->grad[i * n + j];
-            const float y = node->values[i * n + j];
-            x_node->grad[i * n + j] += static_cast<float>(
-                s * (dy - mean_dy - y * mean_dy_y));
-          }
-        }
-      });
+  Tensor out =
+      MakeOpResult(m, n, "layer_norm", BackwardTag::kLayerNorm, {&x});
   auto& out_data = out.mutable_data();
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = 0; j < n; ++j) {
-      out_data[i * n + j] = (x_data[i * n + j] - (*mean)[i]) * (*inv_std)[i];
+      out_data[i * n + j] = (x_data[i * n + j] - mean[i]) * inv_std[i];
     }
   }
+  ReleasePooledFloats(std::move(mean));
+  out.node()->aux_floats = std::move(inv_std);
   return out;
 }
 
@@ -674,23 +865,15 @@ Tensor MseLoss(const Tensor& predictions, const Tensor& targets) {
   ZDB_CHECK_EQ(targets.cols(), 1u);
   const size_t count = predictions.rows();
   ZDB_CHECK_GT(count, 0u);
-  Tensor out = MakeOpResult(
-      1, 1, "mse_loss", {predictions.node(), targets.node()},
-      [count](Node* node) {
-        Node* pred = node->parents[0].get();
-        Node* target = node->parents[1].get();
-        const float scale = node->grad[0] * 2.0f / static_cast<float>(count);
-        if (!WantsGrad(*pred)) return;
-        for (size_t i = 0; i < count; ++i) {
-          pred->grad[i] += scale * (pred->values[i] - target->values[i]);
-        }
-      });
+  Tensor out = MakeOpResult(1, 1, "mse_loss", BackwardTag::kMseLoss,
+                            {&predictions, &targets});
   double total = 0.0;
   for (size_t i = 0; i < count; ++i) {
     double diff = predictions.data()[i] - targets.data()[i];
     total += diff * diff;
   }
-  out.mutable_data()[0] = static_cast<float>(total / static_cast<double>(count));
+  out.mutable_data()[0] =
+      static_cast<float>(total / static_cast<double>(count));
   return out;
 }
 
@@ -702,21 +885,9 @@ Tensor HuberLoss(const Tensor& predictions, const Tensor& targets,
   ZDB_CHECK_GT(delta, 0.0f);
   const size_t count = predictions.rows();
   ZDB_CHECK_GT(count, 0u);
-  Tensor out = MakeOpResult(
-      1, 1, "huber_loss", {predictions.node(), targets.node()},
-      [count, delta](Node* node) {
-        Node* pred = node->parents[0].get();
-        Node* target = node->parents[1].get();
-        if (!WantsGrad(*pred)) return;
-        const float scale = node->grad[0] / static_cast<float>(count);
-        for (size_t i = 0; i < count; ++i) {
-          float diff = pred->values[i] - target->values[i];
-          float grad = std::fabs(diff) <= delta
-                           ? diff
-                           : (diff > 0.0f ? delta : -delta);
-          pred->grad[i] += scale * grad;
-        }
-      });
+  Tensor out = MakeOpResult(1, 1, "huber_loss", BackwardTag::kHuberLoss,
+                            {&predictions, &targets});
+  out.node()->f0 = delta;
   double total = 0.0;
   for (size_t i = 0; i < count; ++i) {
     double diff = std::fabs(predictions.data()[i] - targets.data()[i]);
@@ -726,7 +897,8 @@ Tensor HuberLoss(const Tensor& predictions, const Tensor& targets,
       total += delta * (diff - 0.5 * delta);
     }
   }
-  out.mutable_data()[0] = static_cast<float>(total / static_cast<double>(count));
+  out.mutable_data()[0] =
+      static_cast<float>(total / static_cast<double>(count));
   return out;
 }
 

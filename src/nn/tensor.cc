@@ -1,25 +1,71 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <atomic>
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "nn/arena.h"
 
 namespace zerodb::nn {
 
-Tensor Tensor::Full(size_t rows, size_t cols, float value) {
+namespace {
+
+// One node with a zeroed (rows*cols) values buffer, from the active arena
+// when one is installed, else from the heap. All factories and op results
+// funnel through here; Parameter is the exception (always heap — parameters
+// outlive arena epochs).
+Tensor MakeNode(size_t rows, size_t cols) {
+  if (GraphArena* arena = ActiveArena()) {
+    std::shared_ptr<Node> node = arena->NewNode();
+    node->rows = rows;
+    node->cols = cols;
+    node->values = arena->AcquireFloats(rows * cols);
+    return Tensor(std::move(node));
+  }
+  arena_internal::CountHeapNode();
   auto node = std::make_shared<Node>();
   node->rows = rows;
   node->cols = cols;
-  node->values.assign(rows * cols, value);
+  // Direct value-initialization: one allocation, elements zeroed by the
+  // vector itself (no fill-after-resize pass).
+  node->values = std::vector<float>(rows * cols);
   return Tensor(std::move(node));
+}
+
+}  // namespace
+
+Tensor Tensor::Full(size_t rows, size_t cols, float value) {
+  Tensor t = MakeNode(rows, cols);
+  if (value != 0.0f) {
+    std::fill(t.mutable_data().begin(), t.mutable_data().end(), value);
+  }
+  return t;
+}
+
+Tensor Tensor::Zeros(size_t rows, size_t cols) {
+  // MakeNode's buffers are already value-initialized (pooled buffers are
+  // zeroed on acquire); nothing to fill.
+  return MakeNode(rows, cols);
+}
+
+Tensor Tensor::ZerosLike(const Tensor& t) {
+  ZDB_CHECK(t.defined());
+  return Zeros(t.rows(), t.cols());
 }
 
 Tensor Tensor::FromData(size_t rows, size_t cols, std::vector<float> data) {
   ZDB_CHECK_EQ(rows * cols, data.size())
       << "FromData shape (" << rows << ", " << cols << ") vs "
       << data.size() << " values";
+  if (GraphArena* arena = ActiveArena()) {
+    std::shared_ptr<Node> node = arena->NewNode();
+    node->rows = rows;
+    node->cols = cols;
+    node->values = std::move(data);
+    return Tensor(std::move(node));
+  }
+  arena_internal::CountHeapNode();
   auto node = std::make_shared<Node>();
   node->rows = rows;
   node->cols = cols;
@@ -28,10 +74,20 @@ Tensor Tensor::FromData(size_t rows, size_t cols, std::vector<float> data) {
 }
 
 Tensor Tensor::Parameter(size_t rows, size_t cols, std::vector<float> data) {
-  Tensor t = FromData(rows, cols, std::move(data));
-  t.node()->requires_grad = true;
-  t.node()->grad.assign(rows * cols, 0.0f);
-  return t;
+  ZDB_CHECK_EQ(rows * cols, data.size())
+      << "Parameter shape (" << rows << ", " << cols << ") vs "
+      << data.size() << " values";
+  // Deliberately not arena-backed even under an ArenaGuard: parameters are
+  // long-lived leaves, and an arena Reset would pull the storage out from
+  // under them.
+  arena_internal::CountHeapNode();
+  auto node = std::make_shared<Node>();
+  node->rows = rows;
+  node->cols = cols;
+  node->values = std::move(data);
+  node->requires_grad = true;
+  node->grad = std::vector<float>(rows * cols);
+  return Tensor(std::move(node));
 }
 
 float Tensor::item() const {
@@ -42,16 +98,16 @@ float Tensor::item() const {
 
 namespace {
 
-// Depth-first post-order over the graph, visiting each node once.
-void TopoSort(Node* node, std::unordered_set<Node*>* visited,
-              std::vector<Node*>* order) {
-  if (visited->count(node) > 0) return;
-  visited->insert(node);
-  for (const auto& parent : node->parents) {
-    TopoSort(parent.get(), visited, order);
-  }
-  order->push_back(node);
-}
+// Monotonic traversal epoch: each Backward() call takes a fresh mark, so
+// Node::visit_mark == mark identifies "seen by this call" without a visited
+// set. Atomic because concurrent shard executors run Backward on disjoint
+// graphs; uniqueness across threads keeps stale marks harmless.
+std::atomic<uint64_t> g_visit_epoch{0};
+
+struct TopoFrame {
+  Node* node;
+  size_t next_parent;
+};
 
 }  // namespace
 
@@ -61,19 +117,47 @@ void Tensor::Backward() {
   ZDB_CHECK(node_->requires_grad)
       << "Backward on a graph with no trainable parameters";
 
-  std::unordered_set<Node*> visited;
-  std::vector<Node*> order;
-  TopoSort(node_.get(), &visited, &order);
+  // Iterative depth-first post-order, pruned to the grad-tracking subgraph:
+  // requires_grad propagates parent->child, so any node on a path from the
+  // loss to a requires_grad node itself requires grad — skipping no-grad
+  // parents (constants, targets) drops exactly the nodes whose backward
+  // would be a no-op, and leaves the execution order of the rest unchanged.
+  // The visit stacks are thread_local so steady-state Backward calls do not
+  // allocate.
+  const uint64_t mark = g_visit_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  thread_local std::vector<TopoFrame> frames;
+  thread_local std::vector<Node*> order;
+  frames.clear();
+  order.clear();
 
-  // Ensure every grad-tracking intermediate has a zeroed grad buffer; leaves
-  // keep their accumulated gradient.
-  for (Node* node : order) {
-    if (node->requires_grad && node->grad.size() != node->size()) {
-      node->grad.assign(node->size(), 0.0f);
+  node_->visit_mark = mark;
+  frames.push_back({node_.get(), 0});
+  while (!frames.empty()) {
+    TopoFrame& frame = frames.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      Node* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && parent->visit_mark != mark) {
+        parent->visit_mark = mark;
+        frames.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      frames.pop_back();
     }
-    if (node->requires_grad && node->backward_fn != nullptr &&
-        node != node_.get()) {
-      // Non-leaf intermediates start each backward pass from zero.
+  }
+
+  // Ensure every node in the walk has a sized grad buffer; leaves keep their
+  // accumulated gradient, non-leaf intermediates start each pass from zero.
+  // Arena nodes draw pooled buffers (zeroed on acquire).
+  for (Node* node : order) {
+    const size_t count = node->size();
+    if (node->grad.size() != count) {
+      if (node->arena != nullptr) {
+        node->grad = node->arena->AcquireFloats(count);
+      } else {
+        node->grad = std::vector<float>(count);
+      }
+    } else if (node->tag != BackwardTag::kLeaf && node != node_.get()) {
       std::fill(node->grad.begin(), node->grad.end(), 0.0f);
     }
   }
@@ -81,8 +165,8 @@ void Tensor::Backward() {
   node_->grad.assign(1, 1.0f);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
-    if (node->backward_fn != nullptr && node->requires_grad) {
-      node->backward_fn(node);
+    if (node->tag != BackwardTag::kLeaf) {
+      RunNodeBackward(node);
     }
   }
 }
@@ -111,28 +195,70 @@ InferenceModeGuard::~InferenceModeGuard() { --inference_depth; }
 
 bool InInferenceMode() { return inference_depth > 0; }
 
-Tensor MakeOpResult(size_t rows, size_t cols, const char* op,
-                    std::vector<std::shared_ptr<Node>> parents,
-                    std::function<void(Node*)> backward_fn) {
-  auto node = std::make_shared<Node>();
-  node->rows = rows;
-  node->cols = cols;
-  node->values.assign(rows * cols, 0.0f);
+namespace {
+
+template <typename ParentIter>
+Tensor MakeOpResultImpl(size_t rows, size_t cols, const char* op,
+                        BackwardTag tag, ParentIter begin, ParentIter end,
+                        size_t parent_count) {
+  Tensor out = MakeNode(rows, cols);
+  Node* node = out.node().get();
   node->op = op;
   if (InInferenceMode()) {
     // Detached result: the op's forward code still writes values, but the
     // graph ends here — no parent edges to keep inputs alive, no backward
-    // closure to allocate.
-    return Tensor(std::move(node));
+    // tag to dispatch.
+    return out;
   }
   bool requires_grad = false;
-  for (const auto& parent : parents) {
-    if (parent->requires_grad) requires_grad = true;
+  for (ParentIter it = begin; it != end; ++it) {
+    if ((*it)->requires_grad()) {
+      requires_grad = true;
+      break;
+    }
   }
   node->requires_grad = requires_grad;
-  node->parents = std::move(parents);
-  if (requires_grad) node->backward_fn = std::move(backward_fn);
-  return Tensor(std::move(node));
+  if (requires_grad) node->tag = tag;
+  // Parent edges are kept even without grad so inputs stay alive while this
+  // result does (same ownership semantics as the closure-based graph).
+  if (node->arena != nullptr) {
+    node->parents = node->arena->AcquireParents();
+  } else {
+    node->parents.reserve(parent_count);
+  }
+  for (ParentIter it = begin; it != end; ++it) {
+    node->parents.push_back((*it)->node());
+  }
+  return out;
+}
+
+// Adapts the vector<Tensor> overload to the pointer-based iteration above.
+struct TensorPtrIter {
+  const Tensor* tensor;
+  const Tensor* operator*() const { return tensor; }
+  TensorPtrIter& operator++() {
+    ++tensor;
+    return *this;
+  }
+  bool operator!=(const TensorPtrIter& other) const {
+    return tensor != other.tensor;
+  }
+};
+
+}  // namespace
+
+Tensor MakeOpResult(size_t rows, size_t cols, const char* op, BackwardTag tag,
+                    std::initializer_list<const Tensor*> parents) {
+  return MakeOpResultImpl(rows, cols, op, tag, parents.begin(), parents.end(),
+                          parents.size());
+}
+
+Tensor MakeOpResult(size_t rows, size_t cols, const char* op, BackwardTag tag,
+                    const std::vector<Tensor>& parents) {
+  return MakeOpResultImpl(rows, cols, op, tag,
+                          TensorPtrIter{parents.data()},
+                          TensorPtrIter{parents.data() + parents.size()},
+                          parents.size());
 }
 
 }  // namespace zerodb::nn

@@ -2,16 +2,54 @@
 #define ZERODB_NN_TENSOR_H_
 
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace zerodb::nn {
 
+class GraphArena;
+
+/// Identifies the backward rule of the op that produced a node. Backward is
+/// dispatched by a switch over this tag (RunNodeBackward in ops.cc) with the
+/// op's context in the node's POD fields and pooled aux buffers — no
+/// std::function, so building a graph node allocates no closure and the
+/// whole node recycles through a GraphArena.
+enum class BackwardTag : uint8_t {
+  kLeaf = 0,
+  kMatMul,
+  kAddBias,
+  kLinearFused,
+  kAdd,
+  kSub,
+  kMul,
+  kScale,
+  kRelu,
+  kLeakyRelu,
+  kSigmoid,
+  kTanh,
+  kDropout,
+  kRowGather,
+  kRowScatterAdd,
+  kRowScatterAddTo,
+  kScaleRows,
+  kConcatCols,
+  kConcatRows,
+  kLayerNorm,
+  kMseLoss,
+  kHuberLoss,
+};
+
 /// A node in the autograd graph: a 2-D float matrix plus (optionally) a
-/// gradient buffer, the backward function of the op that produced it, and
+/// gradient buffer, the backward tag/context of the op that produced it, and
 /// its parents. Users interact through the `Tensor` handle below.
+///
+/// Nodes live either on the heap (make_shared, the default) or in a
+/// GraphArena slab (when an ArenaGuard is active at creation); `arena` is
+/// the owning arena or null. Arena nodes' buffers come from the arena's
+/// BufferPool and every field recycles on GraphArena::Reset.
 struct Node {
   size_t rows = 0;
   size_t cols = 0;
@@ -19,12 +57,30 @@ struct Node {
   std::vector<float> grad;  // same size as values when requires_grad
   bool requires_grad = false;
 
+  /// Backward dispatch tag plus small POD context. f0 carries the op scalar
+  /// (Scale factor, LeakyRelu slope, Huber delta); u0 carries an op flag
+  /// (LinearFused: 1 when ReLU is fused). Shapes are recovered from this
+  /// node and its parents.
+  BackwardTag tag = BackwardTag::kLeaf;
+  float f0 = 0.0f;
+  uint32_t u0 = 0;
+
+  /// Per-op auxiliary data that used to live in backward closures: dropout
+  /// keep-masks, ScaleRows factors and LayerNorm inverse stddevs in
+  /// aux_floats; gather/scatter row indices in aux_indices.
+  std::vector<float> aux_floats;
+  std::vector<uint32_t> aux_indices;
+
   /// Parents in the compute graph (inputs of the producing op); empty for
   /// leaves (parameters and constants).
   std::vector<std::shared_ptr<Node>> parents;
 
-  /// Propagates this node's grad into the parents' grads. Null for leaves.
-  std::function<void(Node*)> backward_fn;
+  /// Owning arena, or null for heap nodes.
+  GraphArena* arena = nullptr;
+
+  /// Traversal epoch for Backward()'s iterative topo walk (replaces a
+  /// per-call visited hash set).
+  uint64_t visit_mark = 0;
 
   /// Op name for debugging ("matmul", "relu", ..., "leaf").
   const char* op = "leaf";
@@ -33,6 +89,10 @@ struct Node {
   float& at(size_t r, size_t c) { return values[r * cols + c]; }
   float at(size_t r, size_t c) const { return values[r * cols + c]; }
 };
+
+/// Runs one node's backward rule, accumulating into its parents' grads.
+/// Implemented in ops.cc as a switch over Node::tag. No-op for leaves.
+void RunNodeBackward(Node* node);
 
 /// Value-semantics handle to a Node. Copies share the underlying node, like
 /// torch tensors. All shapes are (rows, cols); vectors are (1, n) or (n, 1).
@@ -44,14 +104,15 @@ class Tensor {
 
   /// A constant (no-grad) tensor filled with `value`.
   static Tensor Full(size_t rows, size_t cols, float value);
-  static Tensor Zeros(size_t rows, size_t cols) {
-    return Full(rows, cols, 0.0f);
-  }
+  static Tensor Zeros(size_t rows, size_t cols);
+  /// A zero tensor with t's shape — the gradient-init idiom.
+  static Tensor ZerosLike(const Tensor& t);
 
   /// A constant tensor wrapping the given row-major data.
   static Tensor FromData(size_t rows, size_t cols, std::vector<float> data);
 
   /// A trainable leaf (requires_grad = true) initialized with `data`.
+  /// Always heap-allocated — parameters outlive any arena epoch.
   static Tensor Parameter(size_t rows, size_t cols, std::vector<float> data);
 
   bool defined() const { return node_ != nullptr; }
@@ -86,15 +147,22 @@ class Tensor {
   std::shared_ptr<Node> node_;
 };
 
-/// Creates a non-leaf node for an op result. Gradient tracking is enabled iff
-/// any parent requires grad. Under an InferenceModeGuard the result is
-/// detached instead: no parents, no backward_fn, requires_grad = false.
-Tensor MakeOpResult(size_t rows, size_t cols, const char* op,
-                    std::vector<std::shared_ptr<Node>> parents,
-                    std::function<void(Node*)> backward_fn);
+/// Creates a non-leaf node for an op result: zeroed values buffer, backward
+/// tag, parent edges. Gradient tracking is enabled iff any parent requires
+/// grad. Under an InferenceModeGuard the result is detached instead: no
+/// parents, tag reset to kLeaf, requires_grad = false. Under an ArenaGuard
+/// the node and its buffers come from the active arena. The op fills the
+/// node's POD context / aux buffers after this returns (only needed when
+/// the result requires grad).
+Tensor MakeOpResult(size_t rows, size_t cols, const char* op, BackwardTag tag,
+                    std::initializer_list<const Tensor*> parents);
+
+/// Variadic-parent form (ConcatCols/ConcatRows).
+Tensor MakeOpResult(size_t rows, size_t cols, const char* op, BackwardTag tag,
+                    const std::vector<Tensor>& parents);
 
 /// While alive on the current thread, every MakeOpResult produces a
-/// detached node: parents and backward closures are dropped and
+/// detached node: parents and backward tags are dropped and
 /// requires_grad is forced off, even when an input is a trainable
 /// parameter. That removes the autodiff bookkeeping — the dominant per-op
 /// cost of small-batch forward passes — and lets intermediate nodes free as

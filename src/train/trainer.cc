@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
+#include "nn/arena.h"
 #include "nn/lr_schedule.h"
 #include "nn/optimizer.h"
 #include "nn/ops.h"
@@ -31,31 +32,52 @@ struct ShardResult {
   std::vector<std::vector<float>> grads;  ///< one buffer per parameter
 };
 
-/// Runs one shard on `model`: zero grads, forward + backward on the shard
+/// One shard-running unit: a model (the caller's or a replica), its cached
+/// parameter handles, an optional graph arena, and reusable scratch. The
+/// trainer builds these once; every per-shard buffer they own reaches steady
+/// state after the first batch and is recycled from then on.
+struct ShardExecutor {
+  models::NeuralCostModel* model = nullptr;
+  std::vector<nn::Tensor> params;
+  /// Pooled autodiff memory for this executor's shards; null when pooling
+  /// is disabled (TrainerOptions::pooled_memory false or ZERODB_ARENA=off).
+  std::unique_ptr<nn::GraphArena> arena;
+  std::vector<const QueryRecord*> shard;  ///< reused shard record scratch
+};
+
+/// Runs one shard on `exec`: zero grads, forward + backward on the shard
 /// scaled by shard_size / batch_size (so summing shard losses/gradients
-/// reconstructs the batch mean), then harvests the gradient buffers.
-void RunShard(models::NeuralCostModel* model,
+/// reconstructs the batch mean), then harvests the gradient buffers. The
+/// whole graph builds inside the executor's arena (when pooling is on) and
+/// is recycled via Reset once the gradients are copied out.
+void RunShard(ShardExecutor* exec,
               const std::vector<const QueryRecord*>& batch, size_t shard_begin,
               size_t shard_end, size_t batch_size, uint64_t shard_seed,
               ShardResult* out) {
-  std::vector<const QueryRecord*> shard(batch.begin() +
-                                            static_cast<ptrdiff_t>(shard_begin),
-                                        batch.begin() +
-                                            static_cast<ptrdiff_t>(shard_end));
-  std::vector<nn::Tensor> params = model->Parameters();
-  for (nn::Tensor& p : params) p.ZeroGrad();
+  exec->shard.assign(batch.begin() + static_cast<ptrdiff_t>(shard_begin),
+                     batch.begin() + static_cast<ptrdiff_t>(shard_end));
+  nn::ArenaGuard guard(exec->arena.get());
+  for (nn::Tensor& p : exec->params) p.ZeroGrad();
   Rng shard_rng(shard_seed);
-  nn::Tensor loss = model->LossOnBatch(shard, /*training=*/true, &shard_rng);
-  ZDB_DCHECK_OK(nn::ValidateShape(loss, 1, 1, "trainer forward: shard loss"));
-  ZDB_DCHECK_OK(nn::ValidateFinite(loss, "trainer forward: shard loss"));
-  nn::Tensor scaled =
-      nn::Scale(loss, static_cast<float>(shard.size()) /
-                          static_cast<float>(batch_size));
-  scaled.Backward();
-  out->loss = static_cast<double>(scaled.item());
-  out->grads.clear();
-  out->grads.reserve(params.size());
-  for (const nn::Tensor& p : params) out->grads.push_back(p.grad());
+  {
+    // Inner scope: every Tensor handle into the arena must die before Reset.
+    nn::Tensor loss =
+        exec->model->LossOnBatch(exec->shard, /*training=*/true, &shard_rng);
+    ZDB_DCHECK_OK(nn::ValidateShape(loss, 1, 1, "trainer forward: shard loss"));
+    ZDB_DCHECK_OK(nn::ValidateFinite(loss, "trainer forward: shard loss"));
+    nn::Tensor scaled =
+        nn::Scale(loss, static_cast<float>(exec->shard.size()) /
+                            static_cast<float>(batch_size));
+    scaled.Backward();
+    out->loss = static_cast<double>(scaled.item());
+  }
+  out->grads.resize(exec->params.size());
+  for (size_t i = 0; i < exec->params.size(); ++i) {
+    // Copy-assign into the retained buffer: same parameter sizes every
+    // batch, so this reuses capacity instead of reallocating.
+    out->grads[i] = exec->params[i].grad();
+  }
+  if (exec->arena != nullptr) exec->arena->Reset();
 }
 
 }  // namespace
@@ -111,33 +133,49 @@ TrainResult TrainModel(models::NeuralCostModel* model,
   }
   ThreadPool* shard_pool = replicas.empty() ? nullptr : ThreadPool::Global();
 
-  // Blocking free list of shard executors (the caller's model plus the
-  // replicas). Which executor runs which shard is scheduling-dependent, but
-  // all executors hold bit-identical parameters, so shard results are not.
+  // One ShardExecutor per model (the caller's plus the replicas), each with
+  // its own GraphArena when pooling is enabled. Arenas are per-executor, not
+  // per-thread: the executor free-list below hands a model *and* its arena
+  // to exactly one worker at a time, so arena access is single-threaded by
+  // construction (the mutex hand-off orders it).
+  const bool pooled = options.pooled_memory && nn::ArenaEnabled();
+  std::vector<ShardExecutor> shard_executors(1 + replicas.size());
+  shard_executors[0].model = model;
+  shard_executors[0].params = main_params;
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    shard_executors[r + 1].model = replicas[r].get();
+    shard_executors[r + 1].params = replica_params[r];
+  }
+  for (ShardExecutor& shard_exec : shard_executors) {
+    if (pooled) shard_exec.arena = std::make_unique<nn::GraphArena>();
+  }
+
+  // Blocking free list of shard executors. Which executor runs which shard
+  // is scheduling-dependent, but all executors hold bit-identical
+  // parameters, so shard results are not.
   struct ExecutorPool {
     Mutex mu;
     CondVar cv;
-    std::vector<models::NeuralCostModel*> free_models ZDB_GUARDED_BY(mu);
+    std::vector<ShardExecutor*> free_executors ZDB_GUARDED_BY(mu);
   };
   ExecutorPool exec;
   {
     MutexLock lock(&exec.mu);
-    exec.free_models.push_back(model);
-    for (const auto& replica : replicas) {
-      exec.free_models.push_back(replica.get());
+    for (ShardExecutor& shard_exec : shard_executors) {
+      exec.free_executors.push_back(&shard_exec);
     }
   }
   auto acquire_executor = [&exec]() {
     MutexLock lock(&exec.mu);
-    while (exec.free_models.empty()) exec.cv.Wait(&exec.mu);
-    models::NeuralCostModel* m = exec.free_models.back();
-    exec.free_models.pop_back();
-    return m;
+    while (exec.free_executors.empty()) exec.cv.Wait(&exec.mu);
+    ShardExecutor* e = exec.free_executors.back();
+    exec.free_executors.pop_back();
+    return e;
   };
-  auto release_executor = [&exec](models::NeuralCostModel* m) {
+  auto release_executor = [&exec](ShardExecutor* e) {
     {
       MutexLock lock(&exec.mu);
-      exec.free_models.push_back(m);
+      exec.free_executors.push_back(e);
     }
     exec.cv.NotifyOne();
   };
@@ -181,6 +219,16 @@ TrainResult TrainModel(models::NeuralCostModel* model,
   obs::Counter* batches_counter = registry.GetCounter("train.batches");
   obs::Histogram* epoch_us = registry.GetHistogram("train.epoch_us");
 
+  // Per-batch working state, hoisted out of the loops so batch N reuses
+  // batch N-1's capacity: the batch view, the pre-drawn shard seeds, and the
+  // shard result slots (kept at max_shards so the final partial batch never
+  // shrinks — and re-grows — the gradient buffers inside).
+  std::vector<const QueryRecord*> batch;
+  batch.reserve(options.batch_size);
+  std::vector<uint64_t> shard_seeds;
+  shard_seeds.reserve(max_shards);
+  std::vector<ShardResult> shard_results(max_shards);
+
   for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
     obs::ScopedTimer epoch_timer(registry.enabled() ? epoch_us : nullptr);
     obs::TimelineScope epoch_scope("train.epoch", "train");
@@ -195,8 +243,8 @@ TrainResult TrainModel(models::NeuralCostModel* model,
          start += options.batch_size) {
       size_t end = std::min(start + options.batch_size, training.size());
       obs::TimelineScope batch_scope("train.batch", "train");
-      std::vector<const QueryRecord*> batch(training.begin() + start,
-                                            training.begin() + end);
+      batch.assign(training.begin() + static_cast<ptrdiff_t>(start),
+                   training.begin() + static_cast<ptrdiff_t>(end));
       const size_t batch_size = batch.size();
       const size_t num_shards =
           (batch_size + kShardRecords - 1) / kShardRecords;
@@ -204,11 +252,10 @@ TrainResult TrainModel(models::NeuralCostModel* model,
       // Every shard's dropout seed is drawn here, in ascending shard order,
       // from the trainer Rng — never from inside a worker — so the stream of
       // draws is the same for any thread count.
-      std::vector<uint64_t> shard_seeds(num_shards);
+      shard_seeds.resize(num_shards);
       for (uint64_t& shard_seed : shard_seeds) {
         shard_seed = rng.NextUint64();
       }
-      std::vector<ShardResult> shard_results(num_shards);
 
       // Replicas re-read the parameters the last Step produced.
       for (std::vector<nn::Tensor>& params : replica_params) {
@@ -219,17 +266,17 @@ TrainResult TrainModel(models::NeuralCostModel* model,
 
       ParallelFor(shard_pool, 0, num_shards, /*grain=*/1,
                   [&](size_t chunk_begin, size_t chunk_end) {
-                    models::NeuralCostModel* m = acquire_executor();
+                    ShardExecutor* e = acquire_executor();
                     for (size_t s = chunk_begin; s < chunk_end; ++s) {
                       obs::TimelineScope shard_scope("train.shard", "train");
                       shard_scope.AddArg("shard", static_cast<double>(s));
                       const size_t shard_begin = s * kShardRecords;
                       const size_t shard_end =
                           std::min(batch_size, shard_begin + kShardRecords);
-                      RunShard(m, batch, shard_begin, shard_end, batch_size,
+                      RunShard(e, batch, shard_begin, shard_end, batch_size,
                                shard_seeds[s], &shard_results[s]);
                     }
-                    release_executor(m);
+                    release_executor(e);
                   });
 
       // Fixed-order reduction: shard partials land on the caller's model in
@@ -258,9 +305,12 @@ TrainResult TrainModel(models::NeuralCostModel* model,
     epochs_counter->Add(1);
     batches_counter->Add(static_cast<int64_t>(batches));
 
-    // Validation (falls back to train loss when no validation split).
+    // Validation (falls back to train loss when no validation split). The
+    // inference guard skips autodiff bookkeeping — the loss value is the
+    // same arithmetic either way, and nothing calls Backward on it.
     double val_loss = result.final_train_loss;
     if (!validation.empty()) {
+      nn::InferenceModeGuard inference;
       val_loss =
           model->LossOnBatch(validation, /*training=*/false, nullptr).item();
     }

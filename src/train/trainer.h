@@ -35,6 +35,16 @@ struct TrainerOptions {
   /// execution needs models::NeuralCostModel::CloneReplica; models without
   /// it train serially (still sharded, still identical).
   size_t num_threads = 0;
+  /// Pooled autodiff memory: each shard executor owns a nn::GraphArena that
+  /// serves every graph node and buffer of its shards and is reset once the
+  /// shard's gradients are harvested — at steady state a training batch
+  /// allocates nothing in the nn layer. Arithmetic is unchanged (same ops,
+  /// same buffers zeroed the same way), so loss histories are bit-identical
+  /// to the fresh-allocation path (pinned by
+  /// TrainTest.PooledMemoryDoesNotChangeLossHistory). Gated globally by
+  /// ZERODB_ARENA=off (nn::ArenaEnabled), which CI uses to keep the
+  /// fallback path exercised.
+  bool pooled_memory = true;
   /// Logs one line per epoch (via the telemetry sink when one is attached,
   /// else through obs::TrainTelemetry::LogEpoch → ZDB_LOG).
   bool verbose = false;

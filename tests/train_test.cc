@@ -217,5 +217,37 @@ TEST_F(TrainTest, ThreadCountDoesNotChangeLossHistoryWithDropout) {
   ExpectSameHistory(serial, parallel);
 }
 
+TEST_F(TrainTest, PooledMemoryDoesNotChangeLossHistory) {
+  // The arena recycles nodes and buffers but never changes the arithmetic:
+  // every pooled/fresh × serial/parallel combination — with and without the
+  // stochastic dropout path — produces the same loss history bit for bit.
+  auto view = MakeView(*records_);
+  for (float dropout : {0.0f, 0.2f}) {
+    TrainResult reference;
+    bool have_reference = false;
+    for (bool pooled : {true, false}) {
+      for (size_t threads : {size_t(1), size_t(4)}) {
+        models::ZeroShotCostModel::Options model_options;
+        model_options.hidden_dim = 16;
+        model_options.init_seed = 6;
+        model_options.dropout = dropout;
+        models::ZeroShotCostModel model(model_options);
+        TrainerOptions options;
+        options.max_epochs = 3;
+        options.seed = 11;
+        options.num_threads = threads;
+        options.pooled_memory = pooled;
+        TrainResult result = TrainModel(&model, view, options);
+        if (!have_reference) {
+          reference = result;
+          have_reference = true;
+        } else {
+          ExpectSameHistory(reference, result);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace zerodb::train
